@@ -1,0 +1,19 @@
+"""Shared benchmark configuration.
+
+Every bench regenerates one table or figure of the paper. They are heavy
+(each trains several models), so each runs exactly once per session via
+``benchmark.pedantic(rounds=1)`` and prints its rendered table — the rows a
+reader compares against the paper.
+"""
+
+import pytest
+
+# Dataset scale for the benches: large enough for stable orderings, small
+# enough that the whole suite finishes in minutes.
+FLOWS_PER_CLASS = 120
+SEED = 0
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return {"flows_per_class": FLOWS_PER_CLASS, "seed": SEED}

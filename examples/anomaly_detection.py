@@ -1,0 +1,53 @@
+"""Unsupervised malicious-traffic detection with the dataplane AutoEncoder.
+
+Reproduces the paper's §7.4 workflow: train on benign traffic only, compile
+the reconstruction-error scorer to additive mapping tables, then detect
+malware C2 and an SSDP reflection flood that the model never saw.
+
+Run:  python examples/anomaly_detection.py
+"""
+
+import numpy as np
+
+from repro.eval.metrics import auc_score
+from repro.models import build_model
+from repro.net import make_dataset, make_attack_flows, ATTACK_NAMES
+from repro.net.features import dataset_views
+
+
+def main():
+    print("=== train AutoEncoder on benign PeerRush traffic ===")
+    dataset = make_dataset("peerrush", flows_per_class=100, seed=0)
+    train_flows, _val, test_flows = dataset.split(rng=0)
+    train_views = dataset_views(train_flows)
+    test_views = dataset_views(test_flows)
+
+    model = build_model("AutoEncoder", dataset.n_classes, seed=0)
+    model.train(train_views)
+    model.compile_dataplane(train_views)
+    benign_scores = model.score_dataplane(test_views)
+    print(f"benign test windows: {len(benign_scores)}, "
+          f"mean MAE score {benign_scores.mean():.4f}")
+
+    print("\n=== inject unknown attacks (1:4 attack:benign) ===")
+    threshold = float(np.quantile(benign_scores, 0.95))
+    print(f"alert threshold (95th benign percentile): {threshold:.4f}\n")
+    print(f"{'attack':8s} {'AUC':>7s} {'detect@5%FPR':>13s}")
+    for i, attack in enumerate(ATTACK_NAMES):
+        flows = make_attack_flows(attack, n_flows=40, seed=100 + i)
+        attack_views = dataset_views(flows)
+        scores = model.score_dataplane(attack_views)
+        take = max(len(benign_scores) // 4, 1)
+        scores = scores[:take]
+        labels = np.concatenate([np.zeros(len(benign_scores)), np.ones(len(scores))])
+        mixed = np.concatenate([benign_scores, scores])
+        auc = auc_score(labels, mixed)
+        detect = (scores > threshold).mean()
+        print(f"{attack:8s} {auc:7.4f} {detect:13.3f}")
+
+    print("\nOn a real deployment the switch would rate-limit or alert on "
+          "flows whose MAE score exceeds the threshold (paper §7.4).")
+
+
+if __name__ == "__main__":
+    main()

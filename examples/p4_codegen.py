@@ -1,0 +1,63 @@
+"""Emit deployable artifacts: P4_16 source + control-plane entries + eBPF-C.
+
+Compiles a small model, generates both backends, and cross-validates the
+P4 entry list against the compiled pipeline with the reference TCAM
+interpreter (the role BMv2 plays in the paper's toolchain).
+
+Run:  python examples/p4_codegen.py [output_dir]
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.backends import emit_p4, emit_ebpf
+from repro.backends.p4 import interpret_entries
+from repro.core import PegasusCompiler, CompilerConfig
+from repro.models import build_model
+from repro.net import make_dataset
+from repro.net.features import dataset_views
+
+
+def main(out_dir: str = "build"):
+    out = Path(out_dir)
+    out.mkdir(exist_ok=True)
+
+    dataset = make_dataset("ciciot", flows_per_class=60, seed=0)
+    train_flows, _val, _test = dataset.split(rng=0)
+    views = dataset_views(train_flows)
+    model = build_model("MLP-B", dataset.n_classes, seed=0)
+    model.train(views)
+    calib = views["stats"].astype(np.int64)
+    result = PegasusCompiler(CompilerConfig(fuzzy_leaves=64)).compile_sequential(
+        model.net, calib, name="mlp-ciciot")
+    compiled = result.compiled
+
+    program = emit_p4(compiled)
+    p4_path = out / "pegasus_mlp.p4"
+    p4_path.write_text(program.source)
+    entries_path = out / "pegasus_mlp_entries.json"
+    entries_path.write_text(json.dumps([
+        {"table": e.table, "match": e.match_kind, "values": list(e.key_values),
+         "masks": list(e.key_masks), "action": e.action,
+         "params": list(e.action_params), "priority": e.priority}
+        for e in program.entries], indent=1))
+    ebpf_path = out / "pegasus_mlp.bpf.c"
+    ebpf_path.write_text(emit_ebpf(compiled))
+
+    print(f"P4 program:      {p4_path} ({len(program.source.splitlines())} lines, "
+          f"{program.n_tables} tables)")
+    print(f"table entries:   {entries_path} ({len(program.entries)} entries)")
+    print(f"eBPF program:    {ebpf_path}")
+
+    probe = calib[:32]
+    assert (interpret_entries(program, compiled, probe)
+            == compiled.forward_int(probe)).all()
+    print("\nverification: interpreting the emitted entries reproduces the "
+          "compiled pipeline bit-exactly on 32 probe inputs")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "build")

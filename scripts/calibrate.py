@@ -1,0 +1,20 @@
+"""Dev helper: check stats-MLP separability per dataset."""
+import numpy as np
+from repro.net import make_dataset
+from repro.net.features import dataset_views
+from repro import nn
+
+def check(name, seed=0):
+    ds = make_dataset(name, flows_per_class=120, seed=seed)
+    tr, va, te = ds.split(rng=0)
+    vtr, vte = dataset_views(tr), dataset_views(te)
+    x = vtr["stats"].astype(np.float64) / 32.0
+    model = nn.Sequential(nn.Linear(16, 48, rng=0), nn.ReLU(), nn.Linear(48, ds.n_classes, rng=1))
+    nn.fit(model, x, vtr["y"], nn.CrossEntropyLoss(), nn.Adam(model.parameters(), lr=0.01),
+           epochs=40, batch_size=64, rng=0)
+    pred = nn.predict_classes(model, vte["stats"].astype(np.float64) / 32.0)
+    return (pred == vte["y"]).mean()
+
+if __name__ == "__main__":
+    for name in ("peerrush", "ciciot", "iscxvpn"):
+        print(name, round(check(name), 3))

@@ -1,0 +1,43 @@
+"""Pegasus: a universal framework for scalable DL inference on the dataplane.
+
+This package reproduces the SIGCOMM 2025 Pegasus system end to end:
+
+- :mod:`repro.nn` — a pure-NumPy neural network training substrate.
+- :mod:`repro.net` — packets, flows, traces, features, synthetic datasets.
+- :mod:`repro.core` — the Pegasus contribution: Partition / Map / SumReduce
+  primitives, fuzzy matching, primitive fusion, fixed-point quantization,
+  centroid fine-tuning, and the model-to-dataplane compiler.
+- :mod:`repro.dataplane` — a PISA match-action pipeline simulator with a
+  Tofino-2-like resource model.
+- :mod:`repro.backends` — P4_16 and eBPF code emitters.
+- :mod:`repro.models` — the paper's six models (MLP-B, RNN-B, CNN-B/M/L,
+  AutoEncoder).
+- :mod:`repro.baselines` — N3IC, BoS and Leo reimplementations.
+- :mod:`repro.eval` — metrics and the experiment harness behind every table
+  and figure in the paper's evaluation.
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import (
+    PegasusError,
+    ShapeError,
+    QuantizationError,
+    CompilationError,
+    ResourceExceededError,
+    PipelineError,
+    TraceFormatError,
+    TrainingError,
+)
+
+__all__ = [
+    "__version__",
+    "PegasusError",
+    "ShapeError",
+    "QuantizationError",
+    "CompilationError",
+    "ResourceExceededError",
+    "PipelineError",
+    "TraceFormatError",
+    "TrainingError",
+]

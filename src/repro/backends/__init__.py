@@ -1,0 +1,13 @@
+"""Code emitters: compiled Pegasus models -> P4_16 source or eBPF-C.
+
+The P4 emitter produces a PISA-style program (parser elided, ingress control
+with one ternary/exact table per segment plus saturating-add actions) and a
+control-plane entry list. BMv2 is unavailable offline, so the entry list is
+cross-validated by interpreting it with the reference TCAM semantics and
+asserting bit-exact agreement with the compiled model (see tests).
+"""
+
+from repro.backends.p4 import emit_p4, emit_table_entries, P4Program
+from repro.backends.ebpf import emit_ebpf
+
+__all__ = ["emit_p4", "emit_table_entries", "P4Program", "emit_ebpf"]

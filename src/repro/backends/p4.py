@@ -1,0 +1,241 @@
+"""P4_16 code generation for compiled Pegasus models.
+
+Each :class:`~repro.core.mapping.SegmentTable` becomes one MAT:
+
+- fuzzy tables match their segment's fields *ternary* (the clustering tree's
+  leaf boxes expanded to prefixes — §6.1's range-to-ternary conversion);
+- exact tables match their single 8-bit field *exact*;
+- every entry's action carries the precomputed result vector as action data
+  and adds it into the layer's accumulator metadata (SumReduce), or writes
+  it to the layer output fields (concat).
+
+The module also emits the control-plane entry list that a driver would
+install; tests interpret this list with reference TCAM semantics to prove it
+agrees bit-for-bit with the compiled model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.mapping import CompiledModel, SegmentTable
+from repro.dataplane.tables import ternary_entries_for_tree
+
+
+@dataclass
+class P4TableEntry:
+    """One control-plane entry: match spec + action parameters."""
+
+    table: str
+    match_kind: str                    # "ternary" | "exact"
+    key_values: tuple[int, ...]
+    key_masks: tuple[int, ...]         # all-ones for exact entries
+    action: str
+    action_params: tuple[int, ...]
+    priority: int = 0
+
+
+@dataclass
+class P4Program:
+    """Generated source plus its control-plane entries."""
+
+    name: str
+    source: str
+    entries: list[P4TableEntry] = field(default_factory=list)
+
+    @property
+    def n_tables(self) -> int:
+        return self.source.count("table ")
+
+    def entries_for(self, table: str) -> list[P4TableEntry]:
+        return [e for e in self.entries if e.table == table]
+
+
+def _field_width(bits: int) -> int:
+    """Round to a P4-friendly container width."""
+    for w in (8, 16, 32, 64):
+        if bits <= w:
+            return w
+    return ((bits + 63) // 64) * 64
+
+
+def _signed_cast(value: int, bits: int) -> int:
+    """Two's-complement encode a possibly negative action parameter."""
+    return value & ((1 << bits) - 1)
+
+
+def emit_table_entries(model: CompiledModel, table_names: list[list[str]] | None = None
+                       ) -> list[P4TableEntry]:
+    """Control-plane entries for every segment table of the model."""
+    entries: list[P4TableEntry] = []
+    for layer_idx, layer in enumerate(model.layers):
+        out_bits = layer.out_format.total_bits
+        for t_idx, table in enumerate(layer.tables):
+            name = (table_names[layer_idx][t_idx] if table_names
+                    else f"tbl_l{layer_idx}_s{t_idx}")
+            action = f"act_l{layer_idx}_s{t_idx}"
+            if table.kind == "exact":
+                full_mask = (1 << table.in_bits) - 1
+                for entry_i in range(table.n_entries):
+                    key = table.exact_lo + entry_i
+                    params = tuple(_signed_cast(int(v), out_bits)
+                                   for v in table.values_int[entry_i])
+                    entries.append(P4TableEntry(
+                        table=name, match_kind="exact",
+                        key_values=(_signed_cast(key, table.in_bits),),
+                        key_masks=(full_mask,), action=action,
+                        action_params=params))
+            else:
+                for tern in ternary_entries_for_tree(table.tree, key_bits=table.in_bits,
+                                                     signed=table.in_signed):
+                    params = tuple(_signed_cast(int(v), out_bits)
+                                   for v in table.values_int[tern.result])
+                    entries.append(P4TableEntry(
+                        table=name, match_kind="ternary",
+                        key_values=tern.values, key_masks=tern.masks,
+                        action=action, action_params=params, priority=1))
+    return entries
+
+
+def _emit_metadata(model: CompiledModel, lines: list[str]) -> None:
+    in_w = _field_width(model.input_bits)
+    lines.append("struct pegasus_metadata_t {")
+    for i in range(model.input_dim):
+        lines.append(f"    bit<{in_w}> in{i};")
+    for layer_idx, layer in enumerate(model.layers):
+        w = _field_width(layer.out_format.total_bits)
+        for j in range(layer.out_dim):
+            lines.append(f"    int<{w}> act{layer_idx}_{j};")
+    lines.append("}")
+    lines.append("")
+
+
+def _emit_layer_tables(model: CompiledModel, layer_idx: int,
+                       lines: list[str]) -> list[str]:
+    layer = model.layers[layer_idx]
+    out_w = _field_width(layer.out_format.total_bits)
+    in_prefix = "in" if layer_idx == 0 else f"act{layer_idx - 1}_"
+    names = []
+    concat_base = 0
+    for t_idx, table in enumerate(layer.tables):
+        name = f"tbl_l{layer_idx}_s{t_idx}"
+        action = f"act_l{layer_idx}_s{t_idx}"
+        names.append(name)
+        params = ", ".join(f"int<{out_w}> v{j}" for j in range(table.out_dim))
+        lines.append(f"    action {action}({params}) {{")
+        for j in range(table.out_dim):
+            if layer.sum_reduce:
+                # Saturating add into the layer accumulator (SumReduce).
+                lines.append(f"        meta.act{layer_idx}_{j} = "
+                             f"meta.act{layer_idx}_{j} |+| v{j};")
+            else:
+                lines.append(f"        meta.act{layer_idx}_{concat_base + j} = v{j};")
+        lines.append("    }")
+        start, stop = table.segment
+        match_kind = "exact" if table.kind == "exact" else "ternary"
+        lines.append(f"    table {name} {{")
+        lines.append("        key = {")
+        for d in range(start, stop):
+            field_name = f"meta.{in_prefix}{d}" if layer_idx == 0 else f"meta.{in_prefix}{d}"
+            lines.append(f"            {field_name}: {match_kind};")
+        lines.append("        }")
+        lines.append(f"        actions = {{ {action}; NoAction; }}")
+        size = table.n_entries if table.kind == "exact" else \
+            table.tree.tcam_entries(key_bits=table.in_bits, signed=table.in_signed)
+        lines.append(f"        size = {max(size, 1)};")
+        lines.append("        default_action = NoAction();")
+        lines.append("    }")
+        if not layer.sum_reduce:
+            concat_base += table.out_dim
+    return names
+
+
+def _emit_decision(model: CompiledModel, lines: list[str]) -> None:
+    """Argmax over the final layer's scores via a compare chain."""
+    final = len(model.layers) - 1
+    n = model.layers[final].out_dim
+    lines.append("    action set_class(bit<8> cls) { meta_class = cls; }")
+    lines.append("    apply {")
+    for layer_idx, layer in enumerate(model.layers):
+        for t_idx in range(len(layer.tables)):
+            lines.append(f"        tbl_l{layer_idx}_s{t_idx}.apply();")
+    lines.append("        // argmax over final scores")
+    lines.append("        meta_class = 0;")
+    lines.append(f"        int<{_field_width(model.out_format.total_bits)}> best = "
+                 f"meta.act{final}_0;")
+    for j in range(1, n):
+        lines.append(f"        if (meta.act{final}_{j} > best) "
+                     f"{{ best = meta.act{final}_{j}; meta_class = {j}; }}")
+    lines.append("    }")
+
+
+def emit_p4(model: CompiledModel, program_name: str | None = None) -> P4Program:
+    """Generate a P4_16 ingress control implementing the compiled model."""
+    name = program_name or model.name
+    lines: list[str] = [
+        "/* Auto-generated by the Pegasus compiler. Do not edit. */",
+        "#include <core.p4>",
+        "#include <tna.p4>",
+        "",
+    ]
+    _emit_metadata(model, lines)
+    lines.append(f"control PegasusIngress_{name.replace('-', '_')}(")
+    lines.append("        inout pegasus_metadata_t meta) {")
+    lines.append("    bit<8> meta_class;")
+    table_names: list[list[str]] = []
+    for layer_idx in range(len(model.layers)):
+        table_names.append(_emit_layer_tables(model, layer_idx, lines))
+    _emit_decision(model, lines)
+    lines.append("}")
+    source = "\n".join(lines)
+    return P4Program(name=name, source=source,
+                     entries=emit_table_entries(model, table_names))
+
+
+def interpret_entries(program: P4Program, model: CompiledModel,
+                      x_int: np.ndarray) -> np.ndarray:
+    """Reference interpreter for the emitted entries (plays BMv2's role).
+
+    Executes the control-plane entry list with TCAM/exact match semantics
+    and saturating adds; used by tests to prove emit fidelity.
+    """
+    x = np.asarray(x_int, dtype=np.int64)
+    if x.ndim == 1:
+        x = x[None, :]
+    current = x
+    for layer_idx, layer in enumerate(model.layers):
+        out_bits = layer.out_format.total_bits
+        sign_bit = 1 << (out_bits - 1)
+        full = 1 << out_bits
+        outs = []
+        for t_idx, table in enumerate(layer.tables):
+            name = f"tbl_l{layer_idx}_s{t_idx}"
+            entries = program.entries_for(name)
+            seg = current[:, table.segment[0]:table.segment[1]]
+            in_mask = (1 << table.in_bits) - 1
+            bias = (1 << (table.in_bits - 1)) if (table.in_signed and
+                                                  table.kind == "fuzzy") else 0
+            result = np.zeros((len(x), table.out_dim), dtype=np.int64)
+            for row in range(len(x)):
+                key = tuple((int(v) + bias) & in_mask for v in seg[row])
+                hit = None
+                for e in entries:
+                    if all((k & m) == (v & m) for k, v, m in
+                           zip(key, e.key_values, e.key_masks)):
+                        hit = e
+                        break
+                if hit is None:
+                    raise LookupError(f"{name}: no entry for key {key}")
+                vals = [(p - full) if p & sign_bit else p for p in hit.action_params]
+                result[row] = vals
+            outs.append(result)
+        if layer.sum_reduce:
+            acc = np.zeros((len(x), layer.out_dim), dtype=np.int64)
+            for o in outs:
+                acc += o
+            current = np.clip(acc, layer.out_format.int_min, layer.out_format.int_max)
+        else:
+            current = np.concatenate(outs, axis=1)
+    return current

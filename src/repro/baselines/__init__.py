@@ -1,0 +1,30 @@
+"""Baselines the paper compares against: Leo, N3IC, and BoS.
+
+- :mod:`repro.baselines.tree` — a from-scratch CART classifier.
+- :mod:`repro.baselines.leo` — Leo: the decision tree encoded as dataplane
+  MAT rules (range expansion into TCAM).
+- :mod:`repro.baselines.n3ic` — N3IC: a fully binarized MLP whose MatMuls
+  run as XNOR + popcount.
+- :mod:`repro.baselines.bos` — BoS: a binary RNN realized as enumerated
+  input->output mapping tables per time step.
+"""
+
+from repro.baselines.tree import DecisionTree
+from repro.baselines.leo import LeoModel
+from repro.baselines.n3ic import N3ICModel
+from repro.baselines.bos import BoSModel
+
+BASELINE_NAMES = ("Leo", "N3IC", "BoS")
+
+
+def build_baseline(name: str, n_classes: int, seed: int = 0):
+    registry = {"Leo": LeoModel, "N3IC": N3ICModel, "BoS": BoSModel}
+    try:
+        cls = registry[name]
+    except KeyError:
+        raise ValueError(f"unknown baseline {name!r}; choose from {BASELINE_NAMES}") from None
+    return cls(n_classes=n_classes, seed=seed)
+
+
+__all__ = ["DecisionTree", "LeoModel", "N3ICModel", "BoSModel",
+           "BASELINE_NAMES", "build_baseline"]

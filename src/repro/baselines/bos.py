@@ -1,0 +1,192 @@
+"""BoS (Brain-on-Switch): binary RNN via enumerated mapping tables (NSDI'24).
+
+BoS bypasses computation entirely: each time step's function — from (binary
+input bits, binary hidden state) to the next binary hidden state — is
+enumerated into a table of 2^(input_bits + hidden_bits) entries. Inside a
+step the computation is full precision; only the activations crossing table
+boundaries are binarized. This is the paper's state of the art for accuracy,
+and its scalability limit: an n-bit table key needs 2^n entries, which is
+why BoS inputs are tiny (2 bits per step here, 18-bit total input scale).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.dataplane.registers import FlowStateLayout, RegisterField
+from repro.models.base import TrafficModel
+from repro.net.features import SEQ_WINDOW
+from repro.utils.bits import int_to_bits
+
+BITS_PER_STEP = 2   # 1 length bit + 1 IPD bit per packet
+# Input scale: 8 steps x 2 bits + 2 threshold config bits = 18 bits (paper).
+INPUT_SCALE_BITS = SEQ_WINDOW * BITS_PER_STEP + 2
+
+
+class _BoSNet(nn.Module):
+    """Binary-I/O Elman step + linear head, trained with STE."""
+
+    def __init__(self, n_classes: int, hidden: int, rngs):
+        super().__init__()
+        self.hidden = hidden
+        self.w_x = nn.Linear(BITS_PER_STEP, hidden, rng=int(rngs[0]))
+        self.w_h = nn.Linear(hidden, hidden, rng=int(rngs[1]))
+        self.bin = nn.BinarizeSTE()
+        self.head = nn.Linear(hidden, n_classes, rng=int(rngs[2]))
+        self._caches = None
+
+    def step(self, x_bits: np.ndarray, h_bin: np.ndarray) -> np.ndarray:
+        """Full-precision inside; binarized output (the table's codomain)."""
+        pre = np.tanh(self.w_x.forward(x_bits) + self.w_h.forward(h_bin))
+        return pre
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        # x: (N, 16) ±1 step bits. Unrolled train-time forward with STE.
+        n = x.shape[0]
+        h = np.zeros((n, self.hidden))
+        self._caches = []
+        for t in range(SEQ_WINDOW):
+            bits = x[:, BITS_PER_STEP * t:BITS_PER_STEP * (t + 1)]
+            pre = np.tanh(self.w_x.forward(bits) + self.w_h.forward(h))
+            h_new = np.where(pre >= 0, 1.0, -1.0)
+            self._caches.append((bits, h, pre))
+            h = h_new
+        return self.head.forward(h)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad_h = self.head.backward(grad_out)
+        for t in range(SEQ_WINDOW - 1, -1, -1):
+            bits, h_prev, pre = self._caches[t]
+            grad_pre = grad_h * (np.abs(pre) <= 1.0)        # STE through sign
+            grad_pre = grad_pre * (1.0 - pre ** 2)          # through tanh
+            self.w_x.forward(bits)                          # set cache
+            gx = self.w_x.backward(grad_pre)
+            self.w_h.forward(h_prev)
+            grad_h = self.w_h.backward(grad_pre)
+            del gx
+        return np.zeros((grad_out.shape[0], SEQ_WINDOW * BITS_PER_STEP))
+
+
+class BoSModel(TrafficModel):
+    name = "BoS"
+    feature_view = "seq"
+
+    def __init__(self, n_classes: int, seed: int = 0, hidden: int = 8,
+                 epochs: int = 80):
+        super().__init__(n_classes, seed)
+        rngs = np.random.default_rng(seed).integers(0, 2**31, size=3)
+        self.net = _BoSNet(n_classes, hidden, rngs)
+        self.hidden = hidden
+        self.epochs = epochs
+        self.step_table: np.ndarray | None = None   # (2^(bits+H),) -> hidden code
+        self.head_table: np.ndarray | None = None   # (2^H, n_classes)
+        self._len_thresh = 128
+        self._ipd_thresh = 64
+
+    # -- input binarization ---------------------------------------------------
+
+    def _fit_thresholds(self, seq: np.ndarray) -> None:
+        lens = seq[:, 0::2].astype(np.float64)
+        ipds = seq[:, 1::2].astype(np.float64)
+        self._len_thresh = float(np.median(lens))
+        self._ipd_thresh = float(np.median(ipds))
+
+    def _binarize(self, seq: np.ndarray) -> np.ndarray:
+        """Tokens -> ±1 bits: (len > median, ipd > median) per packet."""
+        out = np.empty((len(seq), SEQ_WINDOW * BITS_PER_STEP))
+        out[:, 0::2] = np.where(seq[:, 0::2] > self._len_thresh, 1.0, -1.0)
+        out[:, 1::2] = np.where(seq[:, 1::2] > self._ipd_thresh, 1.0, -1.0)
+        return out
+
+    # -- training -------------------------------------------------------------
+
+    def train(self, views: dict[str, np.ndarray]) -> None:
+        seq = self.view(views, "seq")
+        self._fit_thresholds(seq)
+        x = self._binarize(seq)
+        y = self.view(views, "y")
+        nn.fit(self.net, x, y, nn.CrossEntropyLoss(),
+               nn.Adam(self.net.parameters(), lr=0.01),
+               epochs=self.epochs, batch_size=64, rng=self.seed)
+        self.trained = True
+
+    def predict_float(self, views: dict[str, np.ndarray]) -> np.ndarray:
+        self._require_trained()
+        return nn.predict_classes(self.net, self._binarize(self.view(views, "seq")))
+
+    # -- dataplane: enumerated mapping tables ---------------------------------
+
+    @staticmethod
+    def _code(bits_pm1: np.ndarray) -> np.ndarray:
+        """±1 vector(s) -> integer code (bit 1 for +1)."""
+        bits01 = (np.asarray(bits_pm1) > 0).astype(np.int64)
+        weights = 1 << np.arange(bits01.shape[-1] - 1, -1, -1)
+        return bits01 @ weights
+
+    def compile_dataplane(self, views: dict[str, np.ndarray]) -> None:
+        """Enumerate every (input bits, hidden code) -> next hidden code."""
+        self._require_trained()
+        h = self.hidden
+        # First step starts from the all-zero hidden state, which is not a
+        # ±1 code; it gets its own (tiny) table indexed by input bits only.
+        self.first_table = np.zeros(1 << BITS_PER_STEP, dtype=np.int64)
+        for key in range(1 << BITS_PER_STEP):
+            bits = int_to_bits(key, BITS_PER_STEP).astype(np.float64) * 2 - 1
+            pre = np.tanh(self.net.w_x.forward(bits[None, :])
+                          + self.net.w_h.forward(np.zeros((1, h))))
+            self.first_table[key] = self._code(np.where(pre >= 0, 1.0, -1.0))[0]
+        n_keys = 1 << (BITS_PER_STEP + h)
+        self.step_table = np.zeros(n_keys, dtype=np.int64)
+        for key in range(n_keys):
+            bits = int_to_bits(key, BITS_PER_STEP + h).astype(np.float64) * 2 - 1
+            x_bits = bits[:BITS_PER_STEP][None, :]
+            h_bits = bits[BITS_PER_STEP:][None, :]
+            pre = np.tanh(self.net.w_x.forward(x_bits) + self.net.w_h.forward(h_bits))
+            self.step_table[key] = self._code(np.where(pre >= 0, 1.0, -1.0))[0]
+        self.head_table = np.zeros((1 << h, self.n_classes))
+        for code in range(1 << h):
+            h_bits = int_to_bits(code, h).astype(np.float64) * 2 - 1
+            self.head_table[code] = self.net.head.forward(h_bits[None, :])[0]
+        self.compiled = (self.step_table, self.head_table)
+
+    def predict_dataplane(self, views: dict[str, np.ndarray]) -> np.ndarray:
+        self._require_compiled()
+        x = self._binarize(self.view(views, "seq"))
+        h_code = self.first_table[self._code(x[:, :BITS_PER_STEP])]
+        for t in range(1, SEQ_WINDOW):
+            bits = x[:, BITS_PER_STEP * t:BITS_PER_STEP * (t + 1)]
+            x_code = self._code(bits)
+            key = (x_code << self.hidden) | h_code
+            h_code = self.step_table[key]
+        return np.argmax(self.head_table[h_code], axis=1)
+
+    # -- accounting -----------------------------------------------------------
+
+    def model_size_kbits(self) -> float:
+        return self.net.param_count() * 32 / 1000
+
+    def table_entries(self) -> int:
+        return (1 << (BITS_PER_STEP + self.hidden)) * SEQ_WINDOW + (1 << self.hidden)
+
+    def input_scale_bits(self) -> int:
+        return INPUT_SCALE_BITS
+
+    def flow_layout(self) -> FlowStateLayout:
+        return FlowStateLayout(fields=[
+            RegisterField("prev_ts", 16),
+            RegisterField("count", 8),
+            RegisterField("step_bits", BITS_PER_STEP, count=SEQ_WINDOW),
+            RegisterField("hidden_code", self.hidden, count=4),
+        ])  # 72 bits/flow (paper's BoS row)
+
+    def sram_bits(self) -> int:
+        step_bits = (1 << (BITS_PER_STEP + self.hidden)) * self.hidden * SEQ_WINDOW
+        head_bits = (1 << self.hidden) * self.n_classes * 16
+        return step_bits + head_bits
+
+    def tcam_bits(self) -> int:
+        return 0  # exact-match tables only
+
+    def bus_bits(self) -> int:
+        return self.hidden

@@ -1,0 +1,117 @@
+"""N3IC: binary MLP inference via XNOR + popcount (NSDI'22).
+
+The entire model is binarized: the 128-bit statistical feature vector is the
+±1 input, every weight is ±1, and each MatMul executes as XNOR + popcount on
+packed words. Trained with straight-through estimators. This reproduces the
+paper's accuracy comparison (binarization loses the numerical range that
+Pegasus's full-precision-weights / fixed-point-activations keep) and its
+scalability critique (each popcount burns ~14 PISA stages).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.dataplane.registers import FlowStateLayout, RegisterField
+from repro.models.base import TrafficModel
+from repro.net.features import N_STAT_FEATURES, SEQ_WINDOW
+from repro.utils.bits import pack_signs, xnor_popcount
+
+N_INPUT_BITS = N_STAT_FEATURES * 8  # 128-bit binarized input
+
+# The paper (via BoS's measurement) reports one popcount costs ~14 stages.
+POPCNT_STAGES = 14
+
+
+def bits_from_stats(stats: np.ndarray) -> np.ndarray:
+    """Unpack the 16 uint8 features into a ±1 vector of 128 bits."""
+    stats = np.asarray(stats, dtype=np.uint8)
+    bits = np.unpackbits(stats, axis=-1)
+    return bits.astype(np.float64) * 2.0 - 1.0
+
+
+class N3ICModel(TrafficModel):
+    name = "N3IC"
+    feature_view = "stats"
+
+    def __init__(self, n_classes: int, seed: int = 0,
+                 hidden: tuple[int, int] = (128, 64), epochs: int = 80):
+        super().__init__(n_classes, seed)
+        rngs = np.random.default_rng(seed).integers(0, 2**31, size=3)
+        h1, h2 = hidden
+        self.net = nn.Sequential(
+            nn.BinaryLinear(N_INPUT_BITS, h1, rng=int(rngs[0])),
+            nn.BinarizeSTE(),
+            nn.BinaryLinear(h1, h2, rng=int(rngs[1])),
+            nn.BinarizeSTE(),
+            nn.BinaryLinear(h2, n_classes, rng=int(rngs[2])),
+        )
+        self.hidden = hidden
+        self.epochs = epochs
+        self._packed_weights: list[np.ndarray] | None = None
+
+    def train(self, views: dict[str, np.ndarray]) -> None:
+        x = bits_from_stats(self.view(views, "stats"))
+        y = self.view(views, "y")
+        nn.fit(self.net, x, y, nn.CrossEntropyLoss(),
+               nn.Adam(self.net.parameters(), lr=0.01),
+               epochs=self.epochs, batch_size=64, rng=self.seed)
+        self.trained = True
+
+    def predict_float(self, views: dict[str, np.ndarray]) -> np.ndarray:
+        self._require_trained()
+        return nn.predict_classes(self.net, bits_from_stats(self.view(views, "stats")))
+
+    def compile_dataplane(self, views: dict[str, np.ndarray]) -> None:
+        """Pack the binarized weights into uint64 words for XNOR/popcount."""
+        self._require_trained()
+        self._packed_weights = [
+            pack_signs(layer.binary_weights().T)  # (out, words)
+            for layer in self.net if isinstance(layer, nn.BinaryLinear)
+        ]
+        self.compiled = self._packed_weights
+
+    def predict_dataplane(self, views: dict[str, np.ndarray]) -> np.ndarray:
+        """Inference exactly as the NIC executes it: XNOR + popcount."""
+        self._require_compiled()
+        x = bits_from_stats(self.view(views, "stats"))
+        dims = [N_INPUT_BITS, *self.hidden]
+        act = x
+        for layer_i, packed_w in enumerate(self._packed_weights):
+            n_bits = dims[layer_i]
+            packed_x = pack_signs(act)                      # (N, words)
+            out = np.stack([
+                xnor_popcount(packed_x, packed_w[j][None, :], n_bits)
+                for j in range(packed_w.shape[0])
+            ], axis=1)
+            act = np.where(out >= 0, 1.0, -1.0)             # binarize activations
+            final = out
+        return np.argmax(final, axis=1)
+
+    def model_size_kbits(self) -> float:
+        # Binary weights: 1 bit each.
+        h1, h2 = self.hidden
+        bits = N_INPUT_BITS * h1 + h1 * h2 + h2 * self.n_classes
+        return bits / 1000
+
+    def input_scale_bits(self) -> int:
+        return N_INPUT_BITS
+
+    def flow_layout(self) -> FlowStateLayout:
+        return FlowStateLayout(fields=[
+            RegisterField("prev_ts", 16),
+            RegisterField("max_len", 8), RegisterField("min_len", 8),
+            RegisterField("max_ipd", 8), RegisterField("min_ipd", 8),
+            RegisterField("count", 8),
+            RegisterField("len_hist", 8, count=max(SEQ_WINDOW - 6, 0)),
+            RegisterField("ipd_hist", 8, count=1),
+        ])  # 80 bits/flow
+
+    def pipeline_stages_needed(self) -> int:
+        """Why N3IC cannot scale on PISA: stages for all popcounts (§2)."""
+        h1, h2 = self.hidden
+        n_popcounts = h1 + h2 + self.n_classes
+        # Popcounts within a layer can share stages only per output neuron
+        # group; the dominant cost is sequential popcount depth per layer.
+        return 3 * POPCNT_STAGES

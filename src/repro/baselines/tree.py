@@ -1,0 +1,182 @@
+"""A from-scratch CART decision-tree classifier (Leo's model family).
+
+Best-first growth: the leaf whose best Gini split yields the largest
+impurity reduction is split next, until ``max_nodes`` is reached — matching
+how Leo sizes trees by node budget (the paper deploys a 1024-node tree).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ShapeError, TrainingError
+
+
+def _gini(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    p = counts / total
+    return float(1.0 - (p ** 2).sum())
+
+
+def _best_gini_split(x: np.ndarray, y: np.ndarray, n_classes: int
+                     ) -> tuple[float, int, float] | None:
+    """Best (impurity_reduction, feature, threshold) over all features."""
+    n, d = x.shape
+    if n < 2:
+        return None
+    parent_counts = np.bincount(y, minlength=n_classes).astype(np.float64)
+    parent_gini = _gini(parent_counts)
+    best: tuple[float, int, float] | None = None
+    for f in range(d):
+        order = np.argsort(x[:, f], kind="stable")
+        xs = x[order, f]
+        ys = y[order]
+        valid = xs[:-1] < xs[1:]
+        if not valid.any():
+            continue
+        onehot = np.zeros((n, n_classes))
+        onehot[np.arange(n), ys] = 1.0
+        left_counts = np.cumsum(onehot, axis=0)[:-1]
+        right_counts = parent_counts[None, :] - left_counts
+        n_left = np.arange(1, n)
+        n_right = n - n_left
+        with np.errstate(invalid="ignore", divide="ignore"):
+            g_left = 1.0 - ((left_counts / n_left[:, None]) ** 2).sum(axis=1)
+            g_right = 1.0 - ((right_counts / n_right[:, None]) ** 2).sum(axis=1)
+        weighted = (n_left * g_left + n_right * g_right) / n
+        weighted[~valid] = np.inf
+        k = int(np.argmin(weighted))
+        reduction = parent_gini - weighted[k]
+        if reduction <= 1e-12:
+            continue
+        threshold = float(np.floor((xs[k] + xs[k + 1]) / 2.0))
+        if threshold < xs[k]:
+            threshold = float(xs[k])
+        if best is None or reduction > best[0]:
+            best = (float(reduction), f, threshold)
+    return best
+
+
+@dataclass
+class TreeNode:
+    feature: int
+    threshold: float
+    left: "TreeNode | int"
+    right: "TreeNode | int"
+
+
+@dataclass
+class DecisionTree:
+    """CART classifier with a node budget."""
+
+    max_nodes: int = 1024
+    min_leaf: int = 2
+    n_classes: int = 0
+    root: TreeNode | int = 0
+    leaf_classes: np.ndarray = field(default_factory=lambda: np.zeros(1, dtype=np.int64))
+
+    @property
+    def n_nodes(self) -> int:
+        def count(node):
+            if isinstance(node, int):
+                return 1
+            return 1 + count(node.left) + count(node.right)
+        return count(self.root)
+
+    @property
+    def n_leaves(self) -> int:
+        return len(self.leaf_classes)
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "DecisionTree":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        if x.ndim != 2 or len(x) != len(y):
+            raise ShapeError(f"bad training shapes {x.shape} / {y.shape}")
+        if len(x) == 0:
+            raise TrainingError("cannot fit a tree on no data")
+        self.n_classes = int(y.max()) + 1
+
+        members: list[np.ndarray] = [np.arange(len(x))]
+        splits = [_best_gini_split(x, y, self.n_classes)]
+        root: TreeNode | int = 0
+        parent_of: dict[int, tuple[TreeNode, str]] = {}
+
+        # Each split adds 2 nodes; stop before exceeding the budget.
+        while True:
+            if self.n_nodes_estimate(len(members)) + 2 > self.max_nodes:
+                break
+            candidates = [(s[0], i) for i, s in enumerate(splits)
+                          if s is not None and len(members[i]) >= 2 * self.min_leaf]
+            if not candidates:
+                break
+            _, leaf = max(candidates)
+            _, feature, threshold = splits[leaf]
+            rows = members[leaf]
+            mask = x[rows, feature] <= threshold
+            l_rows, r_rows = rows[mask], rows[~mask]
+            if len(l_rows) == 0 or len(r_rows) == 0:
+                splits[leaf] = None
+                continue
+            right_slot = len(members)
+            members[leaf] = l_rows
+            members.append(r_rows)
+            splits[leaf] = _best_gini_split(x[l_rows], y[l_rows], self.n_classes)
+            splits.append(_best_gini_split(x[r_rows], y[r_rows], self.n_classes))
+            node = TreeNode(feature, threshold, left=leaf, right=right_slot)
+            if leaf in parent_of:
+                parent, side = parent_of[leaf]
+                setattr(parent, side, node)
+            else:
+                root = node
+            parent_of[leaf] = (node, "left")
+            parent_of[right_slot] = (node, "right")
+
+        self.root = root
+        self.leaf_classes = np.array(
+            [np.bincount(y[m], minlength=self.n_classes).argmax() for m in members],
+            dtype=np.int64)
+        return self
+
+    @staticmethod
+    def n_nodes_estimate(n_leaves: int) -> int:
+        return 2 * n_leaves - 1
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 1:
+            x = x[None, :]
+        out = np.empty(len(x), dtype=np.int64)
+        self._assign(self.root, np.arange(len(x)), x, out)
+        return out
+
+    def _assign(self, node, rows, x, out) -> None:
+        if isinstance(node, int):
+            out[rows] = self.leaf_classes[node]
+            return
+        mask = x[rows, node.feature] <= node.threshold
+        self._assign(node.left, rows[mask], x, out)
+        self._assign(node.right, rows[~mask], x, out)
+
+    def leaf_boxes(self, dim: int, lo: float = 0.0, hi: float = 255.0):
+        """Per-leaf axis-aligned boxes, for MAT encoding (Leo)."""
+        boxes = [None] * self.n_leaves
+        start = [(lo, hi)] * dim
+
+        def walk(node, bounds):
+            if isinstance(node, int):
+                boxes[node] = list(bounds)
+                return
+            f, t = node.feature, node.threshold
+            left_b = list(bounds)
+            left_b[f] = (bounds[f][0], min(bounds[f][1], t))
+            right_b = list(bounds)
+            right_b[f] = (max(bounds[f][0], t + 1), bounds[f][1])
+            walk(node.left, left_b)
+            walk(node.right, right_b)
+
+        walk(self.root, start)
+        return boxes

@@ -1,0 +1,140 @@
+"""The Pegasus compiler: trained model -> fused, quantized lookup pipeline.
+
+Ties the stages together: lower (operators -> primitives), fuse (§4.3),
+materialize (§4.2 + §4.4 quantization), refine (§4.4 backpropagation). The
+three fusion levels correspond to the paper's designs:
+
+- ``"none"``   — one table round per DL operator (ablation baseline).
+- ``"basic"``  — Basic Primitive Fusion: linear reordering + map merging.
+- ``"advanced"`` is not a flag here: Advanced Fusion ❸ changes the model
+  architecture, so additive models compile through
+  :func:`compile_additive` instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import CompilationError
+from repro import nn
+from repro.core.fusion import additive_program, fuse_basic, remove_nonlinear
+from repro.core.mapping import CompiledModel, MaterializeConfig, materialize
+from repro.core.finetune import refine_values_least_squares
+from repro.core.operators import lower_sequential
+from repro.core.primitives import PrimitiveProgram
+
+
+@dataclass
+class CompilerConfig:
+    """End-to-end compilation options."""
+
+    input_segment_dim: int = 2
+    hidden_segment_dim: int | None = None
+    fusion: str = "basic"              # "none" | "basic" | "linearized"
+    fuzzy_leaves: int = 16
+    act_bits: int = 8
+    input_bits: int = 8
+    input_frac_bits: int = 0
+    refine: bool = True                # least-squares centroid refinement
+    materialize_cfg: MaterializeConfig = field(default=None)  # derived if None
+
+    def resolved_materialize_cfg(self) -> MaterializeConfig:
+        if self.materialize_cfg is not None:
+            return self.materialize_cfg
+        return MaterializeConfig(fuzzy_leaves=self.fuzzy_leaves, act_bits=self.act_bits)
+
+
+@dataclass
+class CompilationResult:
+    """Everything the rest of the system needs about a compiled model."""
+
+    compiled: CompiledModel
+    program: PrimitiveProgram          # fused program (for inspection/codegen)
+    initial_lookup_rounds: int         # before fusion
+    fused_lookup_rounds: int           # after fusion
+
+    @property
+    def lookups_saved(self) -> int:
+        return self.initial_lookup_rounds - self.fused_lookup_rounds
+
+
+class PegasusCompiler:
+    """Compile dense Sequential models or additive (NAM-style) models."""
+
+    def __init__(self, config: CompilerConfig | None = None):
+        self.config = config or CompilerConfig()
+
+    def compile_sequential(self, model: nn.Sequential, calib_int: np.ndarray,
+                           name: str = "pegasus") -> CompilationResult:
+        """Compile a dense BN/Linear/activation Sequential."""
+        cfg = self.config
+        model.eval_mode()
+        calib_int = np.asarray(calib_int, dtype=np.int64)
+        program = lower_sequential(
+            model, input_dim=calib_int.shape[1],
+            input_segment_dim=cfg.input_segment_dim,
+            hidden_segment_dim=cfg.hidden_segment_dim)
+        initial_rounds = program.num_map_steps
+
+        if cfg.fusion == "basic":
+            program = fuse_basic(program)
+        elif cfg.fusion == "linearized":
+            program = fuse_basic(remove_nonlinear(program))
+        elif cfg.fusion != "none":
+            raise CompilationError(f"unknown fusion level {cfg.fusion!r}")
+
+        compiled = materialize(
+            program, calib_int, cfg.resolved_materialize_cfg(),
+            input_bits=cfg.input_bits, input_frac_bits=cfg.input_frac_bits,
+            name=name)
+        if cfg.refine:
+            self._refine(compiled, program, calib_int)
+        return CompilationResult(
+            compiled=compiled, program=program,
+            initial_lookup_rounds=initial_rounds,
+            fused_lookup_rounds=program.num_map_steps)
+
+    def compile_additive(self, partition: list[tuple[int, int]],
+                         segment_fns: list[Callable[[np.ndarray], np.ndarray]],
+                         out_dim: int, calib_int: np.ndarray,
+                         name: str = "pegasus-additive") -> CompilationResult:
+        """Compile a Neural-Additive model (Advanced Primitive Fusion ❸).
+
+        Each ``segment_fns[i]`` maps its raw input segment straight to a
+        contribution to the output; the whole model is a single lookup round.
+        """
+        cfg = self.config
+        calib_int = np.asarray(calib_int, dtype=np.int64)
+        input_dim = calib_int.shape[1]
+        program = additive_program(input_dim, partition, segment_fns, out_dim)
+        compiled = materialize(
+            program, calib_int, cfg.resolved_materialize_cfg(),
+            input_bits=cfg.input_bits, input_frac_bits=cfg.input_frac_bits,
+            name=name)
+        if cfg.refine:
+            self._refine(compiled, program, calib_int)
+        return CompilationResult(
+            compiled=compiled, program=program,
+            initial_lookup_rounds=program.num_map_steps,
+            fused_lookup_rounds=program.num_map_steps)
+
+    def _refine(self, compiled: CompiledModel, program: PrimitiveProgram,
+                calib_int: np.ndarray) -> None:
+        """Least-squares centroid refinement of the final sum-reduce layer.
+
+        The final layer dominates decision quality; with assignments fixed
+        its optimal values have a closed form (see finetune module).
+        """
+        final = compiled.layers[-1]
+        if not final.sum_reduce:
+            return
+        # Target: the full-precision program output on calibration data.
+        targets = program.evaluate(calib_int.astype(np.float64))
+        # Input to the final layer in the integer domain:
+        x = calib_int
+        for layer in compiled.layers[:-1]:
+            x = layer.forward_int(x)
+        refine_values_least_squares(final, x, targets)

@@ -1,0 +1,120 @@
+"""Range-to-ternary conversion, including Consecutive Range Coding (CRC).
+
+PISA TCAMs match (value, mask) ternary patterns, not numeric ranges. The
+classic prefix expansion turns an arbitrary range ``[lo, hi]`` into at most
+``2w - 2`` prefixes for width ``w``. Pegasus adopts NetBeacon's Consecutive
+Range Coding: when a set of ranges *partitions* the space (exactly what a
+clustering-tree feature's thresholds induce), priority-ordered entries that
+each cover ``[0, hi_i]`` need only one prefix set per boundary and first-match
+priority resolves the overlap, which is substantially cheaper than encoding
+each range independently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TernaryMatch:
+    """A (value, mask) pattern over ``width`` bits; mask bit 1 = exact bit."""
+
+    value: int
+    mask: int
+    width: int
+
+    def matches(self, key: int) -> bool:
+        return (key & self.mask) == (self.value & self.mask)
+
+    def __str__(self) -> str:
+        bits = []
+        for i in range(self.width - 1, -1, -1):
+            if (self.mask >> i) & 1:
+                bits.append(str((self.value >> i) & 1))
+            else:
+                bits.append("*")
+        return "".join(bits)
+
+
+def range_to_prefixes(lo: int, hi: int, width: int) -> list[TernaryMatch]:
+    """Minimal prefix cover of the inclusive integer range ``[lo, hi]``.
+
+    Standard greedy algorithm: repeatedly take the largest aligned prefix
+    block that starts at ``lo`` and does not overshoot ``hi``.
+    """
+    if not 0 <= lo <= hi < (1 << width):
+        raise ValueError(f"invalid range [{lo}, {hi}] for width {width}")
+    prefixes: list[TernaryMatch] = []
+    cur = lo
+    while cur <= hi:
+        # Largest block size aligned at cur...
+        size = cur & -cur if cur > 0 else 1 << width
+        # ...that still fits in the remaining range.
+        while size > hi - cur + 1:
+            size //= 2
+        span_bits = size.bit_length() - 1
+        mask = ((1 << width) - 1) ^ ((1 << span_bits) - 1)
+        prefixes.append(TernaryMatch(value=cur, mask=mask, width=width))
+        cur += size
+    return prefixes
+
+
+@dataclass(frozen=True)
+class PrioritizedEntry:
+    """A ternary entry with a priority and the index it reports on match."""
+
+    match: TernaryMatch
+    priority: int  # lower number = matched first
+    result: int
+
+
+def consecutive_range_coding(boundaries: list[int], width: int) -> list[PrioritizedEntry]:
+    """Encode the partition induced by sorted ``boundaries`` into ternary entries.
+
+    ``boundaries = [b0 < b1 < ...]`` partitions ``[0, 2^width)`` into ranges
+    ``[0, b0], (b0, b1], ..., (b_last, 2^width - 1]`` — exactly the regions a
+    "x <= threshold" clustering-tree feature produces. Entry ``i`` covers
+    ``[0, b_i]`` with priority ``i``; a final catch-all reports the last
+    region. First-match-wins lookup then returns the index of the first
+    boundary >= key.
+    """
+    space_max = (1 << width) - 1
+    entries: list[PrioritizedEntry] = []
+    previous = -1
+    for i, boundary in enumerate(boundaries):
+        if boundary <= previous:
+            raise ValueError(f"boundaries must be strictly increasing, got {boundaries}")
+        if boundary > space_max:
+            raise ValueError(f"boundary {boundary} exceeds {width}-bit space")
+        for prefix in range_to_prefixes(0, boundary, width):
+            entries.append(PrioritizedEntry(match=prefix, priority=i, result=i))
+        previous = boundary
+    catch_all = TernaryMatch(value=0, mask=0, width=width)
+    entries.append(PrioritizedEntry(match=catch_all, priority=len(boundaries),
+                                    result=len(boundaries)))
+    return entries
+
+
+def lookup_prioritized(entries: list[PrioritizedEntry], key: int) -> int:
+    """First-match-wins lookup (reference model of a TCAM)."""
+    best = None
+    for entry in entries:
+        if entry.match.matches(key):
+            if best is None or entry.priority < best.priority:
+                best = entry
+    if best is None:
+        raise LookupError(f"no entry matches key {key}")
+    return best.result
+
+
+def naive_partition_entries(boundaries: list[int], width: int) -> int:
+    """Entry count if each region were prefix-expanded independently.
+
+    Used to quantify CRC's saving in the ablation benchmarks.
+    """
+    edges = [0] + [b + 1 for b in boundaries] + [1 << width]
+    total = 0
+    for lo, hi_excl in zip(edges, edges[1:]):
+        if lo <= hi_excl - 1:
+            total += len(range_to_prefixes(lo, hi_excl - 1, width))
+    return total

@@ -1,0 +1,189 @@
+"""Primitive Fusion (paper §4.3).
+
+Basic fusion rewrites a primitive program without changing its semantics:
+
+- **Linear Reordering**: ``SumReduce`` followed by an affine Map commutes
+  (``f(a+b) = f(a) + f(b)`` up to the bias, which is split across segments),
+  so the Map slides before the SumReduce where it can merge into the
+  preceding per-segment Maps.
+- **Merging Consecutive Maps**: adjacent Maps compose whenever one of them
+  is elementwise (slice and compose per segment) or both operate on the
+  whole vector.
+
+Advanced fusion changes the model architecture:
+
+- **Removal of Nonlinear Mappings** strips elementwise nonlinearities so the
+  whole program collapses into a single Map (+ SumReduce) — cheap but lossy.
+- **Reduction of SumReduce** keeps only the final SumReduce: the model is a
+  Neural Additive Model whose per-segment subnetworks each become a single
+  fuzzy-matched table (used by CNN-M/L and the AutoEncoder). Built with
+  :func:`additive_program` because it is a property of how the model was
+  trained, not a semantics-preserving rewrite.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import CompilationError
+from repro.core.primitives import (
+    Affine,
+    ElementwiseAffine,
+    FuncSpec,
+    General,
+    MapStep,
+    PrimitiveProgram,
+    SumReduceStep,
+    Step,
+    compose,
+)
+
+
+def _output_slices(step: MapStep) -> list[tuple[int, int]]:
+    """Slice of the step's output produced by each segment."""
+    slices = []
+    cursor = 0
+    for d in step.out_dims:
+        slices.append((cursor, cursor + d))
+        cursor += d
+    return slices
+
+
+def _try_merge_maps(a: MapStep, b: MapStep) -> MapStep | None:
+    """Merge ``b`` after ``a`` into one MapStep, or return None."""
+    # Case 1: b elementwise -> slice b to a's output ranges, compose per segment.
+    if b.is_elementwise:
+        b_fn = b.fns[0] if b.is_whole else None
+        fns = []
+        for (start, stop), fn in zip(_output_slices(a), a.fns):
+            if b_fn is not None:
+                tail = b_fn.slice(start, stop)
+            else:
+                # b partitioned: only mergeable when b's cuts align with a's.
+                return _try_merge_aligned(a, b)
+            fns.append(compose(fn, tail))
+        return MapStep(partition=a.partition, fns=fns)
+    # Case 2: b's cuts align with a's output slices -> compose per segment
+    # (this is how a reordered affine Map folds back into the MatMul maps).
+    aligned = _try_merge_aligned(a, b)
+    if aligned is not None:
+        return aligned
+    # Case 3: a elementwise -> slice a to b's partition, compose per segment.
+    if a.is_elementwise and a.is_whole:
+        a_fn = a.fns[0]
+        fns = [compose(a_fn.slice(start, stop), fn)
+               for (start, stop), fn in zip(b.partition, b.fns)]
+        return MapStep(partition=b.partition, fns=fns)
+    # Case 4: both whole-vector -> straight composition.
+    if a.is_whole and b.is_whole:
+        return MapStep(partition=a.partition, fns=[compose(a.fns[0], b.fns[0])])
+    return None
+
+
+def _try_merge_aligned(a: MapStep, b: MapStep) -> MapStep | None:
+    """Merge partitioned elementwise ``b`` whose cuts align with ``a``'s outputs."""
+    a_slices = _output_slices(a)
+    if [s for s in b.partition] != a_slices:
+        return None
+    fns = [compose(fa, fb) for fa, fb in zip(a.fns, b.fns)]
+    return MapStep(partition=a.partition, fns=fns)
+
+
+def _try_reorder(sr: SumReduceStep, m: MapStep) -> list[Step] | None:
+    """Linear Reordering: [SumReduce, affine Map] -> [per-segment Map, SumReduce]."""
+    if not (m.is_whole and m.fns[0].is_affine):
+        return None
+    fn = m.fns[0]
+    k, d = sr.n_segments, sr.seg_dim
+    if isinstance(fn, ElementwiseAffine):
+        seg_fns: list[FuncSpec] = [ElementwiseAffine(fn.scale, fn.shift / k)
+                                   for _ in range(k)]
+        out_dim = d
+    elif isinstance(fn, Affine):
+        seg_fns = [Affine(fn.matrix, fn.bias / k) for _ in range(k)]
+        out_dim = fn.out_dim
+    else:
+        return None
+    partition = [(i * d, (i + 1) * d) for i in range(k)]
+    return [MapStep(partition=partition, fns=seg_fns),
+            SumReduceStep(n_segments=k, seg_dim=out_dim)]
+
+
+def fuse_basic(program: PrimitiveProgram) -> PrimitiveProgram:
+    """Apply basic fusion rules to a fixpoint. Semantics-preserving."""
+    steps = list(program.steps)
+    changed = True
+    while changed:
+        changed = False
+        # Drop trivial single-segment SumReduces.
+        for i, step in enumerate(steps):
+            if isinstance(step, SumReduceStep) and step.n_segments == 1:
+                del steps[i]
+                changed = True
+                break
+        if changed:
+            continue
+        for i in range(len(steps) - 1):
+            a, b = steps[i], steps[i + 1]
+            if isinstance(a, MapStep) and isinstance(b, MapStep):
+                merged = _try_merge_maps(a, b)
+                if merged is not None:
+                    steps[i:i + 2] = [merged]
+                    changed = True
+                    break
+            if isinstance(a, SumReduceStep) and isinstance(b, MapStep):
+                reordered = _try_reorder(a, b)
+                if reordered is not None:
+                    steps[i:i + 2] = reordered
+                    changed = True
+                    break
+    fused = PrimitiveProgram(input_dim=program.input_dim, steps=steps)
+    fused.validate()
+    return fused
+
+
+def remove_nonlinear(program: PrimitiveProgram) -> PrimitiveProgram:
+    """Advanced fusion ❷: strip elementwise nonlinearities (lossy).
+
+    Returns a program whose nonlinear elementwise Maps became identities;
+    running :func:`fuse_basic` afterwards collapses it to a single
+    Map (+ SumReduce). Accuracy consequences are the model designer's
+    problem — this is the paper's "purely linear models may drop accuracy".
+    """
+    from repro.core.primitives import ElementwiseFunc
+
+    steps: list[Step] = []
+    for step in program.steps:
+        if isinstance(step, MapStep):
+            fns = [ElementwiseAffine(np.ones(f.in_dim), np.zeros(f.in_dim))
+                   if isinstance(f, ElementwiseFunc) else f
+                   for f in step.fns]
+            steps.append(MapStep(partition=step.partition, fns=fns))
+        else:
+            steps.append(step)
+    out = PrimitiveProgram(input_dim=program.input_dim, steps=steps)
+    out.validate()
+    return out
+
+
+def additive_program(input_dim: int, partition: list[tuple[int, int]],
+                     segment_fns: list[Callable[[np.ndarray], np.ndarray]],
+                     out_dim: int) -> PrimitiveProgram:
+    """Advanced fusion ❸: a Neural-Additive-Model program.
+
+    ``segment_fns[i]`` maps its raw input segment directly to a contribution
+    to the final output; a single SumReduce aggregates. One fuzzy-matched
+    table lookup per segment — the paper's CNN-M/L structure.
+    """
+    if len(partition) != len(segment_fns):
+        raise CompilationError("one segment function per partition segment")
+    fns = [General(fn=f, in_dim=stop - start, out_dim=out_dim, name=f"additive{i}")
+           for i, ((start, stop), f) in enumerate(zip(partition, segment_fns))]
+    program = PrimitiveProgram(
+        input_dim=input_dim,
+        steps=[MapStep(partition=partition, fns=fns),
+               SumReduceStep(n_segments=len(partition), seg_dim=out_dim)])
+    program.validate()
+    return program

@@ -1,0 +1,253 @@
+"""Fuzzy matching: the greedy min-SSE clustering tree of Pegasus §4.2.
+
+Instead of enumerating every possible input of a segment, Pegasus groups the
+training distribution of that segment into clusters. A binary tree of
+(feature, threshold) comparisons maps an input vector to a leaf — its *fuzzy
+index* — whose centroid stands in for the exact input when results are
+precomputed. The tree is grown greedily: at each step the leaf whose best
+axis-aligned split yields the largest reduction in total within-cluster SSE
+is split, exactly the procedure of the paper's Figure 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.core.crc import range_to_prefixes
+
+
+def _best_split(x: np.ndarray) -> tuple[float, int, float] | None:
+    """Best (sse_reduction, feature, threshold) for one cluster, or None.
+
+    Vectorized over every feature: sort the values, use prefix sums of the
+    vectors and their squared norms to evaluate the SSE of every candidate
+    split in O(n d) per feature.
+    """
+    n, d = x.shape
+    if n < 2:
+        return None
+    sq = (x ** 2).sum(axis=1)
+    total_sse = float(sq.sum() - (x.sum(axis=0) ** 2).sum() / n)
+    best: tuple[float, int, float] | None = None
+    for f in range(d):
+        order = np.argsort(x[:, f], kind="stable")
+        xs = x[order]
+        vs = xs[:, f]
+        # Candidate split after position i requires vs[i] < vs[i+1].
+        valid = vs[:-1] < vs[1:]
+        if not valid.any():
+            continue
+        csum = np.cumsum(xs, axis=0)
+        csq = np.cumsum(sq[order])
+        idx = np.nonzero(valid)[0]
+        n_left = idx + 1
+        n_right = n - n_left
+        left_sq = csq[idx]
+        left_sum = csum[idx]
+        right_sq = csq[-1] - left_sq
+        right_sum = csum[-1] - left_sum
+        sse_left = left_sq - (left_sum ** 2).sum(axis=1) / n_left
+        sse_right = right_sq - (right_sum ** 2).sum(axis=1) / n_right
+        reduction = total_sse - (sse_left + sse_right)
+        k = int(np.argmax(reduction))
+        red = float(reduction[k])
+        if red <= 1e-12:
+            continue
+        # Integer-friendly threshold: midpoint floored, satisfied as "<= t".
+        threshold = float(np.floor((vs[idx[k]] + vs[idx[k] + 1]) / 2.0))
+        if threshold < vs[idx[k]]:
+            threshold = float(vs[idx[k]])
+        if best is None or red > best[0]:
+            best = (red, f, threshold)
+    return best
+
+
+@dataclass
+class FuzzyNode:
+    """Internal node: go left iff ``x[feature] <= threshold``."""
+
+    feature: int
+    threshold: float
+    left: "FuzzyNode | int"
+    right: "FuzzyNode | int"
+
+
+@dataclass
+class FuzzyTree:
+    """A fitted clustering tree with per-leaf centroids.
+
+    ``predict_index`` returns the fuzzy index; ``centroids[idx]`` is the
+    cluster centre used to precompute Map results.
+    """
+
+    dim: int
+    root: FuzzyNode | int = 0
+    centroids: np.ndarray = field(default_factory=lambda: np.zeros((1, 1)))
+
+    @property
+    def n_leaves(self) -> int:
+        return self.centroids.shape[0]
+
+    @classmethod
+    def fit(cls, x: np.ndarray, n_leaves: int,
+            min_cluster: int = 1) -> "FuzzyTree":
+        """Grow the tree greedily until ``n_leaves`` leaves (or no split helps)."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2:
+            raise ShapeError(f"FuzzyTree.fit expects (N, d) data, got shape {x.shape}")
+        if len(x) == 0:
+            raise ShapeError("cannot fit a FuzzyTree on empty data")
+        if n_leaves < 1:
+            raise ValueError(f"n_leaves must be >= 1, got {n_leaves}")
+
+        # Leaves are integer slots; grafting replaces a slot with a FuzzyNode.
+        # Parent links let us re-point the tree when a leaf splits later.
+        members: list[np.ndarray] = [np.arange(len(x))]
+        splits: list[tuple[float, int, float] | None] = [_best_split(x)]
+        root: FuzzyNode | int = 0
+        parent_of: dict[int, tuple[FuzzyNode, str]] = {}  # leaf slot -> (node, side)
+
+        while len(members) < n_leaves:
+            candidates = [(s[0], i) for i, s in enumerate(splits)
+                          if s is not None and len(members[i]) >= 2 * min_cluster]
+            if not candidates:
+                break
+            _, leaf = max(candidates)
+            _, feature, threshold = splits[leaf]
+            rows = members[leaf]
+            mask = x[rows, feature] <= threshold
+            left_rows, right_rows = rows[mask], rows[~mask]
+            if len(left_rows) == 0 or len(right_rows) == 0:
+                splits[leaf] = None
+                continue
+            # Left child reuses the slot; right child gets a fresh slot.
+            right_slot = len(members)
+            members[leaf] = left_rows
+            members.append(right_rows)
+            splits[leaf] = _best_split(x[left_rows])
+            splits.append(_best_split(x[right_rows]))
+            node = FuzzyNode(feature=feature, threshold=threshold,
+                             left=leaf, right=right_slot)
+            if leaf in parent_of:
+                parent, side = parent_of[leaf]
+                setattr(parent, side, node)
+            else:
+                root = node
+            parent_of[leaf] = (node, "left")
+            parent_of[right_slot] = (node, "right")
+
+        centroids = np.stack([x[m].mean(axis=0) for m in members])
+        return cls(dim=x.shape[1], root=root, centroids=centroids)
+
+    def predict_index(self, x: np.ndarray) -> np.ndarray:
+        """Fuzzy indices for a batch ``(N, d)`` (or a single vector)."""
+        x = np.asarray(x, dtype=np.float64)
+        single = x.ndim == 1
+        if single:
+            x = x[None, :]
+        if x.shape[1] != self.dim:
+            raise ShapeError(f"expected dim {self.dim}, got {x.shape[1]}")
+        out = np.empty(len(x), dtype=np.int64)
+        self._assign(self.root, np.arange(len(x)), x, out)
+        return out[0] if single else out
+
+    def _assign(self, node: FuzzyNode | int, rows: np.ndarray,
+                x: np.ndarray, out: np.ndarray) -> None:
+        if isinstance(node, int):
+            out[rows] = node
+            return
+        mask = x[rows, node.feature] <= node.threshold
+        self._assign(node.left, rows[mask], x, out)
+        self._assign(node.right, rows[~mask], x, out)
+
+    def lookup_centroid(self, x: np.ndarray) -> np.ndarray:
+        """The centroid standing in for each input — the fuzzy approximation."""
+        return self.centroids[self.predict_index(x)]
+
+    def sse(self, x: np.ndarray) -> float:
+        """Total within-cluster SSE of the tree on data ``x``."""
+        approx = self.lookup_centroid(x)
+        return float(((np.asarray(x, dtype=np.float64) - approx) ** 2).sum())
+
+    def leaf_boxes(self, lo: float = 0.0, hi: float = 255.0) -> list[list[tuple[float, float]]]:
+        """Per-leaf axis-aligned boxes [ (lo, hi) per dim ], inclusive bounds.
+
+        Box of leaf i is the region of input space routed to fuzzy index i,
+        needed to encode the tree as TCAM range rules.
+        """
+        boxes: list[list[tuple[float, float]] | None] = [None] * self.n_leaves
+        start = [(lo, hi)] * self.dim
+
+        def walk(node, bounds):
+            if isinstance(node, int):
+                boxes[node] = list(bounds)
+                return
+            f, t = node.feature, node.threshold
+            left_bounds = list(bounds)
+            left_bounds[f] = (bounds[f][0], min(bounds[f][1], t))
+            right_bounds = list(bounds)
+            right_bounds[f] = (max(bounds[f][0], t + 1), bounds[f][1])
+            walk(node.left, left_bounds)
+            walk(node.right, right_bounds)
+
+        walk(self.root, start)
+        return boxes  # type: ignore[return-value]
+
+    def tcam_entries(self, key_bits: int = 8, signed: bool = False) -> int:
+        """TCAM entry count to implement this tree as range rules.
+
+        Two encodings are possible on PISA and the compiler picks the
+        cheaper (paper §6.1):
+
+        - *flat*: each leaf box expands to the cross product of its
+          per-dimension prefix covers — one lookup, but the product blows up
+          for deep trees over wide vectors;
+        - *level-wise*: the multi-level comparator runs one single-field
+          range match per tree level (Consecutive Range Coding per node),
+          costing one prefix cover per internal node.
+
+        Signed keys use excess-K (offset) encoding, the usual trick for
+        order-preserving ternary matching of two's-complement values.
+        """
+        return min(self._tcam_entries_flat(key_bits, signed),
+                   self._tcam_entries_levelwise(key_bits, signed))
+
+    def _tcam_entries_flat(self, key_bits: int, signed: bool) -> int:
+        lo = -(1 << (key_bits - 1)) if signed else 0
+        hi = lo + (1 << key_bits) - 1
+        total = 0
+        for box in self.leaf_boxes(lo=lo, hi=hi):
+            product = 1
+            for (b_lo, b_hi) in box:
+                b_lo_i = int(np.clip(np.ceil(b_lo), lo, hi))
+                b_hi_i = int(np.clip(np.floor(b_hi), lo, hi))
+                if b_lo_i > b_hi_i:
+                    product = 0
+                    break
+                product *= len(range_to_prefixes(b_lo_i - lo, b_hi_i - lo, key_bits))
+            total += product
+        return total
+
+    def _tcam_entries_levelwise(self, key_bits: int, signed: bool) -> int:
+        lo = -(1 << (key_bits - 1)) if signed else 0
+        hi = lo + (1 << key_bits) - 1
+
+        def walk(node) -> int:
+            if isinstance(node, int):
+                return 0
+            t = int(np.clip(np.floor(node.threshold), lo, hi))
+            # One CRC-coded "x <= t" rule set plus a catch-all per node.
+            return (len(range_to_prefixes(0, t - lo, key_bits)) + 1
+                    + walk(node.left) + walk(node.right))
+
+        return walk(self.root)
+
+    def depth(self) -> int:
+        def walk(node):
+            if isinstance(node, int):
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+        return walk(self.root)

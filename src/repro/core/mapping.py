@@ -1,0 +1,259 @@
+"""Mapping-table materialization: primitive programs -> integer lookup layers.
+
+This is where Pegasus's design ❸ lands in code: mapping tables store results
+precomputed **with full-precision weights**, while everything that flows
+between tables is a **fixed-point integer**. Each MapStep segment becomes a
+:class:`SegmentTable` — either *exact* (a direct-indexed SRAM table, when the
+segment is a single unit of at most 8 bits, 2^8 entries) or *fuzzy* (a
+clustering tree realized as TCAM range rules whose leaf points at a
+precomputed result vector).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import CompilationError, ShapeError
+from repro.core.fuzzy import FuzzyTree
+from repro.core.primitives import MapStep, PrimitiveProgram, SumReduceStep
+from repro.utils.fixed_point import QFormat, choose_qformat
+
+
+@dataclass
+class MaterializeConfig:
+    """Knobs for table construction."""
+
+    fuzzy_leaves: int = 16       # clusters per fuzzy segment table
+    act_bits: int = 8            # fixed-point width of activations (paper: 2^8-entry queries)
+    exact_max_bits: int = 8      # exact tables allowed up to this key width
+    calibration_margin: float = 1.05  # headroom when choosing QFormats
+
+
+@dataclass
+class SegmentTable:
+    """One Map segment realized as a dataplane table."""
+
+    segment: tuple[int, int]
+    kind: str                    # "exact" | "fuzzy"
+    values_int: np.ndarray       # (n_entries, out_dim) stored results
+    out_format: QFormat
+    in_bits: int                 # key width per input unit
+    in_signed: bool = False      # signed keys use excess-K TCAM encoding
+    tree: FuzzyTree | None = None
+    exact_lo: int = 0            # exact tables index by (x - exact_lo)
+
+    @property
+    def out_dim(self) -> int:
+        return self.values_int.shape[1]
+
+    @property
+    def n_entries(self) -> int:
+        return self.values_int.shape[0]
+
+    def lookup(self, x_seg: np.ndarray) -> np.ndarray:
+        """Table lookup for a batch of integer segment inputs (N, d)."""
+        if self.kind == "exact":
+            idx = np.clip(x_seg[:, 0] - self.exact_lo, 0, self.n_entries - 1)
+            return self.values_int[idx.astype(np.int64)]
+        assert self.tree is not None
+        return self.values_int[self.tree.predict_index(x_seg)]
+
+    def fuzzy_indices(self, x_seg: np.ndarray) -> np.ndarray:
+        """The raw fuzzy index (used when per-flow state stores indexes)."""
+        if self.kind != "fuzzy":
+            raise CompilationError("only fuzzy tables have fuzzy indices")
+        return self.tree.predict_index(x_seg)
+
+    # -- resource accounting -------------------------------------------------
+
+    def sram_bits(self) -> int:
+        """Action-data storage: every entry's result vector."""
+        return self.n_entries * self.out_dim * self.out_format.total_bits
+
+    def tcam_bits(self) -> int:
+        """Ternary match storage (value+mask per entry) for fuzzy tables."""
+        if self.kind != "fuzzy":
+            return 0
+        d = self.segment[1] - self.segment[0]
+        key_width = d * self.in_bits
+        entries = self.tree.tcam_entries(key_bits=self.in_bits, signed=self.in_signed)
+        return entries * 2 * key_width
+
+    def bus_bits(self) -> int:
+        """Action-data bus transfer per lookup."""
+        return self.out_dim * self.out_format.total_bits
+
+
+@dataclass
+class LookupLayer:
+    """One fused Map(+SumReduce) round: parallel segment lookups, then sum/concat."""
+
+    tables: list[SegmentTable]
+    sum_reduce: bool
+    out_format: QFormat
+
+    @property
+    def out_dim(self) -> int:
+        if self.sum_reduce:
+            return self.tables[0].out_dim
+        return sum(t.out_dim for t in self.tables)
+
+    @property
+    def in_dim(self) -> int:
+        return max(t.segment[1] for t in self.tables)
+
+    def forward_int(self, x_int: np.ndarray) -> np.ndarray:
+        """Integer-domain forward pass (bit-exact with the switch pipeline)."""
+        outs = [t.lookup(x_int[:, t.segment[0]:t.segment[1]]) for t in self.tables]
+        if self.sum_reduce:
+            acc = np.zeros_like(outs[0], dtype=np.int64)
+            for o in outs:
+                acc += o
+            # The pipeline's accumulator saturates at the activation width.
+            return np.clip(acc, self.out_format.int_min, self.out_format.int_max)
+        return np.concatenate(outs, axis=1)
+
+    def sram_bits(self) -> int:
+        return sum(t.sram_bits() for t in self.tables)
+
+    def tcam_bits(self) -> int:
+        return sum(t.tcam_bits() for t in self.tables)
+
+    def bus_bits(self) -> int:
+        return sum(t.bus_bits() for t in self.tables)
+
+    @property
+    def n_lookups(self) -> int:
+        return len(self.tables)
+
+
+@dataclass
+class CompiledModel:
+    """A Pegasus model compiled to lookup layers, executable on integers."""
+
+    input_dim: int
+    layers: list[LookupLayer] = field(default_factory=list)
+    input_bits: int = 8
+    name: str = "pegasus"
+
+    @property
+    def out_format(self) -> QFormat:
+        return self.layers[-1].out_format
+
+    def forward_int(self, x_int: np.ndarray) -> np.ndarray:
+        x = np.asarray(x_int, dtype=np.int64)
+        if x.ndim == 1:
+            x = x[None, :]
+        if x.shape[1] != self.input_dim:
+            raise ShapeError(f"expected input dim {self.input_dim}, got {x.shape[1]}")
+        for layer in self.layers:
+            x = layer.forward_int(x)
+        return x
+
+    def predict_scores(self, x_int: np.ndarray) -> np.ndarray:
+        """Dequantized final-layer scores."""
+        return self.out_format.dequantize(self.forward_int(x_int))
+
+    def predict(self, x_int: np.ndarray) -> np.ndarray:
+        """Argmax class decision, as the switch's final compare tree does."""
+        return np.argmax(self.forward_int(x_int), axis=1)
+
+    @property
+    def num_lookup_rounds(self) -> int:
+        return len(self.layers)
+
+    @property
+    def num_tables(self) -> int:
+        return sum(layer.n_lookups for layer in self.layers)
+
+    def sram_bits(self) -> int:
+        return sum(layer.sram_bits() for layer in self.layers)
+
+    def tcam_bits(self) -> int:
+        return sum(layer.tcam_bits() for layer in self.layers)
+
+    def bus_bits(self) -> int:
+        return max((layer.bus_bits() for layer in self.layers), default=0)
+
+
+def _materialize_map(step: MapStep, sum_reduce: bool, calib_int: np.ndarray,
+                     in_format: QFormat, cfg: MaterializeConfig) -> LookupLayer:
+    """Build the tables of one Map(+SumReduce) round from calibration data."""
+    calib_float = in_format.dequantize(calib_int)
+
+    # Pass 1: full-precision outputs to calibrate the output format. The
+    # format must hold both each partial result and (if reducing) their sum.
+    partials = [fn(calib_float[:, start:stop])
+                for (start, stop), fn in zip(step.partition, step.fns)]
+    samples = np.concatenate([p.ravel() for p in partials])
+    if sum_reduce:
+        total = np.sum(np.stack(partials), axis=0)
+        samples = np.concatenate([samples, total.ravel()])
+    out_format = choose_qformat(samples, cfg.act_bits, margin=cfg.calibration_margin)
+
+    tables: list[SegmentTable] = []
+    for (start, stop), fn in zip(step.partition, step.fns):
+        d = stop - start
+        seg_int = calib_int[:, start:stop]
+        if d == 1 and in_format.total_bits <= cfg.exact_max_bits:
+            lo = in_format.int_min
+            n_entries = 1 << in_format.total_bits
+            keys = np.arange(lo, lo + n_entries, dtype=np.int64)[:, None]
+            values = fn(in_format.dequantize(keys))
+            tables.append(SegmentTable(
+                segment=(start, stop), kind="exact",
+                values_int=out_format.quantize(values),
+                out_format=out_format, in_bits=in_format.total_bits,
+                in_signed=in_format.signed, exact_lo=lo))
+        else:
+            tree = FuzzyTree.fit(seg_int.astype(np.float64), n_leaves=cfg.fuzzy_leaves)
+            values = fn(in_format.dequantize(tree.centroids))
+            tables.append(SegmentTable(
+                segment=(start, stop), kind="fuzzy",
+                values_int=out_format.quantize(values),
+                out_format=out_format, in_bits=in_format.total_bits,
+                in_signed=in_format.signed, tree=tree))
+    return LookupLayer(tables=tables, sum_reduce=sum_reduce, out_format=out_format)
+
+
+def materialize(program: PrimitiveProgram, calib_int: np.ndarray,
+                cfg: MaterializeConfig | None = None,
+                input_bits: int = 8, input_frac_bits: int = 0,
+                input_signed: bool = False,
+                name: str = "pegasus") -> CompiledModel:
+    """Compile a primitive program into an integer :class:`CompiledModel`.
+
+    ``calib_int`` is the training-set inputs in the integer domain the
+    dataplane sees (e.g. raw uint8 feature buckets). Each Map round's fuzzy
+    trees are fitted on the integer activations flowing into that round,
+    matching the paper's i.i.d. parameter-learning assumption.
+    """
+    cfg = cfg or MaterializeConfig()
+    program.validate()
+    calib_int = np.asarray(calib_int, dtype=np.int64)
+    if calib_int.ndim != 2 or calib_int.shape[1] != program.input_dim:
+        raise ShapeError(
+            f"calibration data must be (N, {program.input_dim}), got {calib_int.shape}")
+
+    in_format = QFormat(input_bits, input_frac_bits, signed=input_signed)
+    model = CompiledModel(input_dim=program.input_dim, input_bits=input_bits, name=name)
+
+    steps = list(program.steps)
+    i = 0
+    current_int = calib_int
+    current_format = in_format
+    while i < len(steps):
+        step = steps[i]
+        if not isinstance(step, MapStep):
+            raise CompilationError(
+                "program must alternate Map(+SumReduce); run fuse_basic first "
+                f"(found leading {type(step).__name__})")
+        sum_reduce = i + 1 < len(steps) and isinstance(steps[i + 1], SumReduceStep)
+        layer = _materialize_map(step, sum_reduce, current_int, current_format, cfg)
+        model.layers.append(layer)
+        current_int = layer.forward_int(current_int)
+        current_format = layer.out_format
+        i += 2 if sum_reduce else 1
+    return model

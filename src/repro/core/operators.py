@@ -1,0 +1,104 @@
+"""Lowering: trained NN layers -> DL operators -> primitive program.
+
+Implements the paper's §5 mapping (Table 4): each inference-time layer
+becomes Map / SumReduce primitives over a Partition of its input.
+
+- *Element-wise transformations* (BN inference, bias, ReLU, tanh, sigmoid)
+  become whole-vector elementwise MapSteps.
+- *Weighted aggregation* (MatMul) partitions the input into segments, maps
+  each segment to its partial product (weights folded into the function, as
+  the paper notes parameters are inference-time constants), and SumReduces.
+- A trailing Softmax is dropped: argmax(softmax(x)) == argmax(x), and the
+  paper's switch pipelines compare class scores directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CompilationError
+from repro import nn
+from repro.core.primitives import (
+    Affine,
+    ElementwiseAffine,
+    ElementwiseFunc,
+    MapStep,
+    PrimitiveProgram,
+    SumReduceStep,
+    even_partition,
+)
+
+
+def _relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def lower_linear(layer: nn.Linear, segment_dim: int | None) -> list:
+    """Lower a fully connected layer to Map(+SumReduce) steps."""
+    weight = layer.weight.data
+    bias = layer.bias.data if layer.bias is not None else np.zeros(layer.out_features)
+    in_dim, out_dim = weight.shape
+    if segment_dim is None or in_dim <= segment_dim:
+        return [MapStep(partition=[(0, in_dim)], fns=[Affine(weight, bias)])]
+    partition = even_partition(in_dim, segment_dim)
+    k = len(partition)
+    fns = [Affine(weight[start:stop, :], bias / k) for start, stop in partition]
+    return [MapStep(partition=partition, fns=fns),
+            SumReduceStep(n_segments=k, seg_dim=out_dim)]
+
+
+def lower_batchnorm(layer: nn.BatchNorm1d) -> list:
+    scale, shift = layer.inference_scale_shift()
+    return [MapStep(partition=[(0, scale.shape[0])],
+                    fns=[ElementwiseAffine(scale, shift)])]
+
+
+def lower_activation(layer, dim: int) -> list:
+    if isinstance(layer, nn.ReLU):
+        return [MapStep([(0, dim)], [ElementwiseFunc(_relu, dim, name="relu")])]
+    if isinstance(layer, nn.Tanh):
+        return [MapStep([(0, dim)], [ElementwiseFunc(np.tanh, dim, name="tanh")])]
+    if isinstance(layer, nn.Sigmoid):
+        return [MapStep([(0, dim)],
+                        [ElementwiseFunc(lambda v: 1.0 / (1.0 + np.exp(-v)), dim,
+                                         name="sigmoid")])]
+    raise CompilationError(f"unsupported activation {type(layer).__name__}")
+
+
+def lower_sequential(model: nn.Sequential, input_dim: int,
+                     input_segment_dim: int | None = 2,
+                     hidden_segment_dim: int | None = None) -> PrimitiveProgram:
+    """Lower a dense Sequential (BN / Linear / activations) to primitives.
+
+    ``input_segment_dim`` partitions the (wide) model input; hidden layers
+    default to whole-vector Maps, which is what lets basic fusion collapse
+    everything after the first SumReduce into one lookup (Fig. 5 ❶).
+    """
+    steps: list = []
+    dim = input_dim
+    first_linear_seen = False
+    modules = list(model)
+    for idx, layer in enumerate(modules):
+        if isinstance(layer, nn.Linear):
+            seg = hidden_segment_dim if first_linear_seen else input_segment_dim
+            lowered = lower_linear(layer, seg)
+            first_linear_seen = True
+            dim = layer.out_features
+        elif isinstance(layer, nn.BatchNorm1d):
+            lowered = lower_batchnorm(layer)
+        elif isinstance(layer, (nn.ReLU, nn.Tanh, nn.Sigmoid)):
+            lowered = lower_activation(layer, dim)
+        elif isinstance(layer, nn.Softmax):
+            if idx != len(modules) - 1:
+                raise CompilationError("Softmax only supported as the final layer")
+            lowered = []  # argmax-preserving: dropped
+        elif isinstance(layer, nn.Flatten):
+            lowered = []
+        else:
+            raise CompilationError(
+                f"cannot lower layer {type(layer).__name__}; "
+                "use a model-specific pipeline for Conv/RNN/Embedding models")
+        steps.extend(lowered)
+    program = PrimitiveProgram(input_dim=input_dim, steps=steps)
+    program.validate()
+    return program

@@ -1,0 +1,307 @@
+"""The Pegasus primitive IR: Partition, Map, SumReduce (paper Table 3).
+
+A model is lowered to a :class:`PrimitiveProgram` — a sequence of steps, each
+either a :class:`MapStep` (apply per-segment functions to a partition of the
+current vector) or a :class:`SumReduceStep` (element-wise sum of the segment
+results). Partition is represented *inside* each MapStep as its list of
+segment slices, mirroring the paper's syntax where ``Partition`` feeds
+directly into ``Map``.
+
+Map functions carry algebraic structure (:class:`FuncSpec` subclasses) so the
+fusion pass can compose affine pieces analytically and arbitrary pieces
+functionally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import CompilationError, ShapeError
+
+Segment = tuple[int, int]  # half-open [start, stop) over the current vector
+
+
+# ---------------------------------------------------------------------------
+# Function specs: what a Map primitive computes on one segment.
+# ---------------------------------------------------------------------------
+
+class FuncSpec:
+    """A vector function on one segment, with composition metadata."""
+
+    in_dim: int
+    out_dim: int
+
+    @property
+    def is_affine(self) -> bool:
+        return False
+
+    @property
+    def is_elementwise(self) -> bool:
+        return False
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def slice(self, start: int, stop: int) -> "FuncSpec":
+        """Restrict an elementwise function to a sub-range of its elements."""
+        raise CompilationError(f"{type(self).__name__} cannot be sliced")
+
+
+@dataclass
+class ElementwiseAffine(FuncSpec):
+    """f(x) = scale * x + shift, elementwise (BN inference, bias, rescale)."""
+
+    scale: np.ndarray
+    shift: np.ndarray
+
+    def __post_init__(self):
+        self.scale = np.atleast_1d(np.asarray(self.scale, dtype=np.float64))
+        self.shift = np.atleast_1d(np.asarray(self.shift, dtype=np.float64))
+        if self.scale.shape != self.shift.shape:
+            raise ShapeError("scale and shift must have the same shape")
+        self.in_dim = self.out_dim = self.scale.shape[0]
+
+    @property
+    def is_affine(self) -> bool:
+        return True
+
+    @property
+    def is_elementwise(self) -> bool:
+        return True
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return x * self.scale + self.shift
+
+    def slice(self, start: int, stop: int) -> "ElementwiseAffine":
+        return ElementwiseAffine(self.scale[start:stop], self.shift[start:stop])
+
+
+@dataclass
+class ElementwiseFunc(FuncSpec):
+    """A nonlinear elementwise function (ReLU, tanh, sigmoid...)."""
+
+    fn: Callable[[np.ndarray], np.ndarray]
+    dim: int
+    name: str = "ew"
+
+    def __post_init__(self):
+        self.in_dim = self.out_dim = self.dim
+
+    @property
+    def is_elementwise(self) -> bool:
+        return True
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.fn(x)
+
+    def slice(self, start: int, stop: int) -> "ElementwiseFunc":
+        return ElementwiseFunc(self.fn, stop - start, name=self.name)
+
+
+@dataclass
+class Affine(FuncSpec):
+    """f(x) = x @ matrix + bias — a MatMul partial product plus bias share."""
+
+    matrix: np.ndarray
+    bias: np.ndarray
+
+    def __post_init__(self):
+        self.matrix = np.asarray(self.matrix, dtype=np.float64)
+        self.bias = np.asarray(self.bias, dtype=np.float64)
+        if self.matrix.ndim != 2 or self.bias.shape != (self.matrix.shape[1],):
+            raise ShapeError(
+                f"Affine expects matrix (d_in, d_out) and bias (d_out,), got "
+                f"{self.matrix.shape} / {self.bias.shape}")
+        self.in_dim, self.out_dim = self.matrix.shape
+
+    @property
+    def is_affine(self) -> bool:
+        return True
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return x @ self.matrix + self.bias
+
+
+@dataclass
+class General(FuncSpec):
+    """An arbitrary composed function (the result of fusing past a nonlinearity)."""
+
+    fn: Callable[[np.ndarray], np.ndarray]
+    in_dim: int = 0
+    out_dim: int = 0
+    name: str = "general"
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.fn(x)
+
+
+def compose(first: FuncSpec, second: FuncSpec) -> FuncSpec:
+    """The function ``second(first(x))`` with the strongest structure retained."""
+    if first.out_dim != second.in_dim:
+        raise CompilationError(
+            f"cannot compose {first.out_dim}-dim output into {second.in_dim}-dim input")
+    if isinstance(first, ElementwiseAffine) and isinstance(second, ElementwiseAffine):
+        return ElementwiseAffine(first.scale * second.scale,
+                                 first.shift * second.scale + second.shift)
+    if isinstance(first, ElementwiseAffine) and isinstance(second, Affine):
+        matrix = first.scale[:, None] * second.matrix
+        bias = first.shift @ second.matrix + second.bias
+        return Affine(matrix, bias)
+    if isinstance(first, Affine) and isinstance(second, ElementwiseAffine):
+        return Affine(first.matrix * second.scale[None, :],
+                      first.bias * second.scale + second.shift)
+    if isinstance(first, Affine) and isinstance(second, Affine):
+        return Affine(first.matrix @ second.matrix,
+                      first.bias @ second.matrix + second.bias)
+    name = f"{getattr(first, 'name', type(first).__name__)}|{getattr(second, 'name', type(second).__name__)}"
+    return General(fn=lambda x, f=first, g=second: g(f(x)),
+                   in_dim=first.in_dim, out_dim=second.out_dim, name=name)
+
+
+# ---------------------------------------------------------------------------
+# Program steps.
+# ---------------------------------------------------------------------------
+
+def even_partition(dim: int, segment_dim: int) -> list[Segment]:
+    """Split [0, dim) into contiguous segments of at most ``segment_dim``."""
+    if segment_dim <= 0:
+        raise ValueError("segment_dim must be positive")
+    return [(s, min(s + segment_dim, dim)) for s in range(0, dim, segment_dim)]
+
+
+@dataclass
+class MapStep:
+    """Partition + Map: apply ``fns[i]`` to segment ``partition[i]``; concat."""
+
+    partition: list[Segment]
+    fns: list[FuncSpec]
+
+    def __post_init__(self):
+        if len(self.partition) != len(self.fns):
+            raise CompilationError("one function per segment required")
+        for (start, stop), fn in zip(self.partition, self.fns):
+            if stop - start != fn.in_dim:
+                raise CompilationError(
+                    f"segment [{start},{stop}) width {stop - start} != fn.in_dim {fn.in_dim}")
+
+    @property
+    def n_segments(self) -> int:
+        return len(self.partition)
+
+    @property
+    def in_dim(self) -> int:
+        return max(stop for _, stop in self.partition)
+
+    @property
+    def out_dims(self) -> list[int]:
+        return [fn.out_dim for fn in self.fns]
+
+    @property
+    def out_dim(self) -> int:
+        return sum(self.out_dims)
+
+    @property
+    def is_elementwise(self) -> bool:
+        return all(fn.is_elementwise for fn in self.fns)
+
+    @property
+    def is_whole(self) -> bool:
+        """True when a single segment covers the entire input vector."""
+        return self.n_segments == 1
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        outs = [fn(x[:, start:stop]) for (start, stop), fn in zip(self.partition, self.fns)]
+        return np.concatenate(outs, axis=1)
+
+
+@dataclass
+class SumReduceStep:
+    """Element-wise sum of the segment outputs of the preceding MapStep."""
+
+    n_segments: int
+    seg_dim: int
+
+    @property
+    def in_dim(self) -> int:
+        return self.n_segments * self.seg_dim
+
+    @property
+    def out_dim(self) -> int:
+        return self.seg_dim
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        if x.shape[1] != self.in_dim:
+            raise ShapeError(f"SumReduce expected {self.in_dim} values, got {x.shape[1]}")
+        return x.reshape(x.shape[0], self.n_segments, self.seg_dim).sum(axis=1)
+
+
+Step = MapStep | SumReduceStep
+
+
+@dataclass
+class PrimitiveProgram:
+    """An executable sequence of primitive steps."""
+
+    input_dim: int
+    steps: list[Step] = field(default_factory=list)
+
+    def validate(self) -> None:
+        dim = self.input_dim
+        for i, step in enumerate(self.steps):
+            if step.in_dim != dim and not (isinstance(step, MapStep) and step.in_dim <= dim):
+                raise CompilationError(
+                    f"step {i} ({type(step).__name__}) expects dim {step.in_dim}, "
+                    f"current vector has dim {dim}")
+            if isinstance(step, MapStep):
+                covered = sorted(step.partition)
+                expected = 0
+                for start, stop in covered:
+                    if start != expected:
+                        raise CompilationError(
+                            f"step {i}: partition does not tile the input "
+                            f"(gap or overlap at {start})")
+                    expected = stop
+                if expected != dim:
+                    raise CompilationError(
+                        f"step {i}: partition covers [0,{expected}) but input has dim {dim}")
+            dim = step.out_dim
+
+    @property
+    def output_dim(self) -> int:
+        dim = self.input_dim
+        for step in self.steps:
+            dim = step.out_dim
+        return dim
+
+    def evaluate(self, x: np.ndarray) -> np.ndarray:
+        """Full-precision reference evaluation of the program."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 1:
+            x = x[None, :]
+        for step in self.steps:
+            x = step.apply(x)
+        return x
+
+    @property
+    def num_map_steps(self) -> int:
+        """Table-lookup rounds — the paper's fusion metric (7 -> 2 in Fig. 5)."""
+        return sum(1 for s in self.steps if isinstance(s, MapStep))
+
+    @property
+    def num_tables(self) -> int:
+        """Total segment tables (one lookup per segment per MapStep)."""
+        return sum(s.n_segments for s in self.steps if isinstance(s, MapStep))
+
+    def describe(self) -> str:
+        lines = [f"PrimitiveProgram(input_dim={self.input_dim})"]
+        for i, step in enumerate(self.steps):
+            if isinstance(step, MapStep):
+                kinds = ",".join(type(f).__name__ for f in step.fns[:4])
+                more = "..." if step.n_segments > 4 else ""
+                lines.append(f"  [{i}] Map x{step.n_segments} ({kinds}{more}) -> {step.out_dim}")
+            else:
+                lines.append(f"  [{i}] SumReduce {step.n_segments}x{step.seg_dim} -> {step.out_dim}")
+        return "\n".join(lines)

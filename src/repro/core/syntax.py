@@ -1,0 +1,117 @@
+"""Pegasus Syntax: the declarative frontend of the paper's Figure 6.
+
+The paper exposes a small configuration language whose expressions mirror
+the primitives::
+
+    meta.output_vec = SumReduce(
+        Map(
+            Partition(meta.input_vec, dim=2, stride=2),
+            clustering_depth=4,
+            ...
+        )
+    )
+
+This module provides the same shape in Python. A syntax expression builds a
+:class:`~repro.core.primitives.PrimitiveProgram` plus the materialization
+options (clustering depth -> fuzzy leaves), which the compiler then turns
+into tables::
+
+    expr = SumReduce(Map(Partition(dim=2, stride=2), fn=partial_matmul,
+                         out_dim=4, clustering_depth=4))
+    compiled = expr.compile(calib_int)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import CompilationError
+from repro.core.mapping import CompiledModel, MaterializeConfig, materialize
+from repro.core.primitives import (
+    General, MapStep, PrimitiveProgram, SumReduceStep,
+)
+
+
+@dataclass
+class Partition:
+    """Partition the input into segments of ``dim``, every ``stride`` units.
+
+    ``stride`` defaults to ``dim`` (non-overlapping, as in the paper's
+    example); other strides are rejected because MAT lookups cannot share
+    key bytes across segments.
+    """
+
+    dim: int
+    stride: int | None = None
+
+    def __post_init__(self):
+        if self.stride is None:
+            self.stride = self.dim
+        if self.stride != self.dim:
+            raise CompilationError(
+                "only non-overlapping partitions are realizable as MAT keys "
+                f"(dim={self.dim}, stride={self.stride})")
+
+    def segments(self, input_dim: int) -> list[tuple[int, int]]:
+        if input_dim % self.dim:
+            raise CompilationError(
+                f"input dim {input_dim} is not divisible by partition dim {self.dim}")
+        return [(s, s + self.dim) for s in range(0, input_dim, self.dim)]
+
+
+@dataclass
+class Map:
+    """Apply ``fn`` (or one function per segment via ``fns``) to each segment.
+
+    ``clustering_depth`` sets the fuzzy tree depth: 2^depth leaves per
+    segment table, the knob the paper's syntax exposes.
+    """
+
+    partition: Partition
+    out_dim: int
+    fn: Callable[[np.ndarray], np.ndarray] | None = None
+    fns: list[Callable[[np.ndarray], np.ndarray]] | None = None
+    clustering_depth: int = 4
+
+    def __post_init__(self):
+        if (self.fn is None) == (self.fns is None):
+            raise CompilationError("Map needs exactly one of fn= or fns=")
+
+    def steps(self, input_dim: int) -> tuple[list, int]:
+        segments = self.partition.segments(input_dim)
+        fns = self.fns if self.fns is not None else [self.fn] * len(segments)
+        if len(fns) != len(segments):
+            raise CompilationError(
+                f"{len(fns)} functions for {len(segments)} segments")
+        specs = [General(fn=f, in_dim=stop - start, out_dim=self.out_dim,
+                         name=f"syntax_map{i}")
+                 for i, ((start, stop), f) in enumerate(zip(segments, fns))]
+        return [MapStep(partition=segments, fns=specs)], len(segments)
+
+
+@dataclass
+class SumReduce:
+    """Aggregate the Map's segment outputs by element-wise summation."""
+
+    inner: Map
+
+    def program(self, input_dim: int) -> PrimitiveProgram:
+        steps, n_segments = self.inner.steps(input_dim)
+        steps.append(SumReduceStep(n_segments=n_segments,
+                                   seg_dim=self.inner.out_dim))
+        program = PrimitiveProgram(input_dim=input_dim, steps=steps)
+        program.validate()
+        return program
+
+    def compile(self, calib_int: np.ndarray, act_bits: int = 16,
+                input_bits: int = 8, name: str = "pegasus-syntax") -> CompiledModel:
+        """Materialize the expression into an executable lookup model."""
+        calib_int = np.asarray(calib_int, dtype=np.int64)
+        program = self.program(calib_int.shape[1])
+        cfg = MaterializeConfig(
+            fuzzy_leaves=1 << self.inner.clustering_depth, act_bits=act_bits)
+        return materialize(program, calib_int, cfg,
+                           input_bits=input_bits, name=name)

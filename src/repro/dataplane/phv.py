@@ -1,0 +1,54 @@
+"""Packet Header Vector (PHV) field allocation.
+
+PISA carries all per-packet metadata in a fixed-size PHV split into 8/16/32
+bit containers. Pegasus's CNN-L input scale (3840 bits) famously does *not*
+fit alongside basic forwarding state, which is why its compiler distributes
+the inference window across packets; this allocator is what detects that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ResourceExceededError
+
+_CONTAINER_SIZES = (8, 16, 32)
+
+
+@dataclass(frozen=True)
+class PHVField:
+    name: str
+    bits: int
+    container_bits: int
+
+
+@dataclass
+class PHVAllocator:
+    """Greedy first-fit allocation of named fields into PHV containers."""
+
+    capacity_bits: int
+    reserved_bits: int = 512  # headroom for parsing/forwarding metadata
+    fields: list[PHVField] = field(default_factory=list)
+
+    def allocate(self, name: str, bits: int) -> PHVField:
+        """Allocate a field; raises ResourceExceededError when the PHV is full."""
+        if bits <= 0:
+            raise ValueError(f"field {name!r} needs positive width, got {bits}")
+        container = next((c for c in _CONTAINER_SIZES if bits <= c), None)
+        if container is None:
+            # Wide values span multiple 32-bit containers.
+            container = ((bits + 31) // 32) * 32
+        new_field = PHVField(name=name, bits=bits, container_bits=container)
+        if self.used_bits + container > self.capacity_bits - self.reserved_bits:
+            raise ResourceExceededError(
+                "PHV", self.used_bits + container, self.capacity_bits - self.reserved_bits)
+        self.fields.append(new_field)
+        return new_field
+
+    @property
+    def used_bits(self) -> int:
+        return sum(f.container_bits for f in self.fields)
+
+    @property
+    def utilization(self) -> float:
+        return self.used_bits / self.capacity_bits

@@ -1,0 +1,109 @@
+"""Stateful per-flow registers.
+
+Programmable switches keep per-flow features in stateful SRAM register
+arrays; the bits consumed per flow bound the number of concurrent flows
+(paper §7.3 / Figure 7). A :class:`FlowStateLayout` declares the fields one
+model needs per flow (e.g. CNN-L: a 16-bit previous-packet timestamp plus a
+4-bit fuzzy index for each of 7 stored packets = 44 bits); the
+:class:`FlowStateTable` enforces field widths and accounts for SRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PipelineError
+from repro.net.packet import FlowKey
+
+
+@dataclass(frozen=True)
+class RegisterField:
+    """One named per-flow field of ``bits`` width, possibly an array."""
+
+    name: str
+    bits: int
+    count: int = 1
+
+    @property
+    def total_bits(self) -> int:
+        return self.bits * self.count
+
+
+@dataclass
+class FlowStateLayout:
+    """The per-flow record a model keeps on the switch."""
+
+    fields: list[RegisterField]
+
+    @property
+    def bits_per_flow(self) -> int:
+        return sum(f.total_bits for f in self.fields)
+
+    def sram_bits(self, n_flows: int) -> int:
+        return self.bits_per_flow * n_flows
+
+    def sram_fraction(self, n_flows: int, total_sram_bits: int) -> float:
+        return self.sram_bits(n_flows) / total_sram_bits
+
+    def field(self, name: str) -> RegisterField:
+        for f in self.fields:
+            if f.name == name:
+                return f
+        raise KeyError(f"no register field named {name!r}")
+
+
+class FlowStateTable:
+    """Per-flow register storage with width enforcement.
+
+    A real switch indexes registers by a hash of the flow key; collisions
+    evict state. We model an exact-match table of bounded capacity with
+    FIFO eviction, which preserves the capacity-vs-flows trade-off without
+    modelling a specific hash scheme.
+    """
+
+    def __init__(self, layout: FlowStateLayout, capacity: int = 1_000_000):
+        self.layout = layout
+        self.capacity = capacity
+        self._store: dict[FlowKey, dict[str, list[int]]] = {}
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def _fresh_record(self) -> dict[str, list[int]]:
+        return {f.name: [0] * f.count for f in self.layout.fields}
+
+    def get(self, key: FlowKey) -> dict[str, list[int]]:
+        """Fetch (creating if absent) the record for a flow."""
+        record = self._store.get(key)
+        if record is None:
+            if len(self._store) >= self.capacity:
+                oldest = next(iter(self._store))
+                del self._store[oldest]
+                self.evictions += 1
+            record = self._fresh_record()
+            self._store[key] = record
+        return record
+
+    def write(self, key: FlowKey, name: str, value: int, index: int = 0) -> None:
+        """Write one field element, enforcing its register width."""
+        reg = self.layout.field(name)
+        if not 0 <= value < (1 << reg.bits):
+            raise PipelineError(
+                f"value {value} does not fit register {name!r} ({reg.bits} bits)")
+        if not 0 <= index < reg.count:
+            raise PipelineError(f"register {name!r} index {index} out of range")
+        self.get(key)[name][index] = value
+
+    def read(self, key: FlowKey, name: str, index: int = 0) -> int:
+        return self.get(key)[name][index]
+
+    def shift_in(self, key: FlowKey, name: str, value: int) -> None:
+        """Append to a register array, shifting older entries out (window state)."""
+        reg = self.layout.field(name)
+        if not 0 <= value < (1 << reg.bits):
+            raise PipelineError(
+                f"value {value} does not fit register {name!r} ({reg.bits} bits)")
+        arr = self.get(key)[name]
+        arr.pop(0)
+        arr.append(value)

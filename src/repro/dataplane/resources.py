@@ -1,0 +1,51 @@
+"""Resource reporting — the machinery behind the paper's Table 6."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.mapping import CompiledModel
+from repro.dataplane.pipeline import place_model
+from repro.dataplane.registers import FlowStateLayout
+from repro.dataplane.target import TargetConfig, TOFINO2
+
+
+@dataclass
+class ResourceReport:
+    """Utilization of one model on one target."""
+
+    model_name: str
+    stateful_bits_per_flow: int
+    sram_fraction: float       # stateless mapping-table SRAM / total SRAM
+    tcam_fraction: float       # fuzzy-match TCAM / total TCAM
+    bus_fraction: float        # worst-stage action-data bus / bus width
+    stages_used: int
+    n_tables: int
+    phv_fraction: float
+
+    def row(self) -> dict:
+        return {
+            "model": self.model_name,
+            "bits/flow": self.stateful_bits_per_flow,
+            "SRAM": f"{self.sram_fraction:.2%}",
+            "TCAM": f"{self.tcam_fraction:.2%}",
+            "Bus": f"{self.bus_fraction:.2%}",
+            "stages": self.stages_used,
+        }
+
+
+def summarize_resources(model: CompiledModel, flow_layout: FlowStateLayout,
+                        target: TargetConfig = TOFINO2) -> ResourceReport:
+    """Place a compiled model and compute Table-6-style utilization."""
+    pipeline = place_model(model, target)
+    worst_bus = pipeline.worst_stage_bus
+    return ResourceReport(
+        model_name=model.name,
+        stateful_bits_per_flow=flow_layout.bits_per_flow,
+        sram_fraction=model.sram_bits() / target.total_sram_bits,
+        tcam_fraction=model.tcam_bits() / target.total_tcam_bits,
+        bus_fraction=worst_bus / target.action_bus_bits,
+        stages_used=pipeline.n_stages_used,
+        n_tables=model.num_tables,
+        phv_fraction=pipeline.phv.utilization if pipeline.phv else 0.0,
+    )

@@ -1,0 +1,206 @@
+"""End-to-end packet runtimes: per-flow state + compiled-model inference.
+
+Two runtimes cover the paper's deployment shapes:
+
+- :class:`WindowedClassifierRuntime` — RNN-B / CNN-B / CNN-M / MLP-B style:
+  the switch stores each flow's recent (length, IPD) buckets in registers;
+  once a full window is present every packet is classified from the window's
+  feature view.
+- :class:`TwoStageRuntime` — CNN-L style: a per-packet extractor maps the
+  packet's raw bytes to a small *fuzzy index*; only indexes (4–8 bits each)
+  are stored per flow, and a second stage classifies from the window of
+  indexes (+ optional IPD buckets). This is the paper's "Flow Scalability"
+  design that gets CNN-L to 28–72 stateful bits per flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.fuzzy import FuzzyTree
+from repro.core.mapping import CompiledModel
+from repro.net.features import length_bucket, ipd_bucket, stats_from_buckets
+from repro.net.flow import Flow
+from repro.net.packet import Packet
+from repro.net.traces import Trace
+from repro.dataplane.registers import FlowStateTable, FlowStateLayout, RegisterField
+
+TS_UNIT_SECONDS = 64e-6     # 16-bit timestamp register in 64 us units
+TS_MASK = 0xFFFF
+
+
+def _ts_units(ts: float) -> int:
+    return int(ts / TS_UNIT_SECONDS) & TS_MASK
+
+
+def _ipd_bucket_from_units(cur_units: int, prev_units: int) -> int:
+    delta_units = (cur_units - prev_units) & TS_MASK
+    return ipd_bucket(delta_units * TS_UNIT_SECONDS)
+
+
+@dataclass
+class PacketDecision:
+    """One per-packet classification the switch emitted."""
+
+    flow_label: int
+    predicted: int
+    ts: float
+
+
+@dataclass
+class WindowedClassifierRuntime:
+    """Classify every packet once its flow has a full token window."""
+
+    model: CompiledModel
+    feature_mode: str = "seq"          # "seq" (interleaved tokens) | "stats"
+    window: int = 8
+    capacity: int = 1_000_000
+    state: FlowStateTable = field(init=False)
+
+    def __post_init__(self):
+        if self.feature_mode not in ("seq", "stats"):
+            raise ValueError(f"unknown feature mode {self.feature_mode!r}")
+        hist = self.window - 1
+        layout = FlowStateLayout(fields=[
+            RegisterField("prev_ts", 16),
+            RegisterField("count", 8),
+            RegisterField("len_hist", 8, count=hist),
+            RegisterField("ipd_hist", 8, count=hist),
+        ])
+        self.state = FlowStateTable(layout, capacity=self.capacity)
+
+    @property
+    def bits_per_flow(self) -> int:
+        return self.state.layout.bits_per_flow
+
+    def _features(self, lens: list[int], ipds: list[int]) -> np.ndarray:
+        if self.feature_mode == "stats":
+            return stats_from_buckets(lens, ipds).astype(np.int64)
+        tokens = np.empty(2 * self.window, dtype=np.int64)
+        tokens[0::2] = lens
+        tokens[1::2] = ipds
+        return tokens
+
+    def process_packet(self, packet: Packet, flow_label: int) -> PacketDecision | None:
+        """Feed one packet; returns a decision when a window is available."""
+        key = packet.key.canonical()
+        record = self.state.get(key)
+        count = record["count"][0]
+        cur_units = _ts_units(packet.ts)
+        len_b = length_bucket(packet.length)
+        ipd_b = _ipd_bucket_from_units(cur_units, record["prev_ts"][0]) if count else 0
+
+        decision = None
+        if count >= self.window - 1:
+            lens = list(record["len_hist"]) + [len_b]
+            ipds = list(record["ipd_hist"]) + [ipd_b]
+            x = self._features(lens, ipds)[None, :]
+            pred = int(self.model.predict(x)[0])
+            decision = PacketDecision(flow_label=flow_label, predicted=pred, ts=packet.ts)
+
+        self.state.shift_in(key, "len_hist", len_b)
+        self.state.shift_in(key, "ipd_hist", ipd_b)
+        self.state.write(key, "prev_ts", cur_units)
+        self.state.write(key, "count", min(count + 1, 255))
+        return decision
+
+    def process_flows(self, flows: list[Flow]) -> list[PacketDecision]:
+        """Replay the interleaved trace of many labelled flows."""
+        label_by_key = {f.key.canonical(): f.label for f in flows}
+        trace = Trace.from_flows(flows)
+        decisions = []
+        for packet in trace.packets:
+            d = self.process_packet(packet, label_by_key[packet.key.canonical()])
+            if d is not None:
+                decisions.append(d)
+        return decisions
+
+
+@dataclass
+class TwoStageRuntime:
+    """Per-packet fuzzy extraction + windowed index classification (CNN-L).
+
+    ``extractor_tree`` (optionally behind a refined ``feature_fn``) maps
+    each packet to a fuzzy index of ``idx_bits`` bits; only indexes — plus a
+    16-bit previous timestamp when the feature uses IPD — are stored per
+    flow. ``slot_values[s]`` is the (n_leaves, n_classes) int table the
+    packet in window slot ``s`` contributes; logits are the SumReduce of all
+    slot contributions, as in Advanced Primitive Fusion. This is the
+    paper's "Flow Scalability" design that gets CNN-L to 28-72 stateful
+    bits per flow.
+    """
+
+    extractor_tree: FuzzyTree
+    slot_values: list[np.ndarray]
+    n_classes: int
+    idx_bits: int = 4
+    raw_bytes: int = 60
+    window: int = 8
+    capacity: int = 1_000_000
+    needs_ipd: bool = False
+    # Optional refined-feature stage applied to the raw bytes (and the IPD
+    # bucket, when needs_ipd) before the fuzzy tree — the paper's NN feature
+    # extraction, itself realized as per-segment tables on the switch.
+    feature_fn: object = None
+    state: FlowStateTable = field(init=False)
+
+    def __post_init__(self):
+        if len(self.slot_values) != self.window:
+            raise ValueError("one slot value table per window slot required")
+        fields = [RegisterField("count", 8),
+                  RegisterField("idx_hist", self.idx_bits, count=self.window - 1)]
+        if self.needs_ipd:
+            fields.insert(0, RegisterField("prev_ts", 16))
+        self.state = FlowStateTable(FlowStateLayout(fields=fields),
+                                    capacity=self.capacity)
+
+    @property
+    def bits_per_flow(self) -> int:
+        return self.state.layout.bits_per_flow
+
+    def _extract_index(self, packet: Packet, ipd_bucket: int | None) -> int:
+        vec = np.zeros(self.raw_bytes, dtype=np.float64)
+        take = min(packet.payload_len, self.raw_bytes)
+        vec[:take] = packet.payload[:take]
+        if self.feature_fn is not None:
+            vec = np.asarray(self.feature_fn(vec[None, :], ipd_bucket))[0]
+        idx = int(self.extractor_tree.predict_index(vec))
+        return min(idx, (1 << self.idx_bits) - 1)
+
+    def process_packet(self, packet: Packet, flow_label: int) -> PacketDecision | None:
+        key = packet.key.canonical()
+        record = self.state.get(key)
+        count = record["count"][0]
+        ipd_b = None
+        if self.needs_ipd:
+            cur_units = _ts_units(packet.ts)
+            ipd_b = (_ipd_bucket_from_units(cur_units, record["prev_ts"][0])
+                     if count else 0)
+        idx = self._extract_index(packet, ipd_b)
+
+        decision = None
+        if count >= self.window - 1:
+            indexes = list(record["idx_hist"]) + [idx]
+            logits = np.zeros(self.n_classes, dtype=np.int64)
+            for slot, slot_idx in enumerate(indexes):
+                logits += self.slot_values[slot][slot_idx]
+            decision = PacketDecision(flow_label=flow_label,
+                                      predicted=int(np.argmax(logits)), ts=packet.ts)
+
+        self.state.shift_in(key, "idx_hist", idx)
+        if self.needs_ipd:
+            self.state.write(key, "prev_ts", cur_units)
+        self.state.write(key, "count", min(count + 1, 255))
+        return decision
+
+    def process_flows(self, flows: list[Flow]) -> list[PacketDecision]:
+        label_by_key = {f.key.canonical(): f.label for f in flows}
+        trace = Trace.from_flows(flows)
+        decisions = []
+        for packet in trace.packets:
+            d = self.process_packet(packet, label_by_key[packet.key.canonical()])
+            if d is not None:
+                decisions.append(d)
+        return decisions

@@ -1,0 +1,53 @@
+"""Hardware target descriptions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+MBIT = 1_000_000
+
+
+@dataclass(frozen=True)
+class TargetConfig:
+    """Resource budget of one programmable-switch pipeline.
+
+    Numbers for Tofino 2 follow the paper's §2: 20 MAT stages, 10 Mb SRAM and
+    0.5 Mb TCAM per stage, a 1024-bit action data bus, and a 4096-bit PHV.
+    """
+
+    name: str
+    n_stages: int
+    sram_bits_per_stage: int
+    tcam_bits_per_stage: int
+    action_bus_bits: int
+    phv_bits: int
+    line_rate_tbps: float
+
+    @property
+    def total_sram_bits(self) -> int:
+        return self.n_stages * self.sram_bits_per_stage
+
+    @property
+    def total_tcam_bits(self) -> int:
+        return self.n_stages * self.tcam_bits_per_stage
+
+
+TOFINO2 = TargetConfig(
+    name="tofino2",
+    n_stages=20,
+    sram_bits_per_stage=10 * MBIT,
+    tcam_bits_per_stage=MBIT // 2,
+    action_bus_bits=1024,
+    phv_bits=4096,
+    line_rate_tbps=12.8,
+)
+
+GENERIC_PISA = TargetConfig(
+    name="generic-pisa",
+    n_stages=12,
+    sram_bits_per_stage=6 * MBIT,
+    tcam_bits_per_stage=MBIT // 4,
+    action_bus_bits=512,
+    phv_bits=2048,
+    line_rate_tbps=3.2,
+)

@@ -1,0 +1,47 @@
+"""Exception hierarchy for the Pegasus reproduction.
+
+All library-specific errors derive from :class:`PegasusError` so callers can
+catch one base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class PegasusError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ShapeError(PegasusError):
+    """An array or vector had an incompatible shape."""
+
+
+class QuantizationError(PegasusError):
+    """A value could not be represented in the requested fixed-point format."""
+
+
+class CompilationError(PegasusError):
+    """The compiler could not lower a model to dataplane primitives."""
+
+
+class ResourceExceededError(PegasusError):
+    """A compiled program does not fit the target's hardware budget."""
+
+    def __init__(self, resource: str, used: float, budget: float):
+        self.resource = resource
+        self.used = used
+        self.budget = budget
+        super().__init__(
+            f"{resource} budget exceeded: used {used:g}, budget {budget:g}"
+        )
+
+
+class PipelineError(PegasusError):
+    """The dataplane pipeline was configured or driven incorrectly."""
+
+
+class TraceFormatError(PegasusError):
+    """A serialized trace file is malformed."""
+
+
+class TrainingError(PegasusError):
+    """Model training failed or was mis-configured."""

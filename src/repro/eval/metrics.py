@@ -1,0 +1,83 @@
+"""Classification and detection metrics.
+
+The paper reports packet-level *macro-accuracy* — the unweighted mean
+F1-score across classes (§7.1) — plus overall precision/recall, and AUC for
+the unsupervised detector (§7.4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray,
+                     n_classes: int | None = None) -> np.ndarray:
+    """Counts[i, j] = samples of true class i predicted as class j."""
+    y_true = np.asarray(y_true, dtype=np.int64)
+    y_pred = np.asarray(y_pred, dtype=np.int64)
+    if y_true.shape != y_pred.shape:
+        raise ShapeError(f"label shapes differ: {y_true.shape} vs {y_pred.shape}")
+    if n_classes is None:
+        n_classes = int(max(y_true.max(initial=0), y_pred.max(initial=0))) + 1
+    counts = np.zeros((n_classes, n_classes), dtype=np.int64)
+    np.add.at(counts, (y_true, y_pred), 1)
+    return counts
+
+
+def macro_precision_recall_f1(y_true: np.ndarray, y_pred: np.ndarray,
+                              n_classes: int | None = None
+                              ) -> tuple[float, float, float]:
+    """Macro-averaged (precision, recall, F1) — the paper's PR / RC / F1."""
+    cm = confusion_matrix(y_true, y_pred, n_classes)
+    tp = np.diag(cm).astype(np.float64)
+    pred_pos = cm.sum(axis=0).astype(np.float64)
+    true_pos = cm.sum(axis=1).astype(np.float64)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        precision = np.where(pred_pos > 0, tp / pred_pos, 0.0)
+        recall = np.where(true_pos > 0, tp / true_pos, 0.0)
+        f1 = np.where(precision + recall > 0,
+                      2 * precision * recall / (precision + recall), 0.0)
+    present = true_pos > 0  # macro over classes that appear in the data
+    if not present.any():
+        return 0.0, 0.0, 0.0
+    return (float(precision[present].mean()),
+            float(recall[present].mean()),
+            float(f1[present].mean()))
+
+
+def macro_f1(y_true: np.ndarray, y_pred: np.ndarray,
+             n_classes: int | None = None) -> float:
+    """The paper's headline metric."""
+    return macro_precision_recall_f1(y_true, y_pred, n_classes)[2]
+
+
+def roc_curve(labels: np.ndarray, scores: np.ndarray
+              ) -> tuple[np.ndarray, np.ndarray]:
+    """(false-positive rates, true-positive rates) over all thresholds.
+
+    ``labels``: 1 = positive (attack), 0 = negative (benign).
+    ``scores``: higher = more anomalous.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    scores = np.asarray(scores, dtype=np.float64)
+    if labels.shape != scores.shape:
+        raise ShapeError(f"shapes differ: {labels.shape} vs {scores.shape}")
+    n_pos = int(labels.sum())
+    n_neg = len(labels) - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise ShapeError("ROC needs both positive and negative samples")
+    order = np.argsort(-scores, kind="stable")
+    sorted_labels = labels[order]
+    tps = np.cumsum(sorted_labels)
+    fps = np.cumsum(1 - sorted_labels)
+    tpr = np.concatenate([[0.0], tps / n_pos])
+    fpr = np.concatenate([[0.0], fps / n_neg])
+    return fpr, tpr
+
+
+def auc_score(labels: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the ROC curve (trapezoidal)."""
+    fpr, tpr = roc_curve(labels, scores)
+    return float(np.trapezoid(tpr, fpr))

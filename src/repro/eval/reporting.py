@@ -1,0 +1,26 @@
+"""Plain-text rendering of experiment results (the benches print these)."""
+
+from __future__ import annotations
+
+
+def render_table(headers: list[str], rows: list[list], title: str = "") -> str:
+    """Align a list-of-rows into a monospace table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+              for i, h in enumerate(headers)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if 0 <= cell <= 1:
+            return f"{cell:.4f}"
+        return f"{cell:,.1f}"
+    return str(cell)

@@ -1,0 +1,44 @@
+"""The paper's six models: MLP-B, RNN-B, CNN-B, CNN-M, CNN-L, AutoEncoder.
+
+Each model wraps (a) a full-precision NumPy network and its training loop,
+(b) its Pegasus dataplane compilation path, and (c) the per-flow register
+layout its deployment needs. ``build_model`` constructs any of them by name.
+"""
+
+from repro.models.base import TrafficModel
+from repro.models.mlp import MLPB
+from repro.models.rnn import RNNB
+from repro.models.cnn import CNNB, CNNM, CNNL
+from repro.models.autoencoder import AutoEncoderModel
+
+MODEL_NAMES = ("MLP-B", "RNN-B", "CNN-B", "CNN-M", "CNN-L", "AutoEncoder")
+
+
+def build_model(name: str, n_classes: int, seed: int = 0):
+    """Construct a model by its paper name."""
+    registry = {
+        "MLP-B": MLPB,
+        "RNN-B": RNNB,
+        "CNN-B": CNNB,
+        "CNN-M": CNNM,
+        "CNN-L": CNNL,
+        "AutoEncoder": AutoEncoderModel,
+    }
+    try:
+        cls = registry[name]
+    except KeyError:
+        raise ValueError(f"unknown model {name!r}; choose from {MODEL_NAMES}") from None
+    return cls(n_classes=n_classes, seed=seed)
+
+
+__all__ = [
+    "TrafficModel",
+    "MLPB",
+    "RNNB",
+    "CNNB",
+    "CNNM",
+    "CNNL",
+    "AutoEncoderModel",
+    "MODEL_NAMES",
+    "build_model",
+]

@@ -1,0 +1,142 @@
+"""AutoEncoder: unsupervised anomaly detection on raw packet sequences (§7.4).
+
+Float model: Embedding -> FC encoder -> bottleneck -> FC decoder,
+reconstructing the window's normalized (length, IPD) tokens; the anomaly
+score is the mean absolute reconstruction error (MAE). Trained on benign
+traffic only.
+
+Dataplane compilation uses Advanced Primitive Fusion: the *score function*
+is expressed as a Neural Additive Model — one fuzzy-matched table per packet
+position whose values are least-squares fitted to the float model's MAE.
+Calibration mixes benign windows with uniform-random token noise so the
+tables learn "far from the benign manifold means a high score" without ever
+seeing attack traffic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.core import additive_program, materialize, MaterializeConfig
+from repro.core.finetune import refine_values_least_squares
+from repro.core.primitives import General
+from repro.dataplane.registers import FlowStateLayout, RegisterField
+from repro.models.base import TrafficModel
+from repro.net.features import SEQ_WINDOW, SEQ_TOKENS
+from repro.utils.rng import new_rng
+
+
+class _AENet(nn.Module):
+    """Embedding -> encoder -> bottleneck -> decoder -> token reconstruction."""
+
+    def __init__(self, emb_dim: int, hidden: int, bottleneck: int, rngs):
+        super().__init__()
+        self.seq = nn.Sequential(
+            nn.Embedding(256, emb_dim, rng=int(rngs[0])),
+            nn.Flatten(),
+            nn.BatchNorm1d(SEQ_TOKENS * emb_dim),
+            nn.Linear(SEQ_TOKENS * emb_dim, hidden, rng=int(rngs[1])),
+            nn.ReLU(),
+            nn.Linear(hidden, bottleneck, rng=int(rngs[2])),
+            nn.BatchNorm1d(bottleneck),
+            nn.Linear(bottleneck, hidden, rng=int(rngs[3])),
+            nn.ReLU(),
+            nn.Linear(hidden, SEQ_TOKENS, rng=int(rngs[4])),
+        )
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.seq.forward(x.astype(np.int64))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return self.seq.backward(grad_out)
+
+
+class AutoEncoderModel(TrafficModel):
+    """Unsupervised detector; ``score`` replaces ``predict`` for this model."""
+
+    name = "AutoEncoder"
+    feature_view = "seq"
+
+    def __init__(self, n_classes: int = 0, seed: int = 0, emb_dim: int = 4,
+                 hidden: int = 32, bottleneck: int = 8, epochs: int = 30,
+                 fuzzy_leaves: int = 64):
+        super().__init__(n_classes, seed)
+        rngs = np.random.default_rng(seed).integers(0, 2**31, size=5)
+        self.net = _AENet(emb_dim, hidden, bottleneck, rngs)
+        self.epochs = epochs
+        self.fuzzy_leaves = fuzzy_leaves
+
+    @staticmethod
+    def _targets(x: np.ndarray) -> np.ndarray:
+        return x.astype(np.float64) / 255.0
+
+    def train(self, views: dict[str, np.ndarray]) -> None:
+        x = self.view(views, "seq")
+
+        def loss_fn(pred, batch_x):
+            return nn.MAELoss()(pred, self._targets(batch_x))
+
+        # fit() passes (output, y); here y is the input itself.
+        nn.fit(self.net, x, x, loss_fn,
+               nn.Adam(self.net.parameters(), lr=0.005),
+               epochs=self.epochs, batch_size=64, rng=self.seed)
+        self.trained = True
+
+    def score_float(self, views: dict[str, np.ndarray]) -> np.ndarray:
+        """Full-precision MAE anomaly score (higher = more anomalous)."""
+        self._require_trained()
+        self.net.train_mode(False)
+        x = self.view(views, "seq")
+        recon = self.net.forward(x)
+        return np.abs(recon - self._targets(x)).mean(axis=1)
+
+    def predict_float(self, views: dict[str, np.ndarray]) -> np.ndarray:
+        return self.score_float(views)
+
+    def compile_dataplane(self, views: dict[str, np.ndarray]) -> None:
+        self._require_trained()
+        rng = new_rng(self.seed)
+        benign = self.view(views, "seq").astype(np.int64)
+        noise = rng.integers(0, 256, size=benign.shape)
+        calib = np.concatenate([benign, noise])
+        targets = self.score_float({"seq": calib})[:, None]
+
+        partition = [(2 * i, 2 * i + 2) for i in range(SEQ_WINDOW)]
+        mean_share = float(targets.mean()) / SEQ_WINDOW
+        fns = [General(fn=lambda seg, m=mean_share: np.full((len(seg), 1), m),
+                       in_dim=2, out_dim=1, name=f"ae_seg{i}")
+               for i, _ in enumerate(partition)]
+        program = additive_program(SEQ_TOKENS, partition,
+                                   [f.fn for f in fns], out_dim=1)
+        compiled = materialize(
+            program, calib,
+            MaterializeConfig(fuzzy_leaves=self.fuzzy_leaves, act_bits=16),
+            name="autoencoder")
+        refine_values_least_squares(compiled.layers[0], calib, targets)
+        self.compiled = compiled
+
+    def score_dataplane(self, views: dict[str, np.ndarray]) -> np.ndarray:
+        """Integer-domain anomaly score from the additive tables."""
+        self._require_compiled()
+        x = self.view(views, "seq").astype(np.int64)
+        return self.compiled.predict_scores(x)[:, 0]
+
+    def predict_dataplane(self, views: dict[str, np.ndarray]) -> np.ndarray:
+        return self.score_dataplane(views)
+
+    def model_size_kbits(self) -> float:
+        return self.net.param_count() * 32 / 1000
+
+    def input_scale_bits(self) -> int:
+        return SEQ_TOKENS * 8
+
+    def flow_layout(self) -> FlowStateLayout:
+        # Paper Table 6: AutoEncoder keeps the full token window (240 b/flow).
+        return FlowStateLayout(fields=[
+            RegisterField("prev_ts", 16),
+            RegisterField("count", 8),
+            RegisterField("len_hist", 8, count=SEQ_WINDOW - 1),
+            RegisterField("ipd_hist", 8, count=SEQ_WINDOW - 1),
+            RegisterField("score_ema", 8, count=SEQ_WINDOW + 5),
+        ])  # 240 bits/flow

@@ -1,0 +1,76 @@
+"""Common interface for the paper's traffic-analysis models."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.dataplane.registers import FlowStateLayout
+
+
+class TrafficModel:
+    """One model: float training + Pegasus compilation + deployment layout.
+
+    ``feature_view`` names which array of
+    :func:`repro.net.features.dataset_views` the model consumes:
+    ``"stats"`` (16 x uint8), ``"seq"`` (16 interleaved tokens), or
+    ``"raw"`` (8 x 60 payload bytes).
+    """
+
+    name: str = "model"
+    feature_view: str = "stats"
+
+    def __init__(self, n_classes: int, seed: int = 0):
+        self.n_classes = n_classes
+        self.seed = seed
+        self.trained = False
+        self.compiled = None
+
+    # -- training ------------------------------------------------------------
+
+    def train(self, views: dict[str, np.ndarray]) -> None:
+        """Train the full-precision model on a views dict."""
+        raise NotImplementedError
+
+    def predict_float(self, views: dict[str, np.ndarray]) -> np.ndarray:
+        """Full-precision (control-plane / GPU) predictions."""
+        raise NotImplementedError
+
+    # -- dataplane -----------------------------------------------------------
+
+    def compile_dataplane(self, views: dict[str, np.ndarray]) -> None:
+        """Compile to the dataplane using the views as calibration data."""
+        raise NotImplementedError
+
+    def predict_dataplane(self, views: dict[str, np.ndarray]) -> np.ndarray:
+        """Integer-domain predictions of the compiled pipeline."""
+        raise NotImplementedError
+
+    # -- accounting ----------------------------------------------------------
+
+    def model_size_kbits(self) -> float:
+        """Model size in Kb: full-precision parameters at 32 bits each."""
+        raise NotImplementedError
+
+    def input_scale_bits(self) -> int:
+        raise NotImplementedError
+
+    def flow_layout(self) -> FlowStateLayout:
+        raise NotImplementedError
+
+    # -- helpers -------------------------------------------------------------
+
+    def _require_trained(self) -> None:
+        if not self.trained:
+            raise TrainingError(f"{self.name} must be trained first")
+
+    def _require_compiled(self) -> None:
+        if self.compiled is None:
+            raise TrainingError(f"{self.name} must be compiled first")
+
+    @staticmethod
+    def view(views: dict[str, np.ndarray], key: str) -> np.ndarray:
+        try:
+            return views[key]
+        except KeyError:
+            raise TrainingError(f"views dict is missing the {key!r} array") from None

@@ -1,0 +1,445 @@
+"""CNN-B / CNN-M / CNN-L: the paper's 1-D convolutional family (§6.3).
+
+- **CNN-B** (basic fusion): a block convolution over the window's (length,
+  IPD) token pairs — a shared linear filter per packet position — followed
+  by ReLU and a fully connected head. Compiles to two lookup rounds.
+- **CNN-M** (Advanced Primitive Fusion ❸): a larger Neural-Additive model;
+  each packet position owns a subnetwork whose outputs SumReduce into the
+  logits. A *single* lookup round despite the much larger model size —
+  the paper's "bigger model, lower overhead" result.
+- **CNN-L** (Advanced Fusion + flow scalability): per-packet subnet over 60
+  raw payload bytes (3840-bit input scale). On the switch each packet is
+  reduced to a small *fuzzy index* when it arrives; only indexes (plus a
+  16-bit timestamp when IPD is used) are stored per flow, enabling 28-72
+  stateful bits per flow (Figure 7's trade-off).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.core import fuse_basic, materialize, MaterializeConfig, \
+    PegasusCompiler, CompilerConfig
+from repro.core.fuzzy import FuzzyTree
+from repro.core.primitives import (
+    Affine, ElementwiseFunc, MapStep, PrimitiveProgram, SumReduceStep,
+)
+from repro.dataplane.registers import FlowStateLayout, RegisterField
+from repro.dataplane.runtime import TwoStageRuntime
+from repro.models.base import TrafficModel
+from repro.net.features import SEQ_WINDOW, SEQ_TOKENS, RAW_BYTES_PER_PACKET
+from repro.utils.fixed_point import choose_qformat
+
+
+class _BlockConvNet(nn.Module):
+    """Shared 2->c filter per packet position, ReLU, FC head (CNN-B float)."""
+
+    def __init__(self, n_classes: int, channels: int, rngs):
+        super().__init__()
+        self.channels = channels
+        self.filt = nn.Linear(2, channels, rng=int(rngs[0]))
+        self.relu = nn.ReLU()
+        self.head = nn.Linear(SEQ_WINDOW * channels, n_classes, rng=int(rngs[1]))
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n = x.shape[0]
+        pairs = x.reshape(n * SEQ_WINDOW, 2).astype(np.float64)
+        conv = self.filt.forward(pairs)
+        act = self.relu.forward(conv)
+        return self.head.forward(act.reshape(n, -1))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        n = grad_out.shape[0]
+        grad_flat = self.head.backward(grad_out)
+        grad_act = grad_flat.reshape(n * SEQ_WINDOW, self.channels)
+        grad_conv = self.relu.backward(grad_act)
+        grad_pairs = self.filt.backward(grad_conv)
+        return grad_pairs.reshape(n, SEQ_TOKENS)
+
+
+class CNNB(TrafficModel):
+    name = "CNN-B"
+    feature_view = "seq"
+
+    def __init__(self, n_classes: int, seed: int = 0, channels: int = 8,
+                 epochs: int = 80, fuzzy_leaves: int = 128):
+        super().__init__(n_classes, seed)
+        rngs = np.random.default_rng(seed).integers(0, 2**31, size=2)
+        self.net = _BlockConvNet(n_classes, channels, rngs)
+        self.epochs = epochs
+        self.fuzzy_leaves = fuzzy_leaves
+
+    def train(self, views: dict[str, np.ndarray]) -> None:
+        x = self.view(views, "seq").astype(np.float64)
+        y = self.view(views, "y")
+        nn.fit(self.net, x, y, nn.CrossEntropyLoss(),
+               nn.Adam(self.net.parameters(), lr=0.02),
+               epochs=self.epochs, batch_size=64, rng=self.seed)
+        self.trained = True
+
+    def predict_float(self, views: dict[str, np.ndarray]) -> np.ndarray:
+        self._require_trained()
+        return nn.predict_classes(self.net, self.view(views, "seq"))
+
+    def _program(self) -> PrimitiveProgram:
+        c = self.net.channels
+        w_f = self.net.filt.weight.data
+        b_f = self.net.filt.bias.data
+        w_h = self.net.head.weight.data
+        b_h = self.net.head.bias.data
+        conv_parts = [(2 * i, 2 * i + 2) for i in range(SEQ_WINDOW)]
+        conv_fns = [Affine(w_f, b_f) for _ in conv_parts]
+        relu = ElementwiseFunc(lambda v: np.maximum(v, 0.0),
+                               SEQ_WINDOW * c, name="relu")
+        head_parts = [(c * i, c * (i + 1)) for i in range(SEQ_WINDOW)]
+        head_fns = [Affine(w_h[s:e], b_h / SEQ_WINDOW) for s, e in head_parts]
+        program = PrimitiveProgram(
+            input_dim=SEQ_TOKENS,
+            steps=[MapStep(conv_parts, conv_fns),
+                   MapStep([(0, SEQ_WINDOW * c)], [relu]),
+                   MapStep(head_parts, head_fns),
+                   SumReduceStep(SEQ_WINDOW, self.n_classes)])
+        program.validate()
+        return program
+
+    def compile_dataplane(self, views: dict[str, np.ndarray]) -> None:
+        self._require_trained()
+        calib = self.view(views, "seq").astype(np.int64)
+        program = fuse_basic(self._program())
+        self.compiled = materialize(
+            program, calib, MaterializeConfig(fuzzy_leaves=self.fuzzy_leaves),
+            name="cnn-b")
+        self.program = program
+
+    def predict_dataplane(self, views: dict[str, np.ndarray]) -> np.ndarray:
+        self._require_compiled()
+        return self.compiled.predict(self.view(views, "seq").astype(np.int64))
+
+    def model_size_kbits(self) -> float:
+        return self.net.param_count() * 32 / 1000
+
+    def input_scale_bits(self) -> int:
+        return SEQ_TOKENS * 8
+
+    def flow_layout(self) -> FlowStateLayout:
+        return FlowStateLayout(fields=[
+            RegisterField("prev_ts", 16),
+            RegisterField("count", 8),
+            RegisterField("tok_hist", 8, count=6),
+        ])  # 72 bits/flow (paper's CNN-B row)
+
+
+class _AdditiveNet(nn.Module):
+    """Per-slot subnetworks whose outputs sum into the logits (CNN-M float)."""
+
+    def __init__(self, n_classes: int, hidden: int, rngs):
+        super().__init__()
+        self.subnets = [
+            nn.Sequential(
+                nn.Linear(2, hidden, rng=int(rngs[3 * i])),
+                nn.ReLU(),
+                nn.Linear(hidden, hidden, rng=int(rngs[3 * i + 1])),
+                nn.ReLU(),
+                nn.Linear(hidden, n_classes, rng=int(rngs[3 * i + 2])),
+            )
+            for i in range(SEQ_WINDOW)
+        ]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = x.astype(np.float64)
+        out = None
+        for i, subnet in enumerate(self.subnets):
+            contrib = subnet.forward(x[:, 2 * i:2 * i + 2])
+            out = contrib if out is None else out + contrib
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grads = [subnet.backward(grad_out) for subnet in self.subnets]
+        return np.concatenate(grads, axis=1)
+
+
+class CNNM(TrafficModel):
+    name = "CNN-M"
+    feature_view = "seq"
+
+    def __init__(self, n_classes: int, seed: int = 0, hidden: int = 48,
+                 epochs: int = 60, fuzzy_leaves: int = 256):
+        super().__init__(n_classes, seed)
+        rngs = np.random.default_rng(seed).integers(0, 2**31, size=3 * SEQ_WINDOW)
+        self.net = _AdditiveNet(n_classes, hidden, rngs)
+        self.epochs = epochs
+        self.fuzzy_leaves = fuzzy_leaves
+
+    def train(self, views: dict[str, np.ndarray]) -> None:
+        x = self.view(views, "seq")
+        y = self.view(views, "y")
+        nn.fit(self.net, x, y, nn.CrossEntropyLoss(),
+               nn.Adam(self.net.parameters(), lr=0.005),
+               epochs=self.epochs, batch_size=64, rng=self.seed)
+        self.trained = True
+
+    def predict_float(self, views: dict[str, np.ndarray]) -> np.ndarray:
+        self._require_trained()
+        return nn.predict_classes(self.net, self.view(views, "seq"))
+
+    def compile_dataplane(self, views: dict[str, np.ndarray]) -> None:
+        self._require_trained()
+        calib = self.view(views, "seq").astype(np.int64)
+        partition = [(2 * i, 2 * i + 2) for i in range(SEQ_WINDOW)]
+
+        def make_fn(subnet):
+            return lambda seg: subnet.forward(seg)
+
+        compiler = PegasusCompiler(CompilerConfig(fuzzy_leaves=self.fuzzy_leaves))
+        result = compiler.compile_additive(
+            partition, [make_fn(s) for s in self.net.subnets],
+            out_dim=self.n_classes, calib_int=calib, name="cnn-m")
+        self.compiled = result.compiled
+        self.result = result
+
+    def predict_dataplane(self, views: dict[str, np.ndarray]) -> np.ndarray:
+        self._require_compiled()
+        return self.compiled.predict(self.view(views, "seq").astype(np.int64))
+
+    def model_size_kbits(self) -> float:
+        return self.net.param_count() * 32 / 1000
+
+    def input_scale_bits(self) -> int:
+        return SEQ_TOKENS * 8
+
+    def flow_layout(self) -> FlowStateLayout:
+        return FlowStateLayout(fields=[
+            RegisterField("prev_ts", 16),
+            RegisterField("count", 8),
+            RegisterField("tok_hist", 8, count=6),
+        ])  # 72 bits/flow
+
+
+class _ByteTrunk(nn.Module):
+    """Shared per-packet subnet over 60 raw bytes (CNN-L float trunk)."""
+
+    def __init__(self, n_classes: int, emb_dim: int, hidden: int, rngs):
+        super().__init__()
+        self.seq = nn.Sequential(
+            nn.Embedding(256, emb_dim, rng=int(rngs[0])),
+            nn.Flatten(),
+            nn.Linear(RAW_BYTES_PER_PACKET * emb_dim, hidden, rng=int(rngs[1])),
+            nn.ReLU(),
+            nn.Linear(hidden, hidden // 2, rng=int(rngs[2])),
+            nn.ReLU(),
+            nn.Linear(hidden // 2, n_classes, rng=int(rngs[3])),
+        )
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.seq.forward(x.astype(np.int64))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return self.seq.backward(grad_out)
+
+
+class _CNNLNet(nn.Module):
+    """CNN-L float model: SumReduce of shared byte-trunk + shared IPD head."""
+
+    def __init__(self, n_classes: int, emb_dim: int, hidden: int,
+                 use_ipd: bool, rngs):
+        super().__init__()
+        self.n_classes = n_classes
+        self.use_ipd = use_ipd
+        self.trunk = _ByteTrunk(n_classes, emb_dim, hidden, rngs)
+        self.ipd_head = nn.Sequential(
+            nn.Embedding(256, 8, rng=int(rngs[4])),
+            nn.Flatten(),
+            nn.Linear(8, n_classes, rng=int(rngs[5])),
+        )
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        # x: (N, 8*60 + 8) = flattened raw bytes + per-packet IPD buckets.
+        n = x.shape[0]
+        raw = x[:, :SEQ_WINDOW * RAW_BYTES_PER_PACKET]
+        bytes_in = raw.reshape(n * SEQ_WINDOW, RAW_BYTES_PER_PACKET)
+        contrib = self.trunk.forward(bytes_in).reshape(n, SEQ_WINDOW, self.n_classes)
+        out = contrib.sum(axis=1)
+        if self.use_ipd:
+            ipd = x[:, SEQ_WINDOW * RAW_BYTES_PER_PACKET:]
+            ipd_in = ipd.reshape(n * SEQ_WINDOW, 1)
+            ipd_c = self.ipd_head.forward(ipd_in).reshape(n, SEQ_WINDOW, self.n_classes)
+            out = out + ipd_c.sum(axis=1)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        n = grad_out.shape[0]
+        rep = np.repeat(grad_out, SEQ_WINDOW, axis=0)
+        self.trunk.backward(rep)
+        if self.use_ipd:
+            self.ipd_head.backward(rep)
+        return np.zeros((n, 1))  # integer inputs carry no gradient
+
+
+class CNNL(TrafficModel):
+    """CNN-L with the Figure-7 per-flow storage variants.
+
+    ``idx_bits`` sets the fuzzy-index width stored per past packet;
+    ``use_ipd`` toggles the 16-bit timestamp + IPD feature. Per-flow bits:
+    28 (4-bit idx, no IPD), 44 (4-bit idx + IPD), 72 (8-bit idx + IPD).
+    """
+
+    name = "CNN-L"
+    feature_view = "raw"
+
+    def __init__(self, n_classes: int, seed: int = 0, emb_dim: int = 8,
+                 hidden: int = 64, epochs: int = 25, idx_bits: int = 4,
+                 use_ipd: bool = True):
+        super().__init__(n_classes, seed)
+        rngs = np.random.default_rng(seed).integers(0, 2**31, size=6)
+        self.net = _CNNLNet(n_classes, emb_dim, hidden, use_ipd, rngs)
+        self.epochs = epochs
+        self.idx_bits = idx_bits
+        self.use_ipd = use_ipd
+        self.extractor_tree: FuzzyTree | None = None
+        self.slot_values: np.ndarray | None = None
+        self.out_format = None
+
+    @staticmethod
+    def _flat_input(views: dict[str, np.ndarray]) -> np.ndarray:
+        raw = views["raw"].reshape(len(views["raw"]), -1).astype(np.int64)
+        ipd = views["seq"][:, 1::2].astype(np.int64)  # odd tokens are IPDs
+        return np.concatenate([raw, ipd], axis=1)
+
+    def train(self, views: dict[str, np.ndarray]) -> None:
+        x = self._flat_input(views)
+        y = self.view(views, "y")
+        nn.fit(self.net, x, y, nn.CrossEntropyLoss(),
+               nn.Adam(self.net.parameters(), lr=0.003),
+               epochs=self.epochs, batch_size=64, rng=self.seed)
+        self.trained = True
+
+    def predict_float(self, views: dict[str, np.ndarray]) -> np.ndarray:
+        self._require_trained()
+        return nn.predict_classes(self.net, self._flat_input(views))
+
+    def _packet_features(self, bytes_rows: np.ndarray,
+                         ipd_buckets: np.ndarray | None) -> np.ndarray:
+        """Refined per-packet features the fuzzy index is computed on.
+
+        Paper §7.3: "Pegasus first uses a neural network to extract
+        high-level, refined features from each packet ... these features
+        can be further compressed through fuzzy matching". The feature is
+        the packet's *total* class contribution — byte trunk plus (when
+        enabled) the IPD head — so a single stored index carries both and
+        the per-flow state is exactly [prev_ts, idx x 7] = 44 bits.
+        Clustering raw bytes instead would fail: min-SSE splits chase
+        high-variance payload noise.
+        """
+        feats = self.net.trunk.forward(np.asarray(bytes_rows, dtype=np.int64))
+        if self.use_ipd and ipd_buckets is not None:
+            feats = feats + self.net.ipd_head.forward(
+                np.asarray(ipd_buckets, dtype=np.int64).reshape(-1, 1))
+        return feats
+
+    def _per_packet_inputs(self, views: dict[str, np.ndarray]
+                           ) -> tuple[np.ndarray, np.ndarray | None]:
+        raw = self.view(views, "raw").astype(np.int64)
+        n = len(raw)
+        flat = raw.reshape(n * SEQ_WINDOW, RAW_BYTES_PER_PACKET)
+        ipd = None
+        if self.use_ipd:
+            ipd = views["seq"][:, 1::2].astype(np.int64).reshape(n * SEQ_WINDOW)
+        return flat, ipd
+
+    def compile_dataplane(self, views: dict[str, np.ndarray]) -> None:
+        self._require_trained()
+        flat, ipd = self._per_packet_inputs(views)
+        n_leaves = 1 << self.idx_bits
+        feats = self._packet_features(flat, ipd)
+        fit_rows = feats
+        if len(fit_rows) > 6000:
+            sel = np.random.default_rng(self.seed).choice(len(fit_rows), 6000,
+                                                          replace=False)
+            fit_rows = fit_rows[sel]
+        self.extractor_tree = FuzzyTree.fit(fit_rows, n_leaves=n_leaves,
+                                            min_cluster=4)
+        # Leaf values: the mean per-packet contribution of the leaf's
+        # members (refined below by least squares on the window objective).
+        value_float = self.extractor_tree.centroids.copy()
+        self.out_format = choose_qformat(value_float.ravel() * SEQ_WINDOW, 16)
+        self.slot_values = self.out_format.quantize(value_float)
+        self._refine(views)
+        self.compiled = self  # self-hosting compiled artifact
+
+    def _refine(self, views: dict[str, np.ndarray]) -> None:
+        """Least-squares refinement of the shared contribution table against
+        the float model's logits (the §4.4 mapping optimization)."""
+        flat, ipd = self._per_packet_inputs(views)
+        feats = self._packet_features(flat, ipd)
+        n = len(feats) // SEQ_WINDOW
+        idx = self.extractor_tree.predict_index(feats).reshape(n, SEQ_WINDOW)
+        n_leaves = self.extractor_tree.n_leaves
+        counts = np.zeros((n, n_leaves))
+        for s in range(SEQ_WINDOW):
+            counts[np.arange(n), idx[:, s]] += 1.0
+        target = feats.reshape(n, SEQ_WINDOW, -1).sum(axis=1)
+        gram = counts.T @ counts + 1e-6 * np.eye(n_leaves)
+        solution = np.linalg.solve(gram, counts.T @ target)
+        self.slot_values = self.out_format.quantize(solution)
+
+    def _dataplane_logits(self, views: dict[str, np.ndarray]) -> np.ndarray:
+        flat, ipd = self._per_packet_inputs(views)
+        feats = self._packet_features(flat, ipd)
+        n = len(feats) // SEQ_WINDOW
+        idx = self.extractor_tree.predict_index(feats)
+        logits = self.slot_values[idx].reshape(n, SEQ_WINDOW, -1).sum(axis=1)
+        return np.clip(logits, self.out_format.int_min * SEQ_WINDOW,
+                       self.out_format.int_max * SEQ_WINDOW)
+
+    def predict_dataplane(self, views: dict[str, np.ndarray]) -> np.ndarray:
+        self._require_compiled()
+        return np.argmax(self._dataplane_logits(views), axis=1)
+
+    def make_runtime(self, capacity: int = 1_000_000) -> TwoStageRuntime:
+        """A packet-level runtime storing only fuzzy indexes per flow."""
+        self._require_compiled()
+
+        def feature_fn(rows, ipd_bucket=None):
+            ipd = None if ipd_bucket is None else np.atleast_1d(ipd_bucket)
+            return self._packet_features(rows, ipd)
+
+        return TwoStageRuntime(
+            extractor_tree=self.extractor_tree,
+            feature_fn=feature_fn,
+            slot_values=[self.slot_values] * SEQ_WINDOW,
+            n_classes=self.n_classes,
+            idx_bits=self.idx_bits,
+            needs_ipd=self.use_ipd,
+            capacity=capacity)
+
+    def model_size_kbits(self) -> float:
+        return self.net.param_count() * 32 / 1000
+
+    def input_scale_bits(self) -> int:
+        return SEQ_WINDOW * RAW_BYTES_PER_PACKET * 8  # 3840 bits
+
+    def flow_layout(self) -> FlowStateLayout:
+        fields = [RegisterField("idx_hist", self.idx_bits, count=SEQ_WINDOW - 1)]
+        if self.use_ipd:
+            fields.insert(0, RegisterField("prev_ts", 16))
+        return FlowStateLayout(fields=fields)
+
+    # -- resource accounting for Table 6 -------------------------------------
+
+    def sram_bits(self) -> int:
+        n_leaves = self.extractor_tree.n_leaves if self.extractor_tree else 0
+        out_bits = self.out_format.total_bits if self.out_format else 16
+        return SEQ_WINDOW * n_leaves * self.n_classes * out_bits
+
+    def tcam_bits(self) -> int:
+        # The extractor tree ranges over the trunk's refined features
+        # (16-bit fixed point, one per class contribution).
+        if self.extractor_tree is None:
+            return 0
+        entries = self.extractor_tree.tcam_entries(key_bits=16, signed=True)
+        return entries * 2 * 16 * self.extractor_tree.dim
+
+    def bus_bits(self) -> int:
+        out_bits = self.out_format.total_bits if self.out_format else 16
+        return self.n_classes * out_bits * 2

@@ -1,0 +1,87 @@
+"""MLP-B: the basic MLP on statistical features (paper §6.3).
+
+Three hidden blocks of [BatchNorm, FC, ReLU] over the 16 x 8-bit statistical
+feature vector (128-bit input scale), compiled with Basic Primitive Fusion:
+the whole network becomes 4 lookup rounds and, after fusion, the first
+round's segment tables absorb BN while the post-SumReduce nonlinear tail
+fuses into whole-vector fuzzy maps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.core import PegasusCompiler, CompilerConfig
+from repro.dataplane.registers import FlowStateLayout, RegisterField
+from repro.models.base import TrafficModel
+from repro.net.features import N_STAT_FEATURES, SEQ_WINDOW
+
+
+class MLPB(TrafficModel):
+    name = "MLP-B"
+    feature_view = "stats"
+
+    def __init__(self, n_classes: int, seed: int = 0, hidden: int = 16,
+                 epochs: int = 60):
+        super().__init__(n_classes, seed)
+        self.hidden = hidden
+        self.epochs = epochs
+        rngs = np.random.default_rng(seed).integers(0, 2**31, size=8)
+        d = N_STAT_FEATURES
+        h = hidden
+        self.net = nn.Sequential(
+            nn.BatchNorm1d(d),
+            nn.Linear(d, h, rng=int(rngs[0])),
+            nn.ReLU(),
+            nn.BatchNorm1d(h),
+            nn.Linear(h, h, rng=int(rngs[1])),
+            nn.ReLU(),
+            nn.BatchNorm1d(h),
+            nn.Linear(h, h, rng=int(rngs[2])),
+            nn.ReLU(),
+            nn.Linear(h, n_classes, rng=int(rngs[3])),
+        )
+        self.result = None
+
+    def train(self, views: dict[str, np.ndarray]) -> None:
+        x = self.view(views, "stats").astype(np.float64)
+        y = self.view(views, "y")
+        nn.fit(self.net, x, y, nn.CrossEntropyLoss(),
+               nn.Adam(self.net.parameters(), lr=0.01),
+               epochs=self.epochs, batch_size=64, rng=self.seed)
+        self.trained = True
+
+    def predict_float(self, views: dict[str, np.ndarray]) -> np.ndarray:
+        self._require_trained()
+        return nn.predict_classes(self.net, self.view(views, "stats").astype(np.float64))
+
+    def compile_dataplane(self, views: dict[str, np.ndarray]) -> None:
+        self._require_trained()
+        calib = self.view(views, "stats").astype(np.int64)
+        compiler = PegasusCompiler(CompilerConfig(
+            input_segment_dim=2, fuzzy_leaves=256, refine=True))
+        self.result = compiler.compile_sequential(self.net, calib, name="mlp-b")
+        self.compiled = self.result.compiled
+
+    def predict_dataplane(self, views: dict[str, np.ndarray]) -> np.ndarray:
+        self._require_compiled()
+        return self.compiled.predict(self.view(views, "stats").astype(np.int64))
+
+    def model_size_kbits(self) -> float:
+        return self.net.param_count() * 32 / 1000
+
+    def input_scale_bits(self) -> int:
+        return N_STAT_FEATURES * 8
+
+    def flow_layout(self) -> FlowStateLayout:
+        # Same per-flow budget as Leo/N3IC in the paper: running stats plus
+        # the current window's token history for packet-level features.
+        return FlowStateLayout(fields=[
+            RegisterField("prev_ts", 16),
+            RegisterField("max_len", 8), RegisterField("min_len", 8),
+            RegisterField("max_ipd", 8), RegisterField("min_ipd", 8),
+            RegisterField("count", 8),
+            RegisterField("len_hist", 8, count=max(SEQ_WINDOW - 6, 0)),
+            RegisterField("ipd_hist", 8, count=1),
+        ])  # 80 bits/flow, matching the paper's Table 6 row

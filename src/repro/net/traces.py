@@ -1,0 +1,79 @@
+"""Binary trace serialization (a minimal pcap stand-in).
+
+Format ``SPCAP1``: a magic header, then one record per packet:
+``<ts:f64><length:u16><payload_len:u16><5-tuple:u32 u32 u16 u16 u8><payload bytes>``
+little-endian. Good enough to persist synthetic datasets and replay them
+through the switch runtime deterministically.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import TraceFormatError
+from repro.net.packet import Packet, FlowKey
+
+_MAGIC = b"SPCAP1\x00\x00"
+_REC_HEADER = struct.Struct("<dHHIIHHB")
+
+
+@dataclass
+class Trace:
+    """A time-ordered packet sequence, as seen on the wire."""
+
+    packets: list[Packet] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.packets)
+
+    def sort(self) -> "Trace":
+        self.packets.sort(key=lambda p: p.ts)
+        return self
+
+    @staticmethod
+    def from_flows(flows: list) -> "Trace":
+        """Interleave the packets of many flows by timestamp."""
+        packets = [p for f in flows for p in f.packets]
+        return Trace(packets).sort()
+
+
+def write_trace(trace: Trace, path: str | Path) -> None:
+    """Serialize a trace to the SPCAP1 binary format."""
+    path = Path(path)
+    with path.open("wb") as fh:
+        fh.write(_MAGIC)
+        for pkt in trace.packets:
+            header = _REC_HEADER.pack(
+                pkt.ts, pkt.length, pkt.payload_len,
+                pkt.key.src_ip, pkt.key.dst_ip,
+                pkt.key.src_port, pkt.key.dst_port, pkt.key.proto,
+            )
+            fh.write(header)
+            fh.write(pkt.payload.tobytes())
+
+
+def read_trace(path: str | Path) -> Trace:
+    """Read a trace previously written by :func:`write_trace`."""
+    path = Path(path)
+    data = path.read_bytes()
+    if not data.startswith(_MAGIC):
+        raise TraceFormatError(f"{path} is not an SPCAP1 trace")
+    offset = len(_MAGIC)
+    packets: list[Packet] = []
+    while offset < len(data):
+        if offset + _REC_HEADER.size > len(data):
+            raise TraceFormatError(f"{path}: truncated record header at byte {offset}")
+        (ts, length, payload_len, src_ip, dst_ip,
+         src_port, dst_port, proto) = _REC_HEADER.unpack_from(data, offset)
+        offset += _REC_HEADER.size
+        if offset + payload_len > len(data):
+            raise TraceFormatError(f"{path}: truncated payload at byte {offset}")
+        payload = np.frombuffer(data[offset:offset + payload_len], dtype=np.uint8).copy()
+        offset += payload_len
+        key = FlowKey(src_ip, dst_ip, src_port, dst_port, proto)
+        packets.append(Packet(ts=ts, length=length, key=key, payload=payload))
+    return Trace(packets)

@@ -1,0 +1,61 @@
+"""A pure-NumPy neural-network substrate.
+
+The paper trains its models in a conventional DL framework before compiling
+them to the dataplane. No GPU framework is available offline, so this package
+implements the needed subset from scratch: layers with explicit forward and
+backward passes, losses, optimizers, and a training loop. It also provides
+straight-through-estimator binarization used by the N3IC and BoS baselines.
+"""
+
+from repro.nn.module import Parameter, Module, Sequential
+from repro.nn.layers import (
+    Linear,
+    Conv1d,
+    BatchNorm1d,
+    ReLU,
+    Tanh,
+    Sigmoid,
+    Softmax,
+    MaxPool1d,
+    AvgPool1d,
+    GlobalMaxPool1d,
+    Embedding,
+    Flatten,
+    Transpose12,
+)
+from repro.nn.rnn import RNNCell, WindowedRNN
+from repro.nn.binary import BinarizeSTE, BinaryLinear
+from repro.nn.losses import CrossEntropyLoss, MSELoss, MAELoss
+from repro.nn.optim import SGD, Adam
+from repro.nn.train import fit, predict_classes, iterate_minibatches
+
+__all__ = [
+    "Parameter",
+    "Module",
+    "Sequential",
+    "Linear",
+    "Conv1d",
+    "BatchNorm1d",
+    "ReLU",
+    "Tanh",
+    "Sigmoid",
+    "Softmax",
+    "MaxPool1d",
+    "AvgPool1d",
+    "GlobalMaxPool1d",
+    "Embedding",
+    "Flatten",
+    "Transpose12",
+    "RNNCell",
+    "WindowedRNN",
+    "BinarizeSTE",
+    "BinaryLinear",
+    "CrossEntropyLoss",
+    "MSELoss",
+    "MAELoss",
+    "SGD",
+    "Adam",
+    "fit",
+    "predict_classes",
+    "iterate_minibatches",
+]

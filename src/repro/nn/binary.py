@@ -1,0 +1,70 @@
+"""Binarized layers for the N3IC and BoS baselines.
+
+N3IC binarizes the *entire* model (weights and activations to ±1) so MatMul
+reduces to XNOR + popcount on the SmartNIC. BoS binarizes only the input and
+output activations of each per-timestep block. Both are trained with the
+straight-through estimator (STE): forward uses ``sign``, backward passes the
+gradient through wherever the pre-activation magnitude is below 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.utils.rng import new_rng
+
+
+def sign_pm1(x: np.ndarray) -> np.ndarray:
+    """Binarize to ±1 (zero maps to +1, matching N3IC's convention)."""
+    return np.where(x >= 0, 1.0, -1.0)
+
+
+class BinarizeSTE(Module):
+    """±1 binarization with a clipped straight-through gradient."""
+
+    def __init__(self):
+        super().__init__()
+        self._x = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        return sign_pm1(x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out * (np.abs(self._x) <= 1.0)
+
+
+class BinaryLinear(Module):
+    """Linear layer whose weights are binarized to ±1 in the forward pass.
+
+    Full-precision master weights are kept for the optimizer; the forward
+    pass uses their sign, exactly what deploys as packed bits on the NIC.
+    """
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: np.random.Generator | int | None = None):
+        super().__init__()
+        rng = new_rng(rng)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            rng.uniform(-1, 1, (in_features, out_features)), "binlinear.weight")
+        self._x = None
+        self._w_bin = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        self._w_bin = sign_pm1(self.weight.data)
+        return x @ self._w_bin
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        # STE on the weights: gradient flows to the master weights as if the
+        # binarization were the identity (clipped to |w| <= 1).
+        grad_w = self._x.reshape(-1, self.in_features).T @ grad_out.reshape(-1, self.out_features)
+        self.weight.grad += grad_w * (np.abs(self.weight.data) <= 1.0)
+        return grad_out @ self._w_bin.T
+
+    def binary_weights(self) -> np.ndarray:
+        """The deployed ±1 weight matrix."""
+        return sign_pm1(self.weight.data)

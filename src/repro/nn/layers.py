@@ -1,0 +1,361 @@
+"""Core layers: the DL operators listed in the paper's Table 4.
+
+Fully connected (MatMul + bias), 1-D convolution, batch normalization,
+activations (ReLU, tanh, sigmoid, softmax), pooling, and embedding lookup.
+Shapes follow the PyTorch convention: dense inputs are ``(N, F)``,
+convolutional inputs ``(N, C, L)``, embedding inputs integer ``(N, T)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.module import Module, Parameter
+from repro.utils.rng import new_rng
+
+
+def _kaiming(rng: np.random.Generator, fan_in: int, shape: tuple[int, ...]) -> np.ndarray:
+    return rng.normal(0.0, np.sqrt(2.0 / max(fan_in, 1)), size=shape)
+
+
+class Linear(Module):
+    """Fully connected layer: ``y = x @ W + b``."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 bias: bool = True, rng: np.random.Generator | int | None = None):
+        super().__init__()
+        rng = new_rng(rng)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(_kaiming(rng, in_features, (in_features, out_features)), "linear.weight")
+        self.bias = Parameter(np.zeros(out_features), "linear.bias") if bias else None
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.shape[-1] != self.in_features:
+            raise ShapeError(f"Linear expected {self.in_features} features, got {x.shape[-1]}")
+        self._x = x
+        y = x @ self.weight.data
+        if self.bias is not None:
+            y = y + self.bias.data
+        return y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        x = self._x
+        flat_x = x.reshape(-1, self.in_features)
+        flat_g = grad_out.reshape(-1, self.out_features)
+        self.weight.grad += flat_x.T @ flat_g
+        if self.bias is not None:
+            self.bias.grad += flat_g.sum(axis=0)
+        return grad_out @ self.weight.data.T
+
+
+class Conv1d(Module):
+    """1-D convolution over ``(N, C_in, L)`` inputs, implemented with im2col."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 stride: int = 1, padding: int = 0,
+                 rng: np.random.Generator | int | None = None):
+        super().__init__()
+        rng = new_rng(rng)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel_size
+        self.weight = Parameter(
+            _kaiming(rng, fan_in, (out_channels, in_channels, kernel_size)), "conv.weight")
+        self.bias = Parameter(np.zeros(out_channels), "conv.bias")
+        self._cols: np.ndarray | None = None
+        self._x_shape: tuple[int, ...] | None = None
+
+    def output_length(self, length: int) -> int:
+        return (length + 2 * self.padding - self.kernel_size) // self.stride + 1
+
+    def _im2col(self, x: np.ndarray) -> np.ndarray:
+        n, c, length = x.shape
+        out_l = self.output_length(length)
+        if out_l <= 0:
+            raise ShapeError(
+                f"Conv1d kernel {self.kernel_size} does not fit input of length {length}")
+        if self.padding:
+            x = np.pad(x, ((0, 0), (0, 0), (self.padding, self.padding)))
+        idx = (np.arange(out_l)[:, None] * self.stride + np.arange(self.kernel_size)[None, :])
+        cols = x[:, :, idx]                      # (N, C, out_l, K)
+        cols = cols.transpose(0, 2, 1, 3)        # (N, out_l, C, K)
+        return cols.reshape(n, out_l, c * self.kernel_size)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 3 or x.shape[1] != self.in_channels:
+            raise ShapeError(f"Conv1d expected (N, {self.in_channels}, L), got {x.shape}")
+        self._x_shape = x.shape
+        cols = self._im2col(x)                   # (N, out_l, C*K)
+        self._cols = cols
+        w = self.weight.data.reshape(self.out_channels, -1)  # (O, C*K)
+        y = cols @ w.T + self.bias.data          # (N, out_l, O)
+        return y.transpose(0, 2, 1)              # (N, O, out_l)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        n, _, length = self._x_shape
+        out_l = self.output_length(length)
+        g = grad_out.transpose(0, 2, 1).reshape(-1, self.out_channels)  # (N*out_l, O)
+        cols = self._cols.reshape(-1, self.in_channels * self.kernel_size)
+        self.weight.grad += (g.T @ cols).reshape(self.weight.data.shape)
+        self.bias.grad += g.sum(axis=0)
+        w = self.weight.data.reshape(self.out_channels, -1)
+        grad_cols = (g @ w).reshape(n, out_l, self.in_channels, self.kernel_size)
+        padded = np.zeros((n, self.in_channels, length + 2 * self.padding))
+        for k in range(self.kernel_size):
+            positions = np.arange(out_l) * self.stride + k
+            np.add.at(padded, (slice(None), slice(None), positions),
+                      grad_cols[:, :, :, k].transpose(0, 2, 1))
+        if self.padding:
+            return padded[:, :, self.padding:-self.padding]
+        return padded
+
+
+class BatchNorm1d(Module):
+    """Batch normalization over ``(N, F)`` or ``(N, C, L)`` inputs.
+
+    At inference this is the element-wise linear transform
+    ``gamma * (x - mu) / sigma + beta`` the paper folds into Map primitives.
+    """
+
+    def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5):
+        super().__init__()
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = Parameter(np.ones(num_features), "bn.gamma")
+        self.beta = Parameter(np.zeros(num_features), "bn.beta")
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+        self._cache = None
+
+    def _moments_axes(self, x: np.ndarray) -> tuple[int, ...]:
+        if x.ndim == 2:
+            return (0,)
+        if x.ndim == 3:
+            return (0, 2)
+        raise ShapeError(f"BatchNorm1d expected 2-D or 3-D input, got {x.ndim}-D")
+
+    def _expand(self, v: np.ndarray, ndim: int) -> np.ndarray:
+        return v[None, :, None] if ndim == 3 else v[None, :]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        axes = self._moments_axes(x)
+        if self.training:
+            mean = x.mean(axis=axes)
+            var = x.var(axis=axes)
+            self.running_mean = (1 - self.momentum) * self.running_mean + self.momentum * mean
+            self.running_var = (1 - self.momentum) * self.running_var + self.momentum * var
+        else:
+            mean, var = self.running_mean, self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - self._expand(mean, x.ndim)) * self._expand(inv_std, x.ndim)
+        self._cache = (x_hat, inv_std, axes, x.ndim)
+        return self._expand(self.gamma.data, x.ndim) * x_hat + self._expand(self.beta.data, x.ndim)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        x_hat, inv_std, axes, ndim = self._cache
+        m = np.prod([grad_out.shape[a] for a in axes])
+        self.gamma.grad += (grad_out * x_hat).sum(axis=axes)
+        self.beta.grad += grad_out.sum(axis=axes)
+        g = grad_out * self._expand(self.gamma.data, ndim)
+        if self.training:
+            gs = g.sum(axis=axes, keepdims=True)
+            gxs = (g * x_hat).sum(axis=axes, keepdims=True)
+            return self._expand(inv_std, ndim) * (g - gs / m - x_hat * gxs / m)
+        return g * self._expand(inv_std, ndim)
+
+    def inference_scale_shift(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return (scale, shift) so that inference BN is ``scale * x + shift``."""
+        inv_std = 1.0 / np.sqrt(self.running_var + self.eps)
+        scale = self.gamma.data * inv_std
+        shift = self.beta.data - self.gamma.data * self.running_mean * inv_std
+        return scale, shift
+
+
+class ReLU(Module):
+    def __init__(self):
+        super().__init__()
+        self._mask = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out * self._mask
+
+
+class Tanh(Module):
+    def __init__(self):
+        super().__init__()
+        self._y = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._y = np.tanh(x)
+        return self._y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out * (1.0 - self._y ** 2)
+
+
+class Sigmoid(Module):
+    def __init__(self):
+        super().__init__()
+        self._y = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._y = 1.0 / (1.0 + np.exp(-x))
+        return self._y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out * self._y * (1.0 - self._y)
+
+
+class Softmax(Module):
+    """Softmax over the last axis (numerically stabilized)."""
+
+    def __init__(self):
+        super().__init__()
+        self._y = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        shifted = x - x.max(axis=-1, keepdims=True)
+        e = np.exp(shifted)
+        self._y = e / e.sum(axis=-1, keepdims=True)
+        return self._y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        y = self._y
+        dot = (grad_out * y).sum(axis=-1, keepdims=True)
+        return y * (grad_out - dot)
+
+
+class MaxPool1d(Module):
+    """Max pooling over ``(N, C, L)``; L must be divisible by ``kernel_size``."""
+
+    def __init__(self, kernel_size: int):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, length = x.shape
+        k = self.kernel_size
+        if length % k:
+            trim = length - length % k
+            x = x[:, :, :trim]
+            length = trim
+        windows = x.reshape(n, c, length // k, k)
+        arg = windows.argmax(axis=-1)
+        self._cache = (x.shape, arg)
+        return windows.max(axis=-1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        shape, arg = self._cache
+        n, c, length = shape
+        k = self.kernel_size
+        grad = np.zeros((n, c, length // k, k))
+        idx_n, idx_c, idx_w = np.indices(arg.shape)
+        grad[idx_n, idx_c, idx_w, arg] = grad_out
+        return grad.reshape(n, c, length)
+
+
+class AvgPool1d(Module):
+    """Average pooling over ``(N, C, L)``."""
+
+    def __init__(self, kernel_size: int):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self._shape = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, length = x.shape
+        k = self.kernel_size
+        if length % k:
+            x = x[:, :, :length - length % k]
+        self._shape = x.shape
+        return x.reshape(n, c, -1, k).mean(axis=-1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        n, c, length = self._shape
+        k = self.kernel_size
+        grad = np.repeat(grad_out[..., None], k, axis=-1) / k
+        return grad.reshape(n, c, length)
+
+
+class GlobalMaxPool1d(Module):
+    """Max over the length axis: ``(N, C, L) -> (N, C)`` (textcnn head)."""
+
+    def __init__(self):
+        super().__init__()
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        arg = x.argmax(axis=-1)
+        self._cache = (x.shape, arg)
+        return x.max(axis=-1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        shape, arg = self._cache
+        grad = np.zeros(shape)
+        idx_n, idx_c = np.indices(arg.shape)
+        grad[idx_n, idx_c, arg] = grad_out
+        return grad
+
+
+class Embedding(Module):
+    """Embedding lookup: integer ``(N, T)`` -> ``(N, T, D)``."""
+
+    def __init__(self, num_embeddings: int, embedding_dim: int,
+                 rng: np.random.Generator | int | None = None):
+        super().__init__()
+        rng = new_rng(rng)
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(rng.normal(0, 0.5, (num_embeddings, embedding_dim)), "emb.weight")
+        self._idx = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        idx = np.asarray(x, dtype=np.int64)
+        if idx.min() < 0 or idx.max() >= self.num_embeddings:
+            raise ShapeError(
+                f"embedding index out of range [0, {self.num_embeddings}): "
+                f"[{idx.min()}, {idx.max()}]")
+        self._idx = idx
+        return self.weight.data[idx]
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        np.add.at(self.weight.grad, self._idx.ravel(),
+                  grad_out.reshape(-1, self.embedding_dim))
+        return np.zeros(self._idx.shape)  # indices carry no gradient
+
+
+class Flatten(Module):
+    """Flatten all axes after the batch axis."""
+
+    def __init__(self):
+        super().__init__()
+        self._shape = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out.reshape(self._shape)
+
+
+class Transpose12(Module):
+    """Swap axes 1 and 2, e.g. ``(N, T, D) -> (N, D, T)`` before a Conv1d."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x.transpose(0, 2, 1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out.transpose(0, 2, 1)

@@ -1,0 +1,43 @@
+"""Loss functions with analytic gradients."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+class CrossEntropyLoss:
+    """Softmax cross-entropy on raw logits with integer class targets."""
+
+    def __call__(self, logits: np.ndarray, targets: np.ndarray) -> tuple[float, np.ndarray]:
+        if logits.ndim != 2:
+            raise ShapeError(f"expected (N, C) logits, got {logits.shape}")
+        targets = np.asarray(targets, dtype=np.int64)
+        n = logits.shape[0]
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        log_z = np.log(np.exp(shifted).sum(axis=1))
+        log_probs = shifted - log_z[:, None]
+        loss = -log_probs[np.arange(n), targets].mean()
+        probs = np.exp(log_probs)
+        grad = probs
+        grad[np.arange(n), targets] -= 1.0
+        return float(loss), grad / n
+
+
+class MSELoss:
+    """Mean squared error."""
+
+    def __call__(self, pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+        diff = pred - target
+        loss = float(np.mean(diff ** 2))
+        return loss, 2.0 * diff / diff.size
+
+
+class MAELoss:
+    """Mean absolute error — the AutoEncoder's reconstruction metric."""
+
+    def __call__(self, pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+        diff = pred - target
+        loss = float(np.mean(np.abs(diff)))
+        return loss, np.sign(diff) / diff.size

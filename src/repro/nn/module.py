@@ -1,0 +1,125 @@
+"""Module / Parameter abstractions for the NumPy NN substrate.
+
+Each :class:`Module` implements ``forward`` (caching whatever its backward
+pass needs) and ``backward`` (consuming the gradient w.r.t. its output,
+accumulating parameter gradients, and returning the gradient w.r.t. its
+input). :class:`Sequential` chains modules; that is all the model topology
+the paper's six networks require.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Parameter:
+    """A trainable array with an accumulated gradient."""
+
+    def __init__(self, data: np.ndarray, name: str = "param"):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    def zero_grad(self) -> None:
+        self.grad[...] = 0.0
+
+    def numel(self) -> int:
+        return int(self.data.size)
+
+    def __repr__(self) -> str:
+        return f"Parameter({self.name}, shape={self.data.shape})"
+
+
+class Module:
+    """Base class for all layers."""
+
+    def __init__(self):
+        self.training = True
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def parameters(self) -> list[Parameter]:
+        """All trainable parameters, including those of child modules."""
+        params: list[Parameter] = []
+        for value in self.__dict__.values():
+            if isinstance(value, Parameter):
+                params.append(value)
+            elif isinstance(value, Module):
+                params.extend(value.parameters())
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        params.extend(item.parameters())
+                    elif isinstance(item, Parameter):
+                        params.append(item)
+        return params
+
+    def children(self) -> list["Module"]:
+        kids: list[Module] = []
+        for value in self.__dict__.values():
+            if isinstance(value, Module):
+                kids.append(value)
+            elif isinstance(value, (list, tuple)):
+                kids.extend(v for v in value if isinstance(v, Module))
+        return kids
+
+    def train_mode(self, flag: bool = True) -> "Module":
+        """Switch this module (and children) between train and eval behaviour."""
+        self.training = flag
+        for child in self.children():
+            child.train_mode(flag)
+        return self
+
+    def eval_mode(self) -> "Module":
+        return self.train_mode(False)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def param_count(self) -> int:
+        return sum(p.numel() for p in self.parameters())
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+
+class Sequential(Module):
+    """Run a list of modules in order; backward runs them in reverse."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self.modules = list(modules)
+
+    def append(self, module: Module) -> "Sequential":
+        self.modules.append(module)
+        return self
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for module in self.modules:
+            x = module.forward(x)
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        for module in reversed(self.modules):
+            grad_out = module.backward(grad_out)
+        return grad_out
+
+    def __len__(self) -> int:
+        return len(self.modules)
+
+    def __getitem__(self, idx):
+        if isinstance(idx, slice):
+            return Sequential(*self.modules[idx])
+        return self.modules[idx]
+
+    def __iter__(self):
+        return iter(self.modules)

@@ -1,0 +1,82 @@
+"""Recurrent layers.
+
+The paper's RNN-B follows BoS's *windowed* design: a fixed window of tokens
+is unrolled on the switch, so no hidden-state write-back is needed.
+:class:`WindowedRNN` implements exactly that — it consumes ``(N, T, D)``
+embedded sequences and returns the final hidden state ``(N, H)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.module import Module, Parameter
+from repro.utils.rng import new_rng
+
+
+class RNNCell(Module):
+    """Elman cell: ``h' = tanh(x @ W_x + h @ W_h + b)``."""
+
+    def __init__(self, input_dim: int, hidden_dim: int,
+                 rng: np.random.Generator | int | None = None):
+        super().__init__()
+        rng = new_rng(rng)
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        s_x = np.sqrt(1.0 / max(input_dim, 1))
+        s_h = np.sqrt(1.0 / max(hidden_dim, 1))
+        self.w_x = Parameter(rng.uniform(-s_x, s_x, (input_dim, hidden_dim)), "rnn.w_x")
+        self.w_h = Parameter(rng.uniform(-s_h, s_h, (hidden_dim, hidden_dim)), "rnn.w_h")
+        self.bias = Parameter(np.zeros(hidden_dim), "rnn.bias")
+
+    def step(self, x: np.ndarray, h: np.ndarray) -> np.ndarray:
+        return np.tanh(x @ self.w_x.data + h @ self.w_h.data + self.bias.data)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError("use WindowedRNN to unroll an RNNCell")
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError("use WindowedRNN to unroll an RNNCell")
+
+
+class WindowedRNN(Module):
+    """Unroll an :class:`RNNCell` over a fixed window; output the last hidden state.
+
+    Backward is full backpropagation-through-time over the window.
+    """
+
+    def __init__(self, input_dim: int, hidden_dim: int,
+                 rng: np.random.Generator | int | None = None):
+        super().__init__()
+        self.cell = RNNCell(input_dim, hidden_dim, rng=rng)
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        self._cache: list[tuple[np.ndarray, np.ndarray, np.ndarray]] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 3 or x.shape[2] != self.input_dim:
+            raise ShapeError(f"WindowedRNN expected (N, T, {self.input_dim}), got {x.shape}")
+        n, t, _ = x.shape
+        h = np.zeros((n, self.hidden_dim))
+        self._cache = []
+        for step in range(t):
+            x_t = x[:, step, :]
+            h_new = self.cell.step(x_t, h)
+            self._cache.append((x_t, h, h_new))
+            h = h_new
+        return h
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        cell = self.cell
+        grad_h = grad_out
+        grad_x = np.zeros((grad_out.shape[0], len(self._cache), self.input_dim))
+        for step in range(len(self._cache) - 1, -1, -1):
+            x_t, h_prev, h_new = self._cache[step]
+            grad_pre = grad_h * (1.0 - h_new ** 2)
+            cell.w_x.grad += x_t.T @ grad_pre
+            cell.w_h.grad += h_prev.T @ grad_pre
+            cell.bias.grad += grad_pre.sum(axis=0)
+            grad_x[:, step, :] = grad_pre @ cell.w_x.data.T
+            grad_h = grad_pre @ cell.w_h.data.T
+        return grad_x

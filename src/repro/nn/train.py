@@ -1,0 +1,72 @@
+"""Minibatch training loop used by every model and baseline."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.nn.module import Module
+from repro.nn.optim import Optimizer
+from repro.utils.rng import new_rng
+
+
+def iterate_minibatches(
+    x: np.ndarray,
+    y: np.ndarray,
+    batch_size: int,
+    rng: np.random.Generator | int | None = None,
+    shuffle: bool = True,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(x_batch, y_batch)`` pairs covering the dataset once."""
+    if len(x) != len(y):
+        raise TrainingError(f"x and y lengths differ: {len(x)} vs {len(y)}")
+    order = np.arange(len(x))
+    if shuffle:
+        new_rng(rng).shuffle(order)
+    for start in range(0, len(x), batch_size):
+        sel = order[start:start + batch_size]
+        yield x[sel], y[sel]
+
+
+def fit(
+    model: Module,
+    x: np.ndarray,
+    y: np.ndarray,
+    loss_fn: Callable[[np.ndarray, np.ndarray], tuple[float, np.ndarray]],
+    optimizer: Optimizer,
+    epochs: int = 10,
+    batch_size: int = 64,
+    rng: np.random.Generator | int | None = None,
+    verbose: bool = False,
+) -> list[float]:
+    """Train ``model`` in place; return the per-epoch mean loss curve."""
+    rng = new_rng(rng)
+    model.train_mode(True)
+    history: list[float] = []
+    for epoch in range(epochs):
+        losses = []
+        for xb, yb in iterate_minibatches(x, y, batch_size, rng=rng):
+            optimizer.zero_grad()
+            out = model.forward(xb)
+            loss, grad = loss_fn(out, yb)
+            model.backward(grad)
+            optimizer.step()
+            losses.append(loss)
+        epoch_loss = float(np.mean(losses))
+        history.append(epoch_loss)
+        if verbose:
+            print(f"epoch {epoch + 1}/{epochs}: loss={epoch_loss:.4f}")
+    model.train_mode(False)
+    return history
+
+
+def predict_classes(model: Module, x: np.ndarray, batch_size: int = 512) -> np.ndarray:
+    """Argmax class predictions in eval mode, batched to bound memory."""
+    model.eval_mode()
+    outputs = []
+    for start in range(0, len(x), batch_size):
+        logits = model.forward(x[start:start + batch_size])
+        outputs.append(np.argmax(logits, axis=-1))
+    return np.concatenate(outputs) if outputs else np.array([], dtype=np.int64)

@@ -1,0 +1,23 @@
+"""Shared low-level utilities: RNG handling, bit manipulation, fixed point."""
+
+from repro.utils.rng import new_rng, spawn_rngs
+from repro.utils.bits import (
+    popcount,
+    int_to_bits,
+    bits_to_int,
+    pack_signs,
+    xnor_popcount,
+)
+from repro.utils.fixed_point import QFormat, choose_qformat
+
+__all__ = [
+    "new_rng",
+    "spawn_rngs",
+    "popcount",
+    "int_to_bits",
+    "bits_to_int",
+    "pack_signs",
+    "xnor_popcount",
+    "QFormat",
+    "choose_qformat",
+]

@@ -1,0 +1,78 @@
+"""Bit-level helpers used by the dataplane simulator and binarized baselines.
+
+The PISA dataplane works on fixed-width integers, and the N3IC baseline
+replaces multiply-accumulate with XNOR + population count on packed bit
+vectors. These helpers implement those operations efficiently in NumPy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# 16-bit popcount lookup table; uint64 popcount folds through it.
+_POP16 = np.array([bin(i).count("1") for i in range(1 << 16)], dtype=np.uint8)
+
+
+def popcount(values: np.ndarray | int) -> np.ndarray | int:
+    """Population count (number of set bits) of unsigned integers.
+
+    Accepts scalars or arrays of any unsigned integer dtype up to 64 bits.
+    """
+    scalar = np.isscalar(values)
+    arr = np.asarray(values, dtype=np.uint64)
+    total = np.zeros(arr.shape, dtype=np.int64)
+    work = arr.copy()
+    for _ in range(4):
+        total += _POP16[(work & np.uint64(0xFFFF)).astype(np.int64)]
+        work >>= np.uint64(16)
+    if scalar:
+        return int(total)
+    return total
+
+
+def int_to_bits(value: int, width: int) -> np.ndarray:
+    """Expand an unsigned integer into a most-significant-bit-first bit array."""
+    if value < 0 or value >= (1 << width):
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    return np.array([(value >> (width - 1 - i)) & 1 for i in range(width)], dtype=np.uint8)
+
+
+def bits_to_int(bits: np.ndarray) -> int:
+    """Collapse a most-significant-bit-first bit array back into an integer."""
+    out = 0
+    for b in np.asarray(bits).ravel():
+        out = (out << 1) | int(b)
+    return out
+
+
+def pack_signs(values: np.ndarray) -> np.ndarray:
+    """Pack the sign pattern of ``values`` into uint64 words along the last axis.
+
+    A non-negative entry becomes bit 1, a negative entry bit 0 — the binary
+    encoding N3IC uses for weights and activations. The last axis is padded
+    with zero bits up to a multiple of 64.
+    """
+    values = np.asarray(values)
+    bits = (values >= 0).astype(np.uint64)
+    n = bits.shape[-1]
+    n_words = (n + 63) // 64
+    padded = np.zeros(bits.shape[:-1] + (n_words * 64,), dtype=np.uint64)
+    padded[..., :n] = bits
+    words = padded.reshape(bits.shape[:-1] + (n_words, 64))
+    shifts = np.arange(63, -1, -1, dtype=np.uint64)
+    return (words << shifts).sum(axis=-1, dtype=np.uint64)
+
+
+def xnor_popcount(a: np.ndarray, b: np.ndarray, n_bits: int) -> np.ndarray:
+    """Binary dot product via XNOR + popcount over packed uint64 words.
+
+    Computes ``sum_i sign(a_i) * sign(b_i)`` for ±1-encoded vectors that were
+    packed with :func:`pack_signs`. ``n_bits`` is the unpadded vector length;
+    padding bits cancel out because both operands pad with the same zeros,
+    which XNOR turns into ones that we subtract off.
+    """
+    matches = popcount(~(a ^ b))
+    matches = matches.sum(axis=-1)
+    pad = a.shape[-1] * 64 - n_bits
+    matches = matches - pad
+    return 2 * matches - n_bits

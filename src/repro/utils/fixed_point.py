@@ -1,0 +1,121 @@
+"""Fixed-point number formats for dataplane activations.
+
+Pegasus stores full-precision weights inside precomputed mapping tables but
+represents *activations* as fixed-point integers, because PISA pipelines only
+add and compare integers. A :class:`QFormat` describes one such signed
+two's-complement format: ``total_bits`` wide with ``frac_bits`` fractional
+bits, i.e. real value = stored integer / 2**frac_bits.
+
+The paper's "Adaptive Fixed-Point Quantization" (§4.4) pre-computes the
+fractional position per layer from the observed numerical range so that the
+register width is fully used; :func:`choose_qformat` implements that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import QuantizationError
+
+
+@dataclass(frozen=True)
+class QFormat:
+    """A fixed-point format: ``total_bits`` wide, ``frac_bits`` fractional.
+
+    Signed two's complement by default; ``signed=False`` models the unsigned
+    8-bit raw features (packet-length buckets, payload bytes) the dataplane
+    extracts from headers.
+    """
+
+    total_bits: int
+    frac_bits: int
+    signed: bool = True
+
+    def __post_init__(self):
+        if self.total_bits < 2 or self.total_bits > 64:
+            raise QuantizationError(f"total_bits must be in [2, 64], got {self.total_bits}")
+
+    @property
+    def scale(self) -> float:
+        """Multiplier converting real values to stored integers."""
+        return float(2.0 ** self.frac_bits)
+
+    @property
+    def int_min(self) -> int:
+        return -(1 << (self.total_bits - 1)) if self.signed else 0
+
+    @property
+    def int_max(self) -> int:
+        if self.signed:
+            return (1 << (self.total_bits - 1)) - 1
+        return (1 << self.total_bits) - 1
+
+    @property
+    def real_min(self) -> float:
+        return self.int_min / self.scale
+
+    @property
+    def real_max(self) -> float:
+        return self.int_max / self.scale
+
+    @property
+    def resolution(self) -> float:
+        """Smallest representable real increment."""
+        return 1.0 / self.scale
+
+    def quantize(self, values: np.ndarray | float) -> np.ndarray:
+        """Convert real values to stored integers, rounding and saturating."""
+        q = np.round(np.asarray(values, dtype=np.float64) * self.scale)
+        q = np.clip(q, self.int_min, self.int_max)
+        return q.astype(np.int64)
+
+    def dequantize(self, stored: np.ndarray | int) -> np.ndarray:
+        """Convert stored integers back to real values."""
+        return np.asarray(stored, dtype=np.float64) / self.scale
+
+    def roundtrip(self, values: np.ndarray | float) -> np.ndarray:
+        """Quantize then dequantize — the representable approximation."""
+        return self.dequantize(self.quantize(values))
+
+    def rescale_to(self, stored: np.ndarray, other: "QFormat") -> np.ndarray:
+        """Re-express stored integers in another format using only shifts.
+
+        A right shift loses precision exactly like the hardware would; a left
+        shift may saturate. This mirrors what a PISA action can do between
+        layers whose fixed-point positions differ.
+        """
+        shift = other.frac_bits - self.frac_bits
+        stored = np.asarray(stored, dtype=np.int64)
+        if shift >= 0:
+            out = stored << shift
+        else:
+            out = stored >> (-shift)
+        return np.clip(out, other.int_min, other.int_max)
+
+    def __str__(self) -> str:  # e.g. Q8.3 = 8 bits total, 3 fractional
+        prefix = "Q" if self.signed else "UQ"
+        return f"{prefix}{self.total_bits}.{self.frac_bits}"
+
+
+def choose_qformat(values: np.ndarray, total_bits: int, margin: float = 1.0) -> QFormat:
+    """Pick the fractional position that maximizes precision without overflow.
+
+    Implements the paper's adaptive post-training quantization: given the
+    calibration ``values`` a layer produces, choose ``frac_bits`` so the
+    largest magnitude (times ``margin`` headroom) still fits in
+    ``total_bits`` signed bits.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise QuantizationError("cannot calibrate a QFormat from an empty array")
+    peak = float(np.max(np.abs(values))) * margin
+    if not np.isfinite(peak):
+        raise QuantizationError("calibration values contain NaN or infinity")
+    if peak == 0.0:
+        return QFormat(total_bits, total_bits - 1)
+    # Need 2**(total_bits-1) > peak * 2**frac_bits.
+    int_bits = int(np.ceil(np.log2(peak + 1e-12))) + 1  # sign + magnitude
+    frac_bits = total_bits - 1 - max(int_bits - 1, 0)
+    return QFormat(total_bits, frac_bits)

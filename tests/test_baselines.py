@@ -1,0 +1,118 @@
+"""Tests for the Leo / N3IC / BoS baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import build_baseline, DecisionTree, BASELINE_NAMES
+from repro.baselines.n3ic import bits_from_stats
+from repro.eval.metrics import macro_f1
+from repro.eval.runner import prepare_dataset
+
+FLOWS = 40
+
+
+@pytest.fixture(scope="module")
+def peerrush():
+    return prepare_dataset("peerrush", FLOWS, 0)
+
+
+class TestDecisionTree:
+    def test_fits_simple_split(self):
+        x = np.array([[0.0], [1.0], [10.0], [11.0]])
+        y = np.array([0, 0, 1, 1])
+        tree = DecisionTree(max_nodes=3).fit(x, y)
+        np.testing.assert_array_equal(tree.predict(x), y)
+
+    def test_node_budget_respected(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 255, size=(500, 4))
+        y = rng.integers(0, 3, size=500)
+        tree = DecisionTree(max_nodes=31).fit(x, y)
+        assert tree.n_nodes <= 31
+
+    def test_xor_needs_depth(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(-1, 1, size=(400, 2))
+        y = ((x[:, 0] > 0) ^ (x[:, 1] > 0)).astype(np.int64)
+        tree = DecisionTree(max_nodes=63).fit(x, y)
+        assert (tree.predict(x) == y).mean() > 0.9
+
+    def test_leaf_boxes_partition(self):
+        rng = np.random.default_rng(2)
+        x = np.floor(rng.uniform(0, 16, size=(200, 2)))
+        y = (x[:, 0] > 8).astype(np.int64)
+        tree = DecisionTree(max_nodes=15).fit(x, y)
+        boxes = tree.leaf_boxes(dim=2, lo=0, hi=15)
+        for v0 in range(16):
+            for v1 in range(16):
+                hits = sum(1 for b in boxes
+                           if b[0][0] <= v0 <= b[0][1] and b[1][0] <= v1 <= b[1][1])
+                assert hits == 1
+
+    def test_empty_raises(self):
+        from repro.errors import TrainingError
+        with pytest.raises(TrainingError):
+            DecisionTree().fit(np.zeros((0, 2)), np.zeros(0, dtype=np.int64))
+
+
+class TestBaselineContracts:
+    @pytest.mark.parametrize("name", BASELINE_NAMES)
+    def test_train_compile_predict(self, name, peerrush):
+        train_v, _v, test_v, n_classes = peerrush
+        model = build_baseline(name, n_classes, seed=0)
+        model.train(train_v)
+        model.compile_dataplane(train_v)
+        pred = model.predict_dataplane(test_v)
+        assert macro_f1(test_v["y"], pred, n_classes) > 1.0 / n_classes
+
+    def test_unknown_baseline(self):
+        with pytest.raises(ValueError):
+            build_baseline("RandomForest", 3)
+
+
+class TestN3IC:
+    def test_bits_unpack(self):
+        stats = np.array([[0b10000001] + [0] * 15], dtype=np.uint8)
+        bits = bits_from_stats(stats)
+        assert bits.shape == (1, 128)
+        assert bits[0, 0] == 1.0 and bits[0, 7] == 1.0
+        assert bits[0, 1] == -1.0
+
+    def test_dataplane_matches_float(self, peerrush):
+        """XNOR+popcount inference is bit-exact with the sign-net forward."""
+        train_v, _v, test_v, n_classes = peerrush
+        model = build_baseline("N3IC", n_classes, seed=0)
+        model.train(train_v)
+        model.compile_dataplane(train_v)
+        np.testing.assert_array_equal(model.predict_dataplane(test_v),
+                                      model.predict_float(test_v))
+
+    def test_model_size_binary_bits(self):
+        model = build_baseline("N3IC", 3, seed=0)
+        # 128*128 + 128*64 + 64*3 binary weights.
+        assert model.model_size_kbits() == pytest.approx(24.768, abs=0.01)
+
+    def test_stage_cost_exceeds_pipeline(self):
+        model = build_baseline("N3IC", 3, seed=0)
+        assert model.pipeline_stages_needed() > 20  # cannot fit Tofino
+
+
+class TestBoS:
+    def test_input_scale_18_bits(self):
+        assert build_baseline("BoS", 3).input_scale_bits() == 18
+
+    def test_dataplane_matches_float(self, peerrush):
+        """Enumerated tables reproduce the binarized net exactly."""
+        train_v, _v, test_v, n_classes = peerrush
+        model = build_baseline("BoS", n_classes, seed=0)
+        model.train(train_v)
+        model.compile_dataplane(train_v)
+        np.testing.assert_array_equal(model.predict_dataplane(test_v),
+                                      model.predict_float(test_v))
+
+    def test_table_size_exponential_in_key(self, peerrush):
+        train_v, _v, _t, n_classes = peerrush
+        model = build_baseline("BoS", n_classes, seed=0)
+        model.train(train_v)
+        model.compile_dataplane(train_v)
+        assert len(model.step_table) == 1 << (2 + model.hidden)

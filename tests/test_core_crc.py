@@ -1,0 +1,109 @@
+"""Tests for range-to-ternary conversion and Consecutive Range Coding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.crc import (
+    TernaryMatch,
+    range_to_prefixes,
+    consecutive_range_coding,
+    lookup_prioritized,
+    naive_partition_entries,
+)
+
+
+class TestTernaryMatch:
+    def test_exact(self):
+        m = TernaryMatch(value=5, mask=0xFF, width=8)
+        assert m.matches(5)
+        assert not m.matches(4)
+
+    def test_wildcard(self):
+        m = TernaryMatch(value=0, mask=0, width=8)
+        assert all(m.matches(v) for v in range(256))
+
+    def test_str(self):
+        m = TernaryMatch(value=0b100, mask=0b110, width=3)
+        assert str(m) == "10*"
+
+
+class TestRangeToPrefixes:
+    def test_full_range_is_one_entry(self):
+        prefixes = range_to_prefixes(0, 255, 8)
+        assert len(prefixes) == 1
+        assert prefixes[0].mask == 0
+
+    def test_single_value(self):
+        prefixes = range_to_prefixes(7, 7, 8)
+        assert len(prefixes) == 1
+        assert prefixes[0].matches(7)
+        assert not prefixes[0].matches(6)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            range_to_prefixes(5, 3, 8)
+        with pytest.raises(ValueError):
+            range_to_prefixes(0, 256, 8)
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_cover_is_exact(self, a, b):
+        lo, hi = min(a, b), max(a, b)
+        prefixes = range_to_prefixes(lo, hi, 8)
+        for v in range(256):
+            covered = any(p.matches(v) for p in prefixes)
+            assert covered == (lo <= v <= hi)
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_prefixes_disjoint(self, a, b):
+        lo, hi = min(a, b), max(a, b)
+        prefixes = range_to_prefixes(lo, hi, 8)
+        for v in range(lo, hi + 1):
+            assert sum(p.matches(v) for p in prefixes) == 1
+
+    @given(st.integers(0, 2**16 - 1), st.integers(0, 2**16 - 1))
+    def test_count_bounded(self, a, b):
+        lo, hi = min(a, b), max(a, b)
+        assert len(range_to_prefixes(lo, hi, 16)) <= 2 * 16 - 2 or lo == 0
+
+
+class TestConsecutiveRangeCoding:
+    def test_single_boundary(self):
+        entries = consecutive_range_coding([9], 8)
+        assert lookup_prioritized(entries, 0) == 0
+        assert lookup_prioritized(entries, 9) == 0
+        assert lookup_prioritized(entries, 10) == 1
+        assert lookup_prioritized(entries, 255) == 1
+
+    @given(st.sets(st.integers(0, 254), min_size=1, max_size=8))
+    def test_partition_semantics(self, bounds):
+        boundaries = sorted(bounds)
+        entries = consecutive_range_coding(boundaries, 8)
+        for key in list(range(0, 256, 7)) + boundaries + [b + 1 for b in boundaries]:
+            if key > 255:
+                continue
+            want = next((i for i, b in enumerate(boundaries) if key <= b), len(boundaries))
+            assert lookup_prioritized(entries, key) == want
+
+    def test_unsorted_raises(self):
+        with pytest.raises(ValueError):
+            consecutive_range_coding([5, 5], 8)
+        with pytest.raises(ValueError):
+            consecutive_range_coding([9, 3], 8)
+
+    def test_out_of_space_raises(self):
+        with pytest.raises(ValueError):
+            consecutive_range_coding([300], 8)
+
+    @given(st.sets(st.integers(0, 254), min_size=2, max_size=10))
+    def test_crc_count_bounded(self, bounds):
+        boundaries = sorted(bounds)
+        crc_count = len(consecutive_range_coding(boundaries, 8))
+        # Each [0, b] prefix cover needs at most `width` entries.
+        assert crc_count <= len(boundaries) * 8 + 1
+
+    def test_crc_beats_naive_on_awkward_ranges(self):
+        # Learned thresholds rarely align to powers of two; independent
+        # expansion of each region then pays on both sides of every boundary.
+        boundaries = [100, 200]
+        assert len(consecutive_range_coding(boundaries, 8)) < \
+            naive_partition_entries(boundaries, 8)

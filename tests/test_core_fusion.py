@@ -1,0 +1,155 @@
+"""Tests for Basic and Advanced Primitive Fusion."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.fusion import additive_program, fuse_basic, remove_nonlinear
+from repro.core.operators import lower_sequential
+from repro.core.primitives import (
+    Affine, ElementwiseAffine, ElementwiseFunc, MapStep, PrimitiveProgram,
+    SumReduceStep, even_partition,
+)
+
+
+def _rand_affine(rng, d_in, d_out):
+    return Affine(rng.normal(size=(d_in, d_out)), rng.normal(size=d_out))
+
+
+def _mlp_two_hidden(rng_seed=0):
+    """The paper's Figure 5 example: 2 hidden layers of [BN, FC, ReLU] + head."""
+    model = nn.Sequential(
+        nn.BatchNorm1d(8),
+        nn.Linear(8, 6, rng=0),
+        nn.ReLU(),
+        nn.BatchNorm1d(6),
+        nn.Linear(6, 6, rng=1),
+        nn.ReLU(),
+        nn.Linear(6, 3, rng=2),
+    )
+    rng = np.random.default_rng(rng_seed)
+    model.train_mode(True)
+    for _ in range(5):
+        model.forward(rng.normal(size=(32, 8)))
+    model.eval_mode()
+    return model
+
+
+class TestBasicFusion:
+    def test_semantics_preserved(self):
+        model = _mlp_two_hidden()
+        program = lower_sequential(model, input_dim=8, input_segment_dim=2)
+        fused = fuse_basic(program)
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(20, 8))
+        np.testing.assert_allclose(fused.evaluate(x), program.evaluate(x), atol=1e-9)
+
+    def test_figure5_seven_to_two(self):
+        """7 operator lookups collapse to 2 fused Map rounds (Fig. 5 ❶)."""
+        model = _mlp_two_hidden()
+        program = lower_sequential(model, input_dim=8, input_segment_dim=2)
+        assert program.num_map_steps == 7
+        fused = fuse_basic(program)
+        assert fused.num_map_steps == 2
+
+    def test_fused_structure(self):
+        model = _mlp_two_hidden()
+        fused = fuse_basic(lower_sequential(model, input_dim=8, input_segment_dim=2))
+        # [Map(per-segment BN+FC1), SumReduce, Map(whole nonlinear tail)]
+        assert isinstance(fused.steps[0], MapStep)
+        assert fused.steps[0].n_segments == 4
+        assert isinstance(fused.steps[1], SumReduceStep)
+        assert isinstance(fused.steps[2], MapStep)
+        assert fused.steps[2].is_whole
+
+    def test_merge_consecutive_elementwise(self):
+        d = 4
+        program = PrimitiveProgram(
+            input_dim=d,
+            steps=[MapStep([(0, d)], [ElementwiseAffine(np.full(d, 2.0), np.zeros(d))]),
+                   MapStep([(0, d)], [ElementwiseAffine(np.full(d, 3.0), np.ones(d))])])
+        fused = fuse_basic(program)
+        assert fused.num_map_steps == 1
+        x = np.random.default_rng(0).normal(size=(5, d))
+        np.testing.assert_allclose(fused.evaluate(x), 6.0 * x + 1.0)
+
+    def test_linear_reordering(self):
+        """SumReduce followed by an affine Map commutes into the segments."""
+        rng = np.random.default_rng(2)
+        partition = even_partition(6, 2)
+        fns = [_rand_affine(rng, 2, 4) for _ in partition]
+        tail = _rand_affine(rng, 4, 3)
+        program = PrimitiveProgram(
+            input_dim=6,
+            steps=[MapStep(partition, fns), SumReduceStep(3, 4),
+                   MapStep([(0, 4)], [tail])])
+        fused = fuse_basic(program)
+        # The affine tail disappears into the per-segment maps.
+        assert fused.num_map_steps == 1
+        assert isinstance(fused.steps[-1], SumReduceStep)
+        x = rng.normal(size=(10, 6))
+        np.testing.assert_allclose(fused.evaluate(x), program.evaluate(x), atol=1e-9)
+
+    def test_nonlinear_blocks_reordering(self):
+        rng = np.random.default_rng(3)
+        partition = even_partition(4, 2)
+        fns = [_rand_affine(rng, 2, 3) for _ in partition]
+        relu = ElementwiseFunc(lambda v: np.maximum(v, 0), 3, name="relu")
+        program = PrimitiveProgram(
+            input_dim=4,
+            steps=[MapStep(partition, fns), SumReduceStep(2, 3),
+                   MapStep([(0, 3)], [relu])])
+        fused = fuse_basic(program)
+        # ReLU cannot slide before the sum: still 2 map rounds.
+        assert fused.num_map_steps == 2
+        x = rng.normal(size=(8, 4))
+        np.testing.assert_allclose(fused.evaluate(x), program.evaluate(x), atol=1e-9)
+
+    def test_trivial_sumreduce_dropped(self):
+        program = PrimitiveProgram(
+            input_dim=2,
+            steps=[MapStep([(0, 2)], [Affine(np.eye(2), np.zeros(2))]),
+                   SumReduceStep(1, 2)])
+        fused = fuse_basic(program)
+        assert not any(isinstance(s, SumReduceStep) for s in fused.steps)
+
+    def test_fusion_idempotent(self):
+        model = _mlp_two_hidden()
+        program = lower_sequential(model, input_dim=8, input_segment_dim=2)
+        once = fuse_basic(program)
+        twice = fuse_basic(once)
+        assert twice.num_map_steps == once.num_map_steps
+
+
+class TestAdvancedFusion:
+    def test_remove_nonlinear_collapses_to_single_lookup(self):
+        model = _mlp_two_hidden()
+        program = lower_sequential(model, input_dim=8, input_segment_dim=2)
+        linear = fuse_basic(remove_nonlinear(program))
+        assert linear.num_map_steps == 1
+
+    def test_remove_nonlinear_is_lossy(self):
+        model = _mlp_two_hidden()
+        program = lower_sequential(model, input_dim=8, input_segment_dim=2)
+        linear = remove_nonlinear(program)
+        x = np.random.default_rng(4).normal(size=(30, 8)) - 2.0  # push into ReLU cut
+        assert not np.allclose(linear.evaluate(x), program.evaluate(x))
+
+    def test_additive_program(self):
+        rng = np.random.default_rng(5)
+        partition = even_partition(8, 4)
+        w = [rng.normal(size=(4, 3)) for _ in partition]
+
+        def make_fn(wi):
+            return lambda seg: np.tanh(seg @ wi)
+
+        program = additive_program(8, partition, [make_fn(wi) for wi in w], out_dim=3)
+        assert program.num_map_steps == 1
+        x = rng.normal(size=(6, 8))
+        want = sum(np.tanh(x[:, s:e] @ wi) for (s, e), wi in zip(partition, w))
+        np.testing.assert_allclose(program.evaluate(x), want, atol=1e-12)
+
+    def test_additive_program_mismatched_fns(self):
+        from repro.errors import CompilationError
+        with pytest.raises(CompilationError):
+            additive_program(4, [(0, 2), (2, 4)], [lambda v: v], out_dim=2)

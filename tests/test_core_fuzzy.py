@@ -1,0 +1,174 @@
+"""Tests for the fuzzy-matching clustering tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ShapeError
+from repro.core.fuzzy import FuzzyTree, _best_split
+
+
+class TestBestSplit:
+    def test_two_point_split(self):
+        x = np.array([[0.0], [10.0]])
+        red, feature, threshold = _best_split(x)
+        assert feature == 0
+        assert 0.0 <= threshold < 10.0
+        assert red == pytest.approx(50.0)  # SSE drops from 50 to 0
+
+    def test_no_split_possible_on_identical(self):
+        assert _best_split(np.full((5, 2), 3.0)) is None
+
+    def test_single_point(self):
+        assert _best_split(np.array([[1.0, 2.0]])) is None
+
+    def test_picks_discriminative_feature(self):
+        rng = np.random.default_rng(0)
+        x = np.column_stack([rng.normal(0, 0.01, 100),
+                             np.concatenate([rng.normal(0, 1, 50), rng.normal(50, 1, 50)])])
+        _, feature, _ = _best_split(x)
+        assert feature == 1
+
+
+class TestFuzzyTreePaperExample:
+    """The paper's Figure 3 worked example."""
+
+    X = np.array([[1.0, 2], [2, 2], [2, 3], [1, 7], [3, 8], [4, 9], [5, 10]])
+
+    def test_root_split_matches_figure(self):
+        # Figure 3 first splits on x1 at threshold 5.
+        _, feature, threshold = _best_split(self.X)
+        assert feature == 1
+        assert threshold == pytest.approx(5.0, abs=1.0)
+
+    def test_four_leaf_centroids(self):
+        tree = FuzzyTree.fit(self.X, n_leaves=4)
+        cents = {tuple(np.round(c, 2)) for c in tree.centroids}
+        # Figure 3's final centroids.
+        assert (4.5, 9.5) in cents
+        assert (1.0, 7.0) in cents or (2.0, 7.5) in cents
+
+    def test_figure2_lookup(self):
+        tree = FuzzyTree.fit(self.X, n_leaves=4)
+        idx = tree.predict_index(np.array([3.0, 7.0]))
+        centroid = tree.centroids[idx]
+        # (3, 7) lands in a cluster near (2, 7.5) / (1, 7) per Figure 2.
+        assert centroid[1] > 5.0
+
+
+class TestFuzzyTree:
+    def test_single_leaf_tree(self):
+        x = np.random.default_rng(0).normal(size=(10, 3))
+        tree = FuzzyTree.fit(x, n_leaves=1)
+        assert tree.n_leaves == 1
+        np.testing.assert_allclose(tree.centroids[0], x.mean(axis=0))
+        assert (tree.predict_index(x) == 0).all()
+
+    def test_leaf_count_respected(self):
+        x = np.random.default_rng(1).normal(size=(200, 4)) * 20
+        tree = FuzzyTree.fit(x, n_leaves=16)
+        assert tree.n_leaves == 16
+
+    def test_leaf_count_capped_by_data(self):
+        x = np.array([[0.0], [1.0], [5.0]])
+        tree = FuzzyTree.fit(x, n_leaves=10)
+        assert tree.n_leaves <= 3
+
+    def test_indices_in_range(self):
+        x = np.random.default_rng(2).normal(size=(100, 2)) * 10
+        tree = FuzzyTree.fit(x, n_leaves=8)
+        idx = tree.predict_index(x)
+        assert idx.min() >= 0 and idx.max() < tree.n_leaves
+
+    def test_all_leaves_reachable_on_training_data(self):
+        x = np.random.default_rng(3).normal(size=(300, 3)) * 10
+        tree = FuzzyTree.fit(x, n_leaves=8)
+        assert len(set(tree.predict_index(x))) == tree.n_leaves
+
+    def test_sse_decreases_with_leaves(self):
+        x = np.random.default_rng(4).normal(size=(300, 3)) * 10
+        sses = [FuzzyTree.fit(x, n_leaves=k).sse(x) for k in (1, 2, 4, 8, 16)]
+        assert all(a >= b for a, b in zip(sses, sses[1:]))
+
+    def test_separated_clusters_recovered(self):
+        rng = np.random.default_rng(5)
+        centers = np.array([[0.0, 0], [50, 0], [0, 50], [50, 50]])
+        x = np.vstack([c + rng.normal(0, 1, (50, 2)) for c in centers])
+        tree = FuzzyTree.fit(x, n_leaves=4)
+        for center in centers:
+            dist = np.linalg.norm(tree.centroids - center, axis=1).min()
+            assert dist < 1.0
+
+    def test_centroid_is_mean_of_assigned(self):
+        x = np.random.default_rng(6).normal(size=(200, 2)) * 10
+        tree = FuzzyTree.fit(x, n_leaves=4)
+        idx = tree.predict_index(x)
+        for leaf in range(tree.n_leaves):
+            rows = x[idx == leaf]
+            np.testing.assert_allclose(tree.centroids[leaf], rows.mean(axis=0), atol=1e-9)
+
+    def test_empty_raises(self):
+        with pytest.raises(ShapeError):
+            FuzzyTree.fit(np.zeros((0, 2)), 4)
+
+    def test_wrong_dim_raises(self):
+        tree = FuzzyTree.fit(np.random.default_rng(7).normal(size=(20, 3)), 2)
+        with pytest.raises(ShapeError):
+            tree.predict_index(np.zeros((4, 2)))
+
+    def test_min_cluster(self):
+        x = np.random.default_rng(8).normal(size=(64, 2)) * 10
+        tree = FuzzyTree.fit(x, n_leaves=64, min_cluster=8)
+        idx = tree.predict_index(x)
+        counts = np.bincount(idx, minlength=tree.n_leaves)
+        assert counts.min() >= 1
+        assert tree.n_leaves <= 8  # 64 points / 8 per cluster
+
+    @settings(deadline=None, max_examples=25)
+    @given(st.integers(1, 16), st.integers(0, 10_000))
+    def test_partition_property(self, n_leaves, seed):
+        """Every input maps to exactly one leaf (tree is a partition)."""
+        rng = np.random.default_rng(seed)
+        x = np.floor(rng.uniform(0, 255, size=(60, 2)))
+        tree = FuzzyTree.fit(x, n_leaves=n_leaves)
+        probe = np.floor(rng.uniform(0, 255, size=(30, 2)))
+        idx = tree.predict_index(probe)
+        assert ((idx >= 0) & (idx < tree.n_leaves)).all()
+
+
+class TestLeafBoxes:
+    def test_boxes_partition_space(self):
+        rng = np.random.default_rng(9)
+        x = np.floor(rng.uniform(0, 255, size=(200, 2)))
+        tree = FuzzyTree.fit(x, n_leaves=8)
+        boxes = tree.leaf_boxes(lo=0, hi=255)
+        probe = np.floor(rng.uniform(0, 255, size=(100, 2)))
+        idx = tree.predict_index(probe)
+        for vec, leaf in zip(probe, idx):
+            box = boxes[leaf]
+            for d, (lo, hi) in enumerate(box):
+                assert lo - 1e-9 <= vec[d] <= hi + 1e-9
+
+    def test_boxes_disjoint_on_integer_grid(self):
+        rng = np.random.default_rng(10)
+        x = np.floor(rng.uniform(0, 15, size=(100, 2)))
+        tree = FuzzyTree.fit(x, n_leaves=4)
+        boxes = tree.leaf_boxes(lo=0, hi=15)
+        for v0 in range(16):
+            for v1 in range(16):
+                hits = sum(1 for box in boxes
+                           if box[0][0] <= v0 <= box[0][1] and box[1][0] <= v1 <= box[1][1])
+                assert hits == 1
+
+    def test_tcam_entries_positive_and_scales_with_leaves(self):
+        rng = np.random.default_rng(11)
+        x = np.floor(rng.uniform(0, 255, size=(400, 2)))
+        small = FuzzyTree.fit(x, n_leaves=2).tcam_entries(key_bits=8)
+        large = FuzzyTree.fit(x, n_leaves=16).tcam_entries(key_bits=8)
+        assert small >= 2
+        assert large > small
+
+    def test_depth(self):
+        x = np.random.default_rng(12).normal(size=(100, 2)) * 10
+        tree = FuzzyTree.fit(x, n_leaves=8)
+        assert 3 <= tree.depth() <= 7

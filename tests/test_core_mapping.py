@@ -1,0 +1,148 @@
+"""Tests for table materialization and the integer-domain compiled model."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.errors import CompilationError, ShapeError
+from repro.core import (
+    Affine, ElementwiseAffine, MapStep, PrimitiveProgram, SumReduceStep,
+    MaterializeConfig, materialize, even_partition, fuse_basic, lower_sequential,
+)
+
+
+def _uint8_calib(n=400, d=8, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.floor(rng.uniform(0, 255, size=(n, d))).astype(np.int64)
+
+
+def _simple_matmul_program(d_in=8, d_out=3, seg=2, seed=0):
+    rng = np.random.default_rng(seed)
+    w = rng.normal(size=(d_in, d_out)) * 0.05
+    b = rng.normal(size=d_out)
+    partition = even_partition(d_in, seg)
+    fns = [Affine(w[s:e], b / len(partition)) for s, e in partition]
+    program = PrimitiveProgram(
+        input_dim=d_in,
+        steps=[MapStep(partition, fns), SumReduceStep(len(partition), d_out)])
+    return program, w, b
+
+
+class TestMaterializeMatMul:
+    def test_output_close_to_float(self):
+        program, w, b = _simple_matmul_program()
+        calib = _uint8_calib()
+        model = materialize(program, calib, MaterializeConfig(fuzzy_leaves=64))
+        scores = model.predict_scores(calib[:50])
+        want = calib[:50].astype(np.float64) @ w + b
+        err = np.abs(scores - want).mean()
+        scale = np.abs(want).mean()
+        assert err < 0.15 * scale
+
+    def test_more_leaves_less_error(self):
+        program, w, b = _simple_matmul_program()
+        calib = _uint8_calib()
+        want = calib.astype(np.float64) @ w + b
+        errs = []
+        for leaves in (2, 8, 32, 128):
+            model = materialize(program, calib, MaterializeConfig(fuzzy_leaves=leaves))
+            errs.append(np.abs(model.predict_scores(calib) - want).mean())
+        assert errs[0] > errs[-1]
+        assert all(a >= b * 0.8 for a, b in zip(errs, errs[1:]))  # roughly monotone
+
+    def test_integer_only_outputs(self):
+        program, *_ = _simple_matmul_program()
+        calib = _uint8_calib()
+        model = materialize(program, calib)
+        out = model.forward_int(calib[:10])
+        assert out.dtype == np.int64
+
+    def test_input_dim_checked(self):
+        program, *_ = _simple_matmul_program()
+        model = materialize(program, _uint8_calib())
+        with pytest.raises(ShapeError):
+            model.forward_int(np.zeros((3, 5), dtype=np.int64))
+
+    def test_bad_calibration_shape(self):
+        program, *_ = _simple_matmul_program()
+        with pytest.raises(ShapeError):
+            materialize(program, _uint8_calib(d=5))
+
+    def test_leading_sumreduce_rejected(self):
+        program = PrimitiveProgram(input_dim=4, steps=[SumReduceStep(2, 2)])
+        with pytest.raises(CompilationError):
+            materialize(program, _uint8_calib(d=4))
+
+
+class TestExactTables:
+    def test_single_unit_segments_use_exact(self):
+        d = 4
+        program = PrimitiveProgram(
+            input_dim=d,
+            steps=[MapStep([(i, i + 1) for i in range(d)],
+                           [Affine(np.array([[0.5]]), np.array([0.0]))] * d),
+                   SumReduceStep(d, 1)])
+        model = materialize(program, _uint8_calib(d=d))
+        assert all(t.kind == "exact" for t in model.layers[0].tables)
+        assert all(t.n_entries == 256 for t in model.layers[0].tables)
+
+    def test_exact_table_is_exact(self):
+        """Exact tables reproduce f at every representable input."""
+        d = 2
+        program = PrimitiveProgram(
+            input_dim=d,
+            steps=[MapStep([(0, 1), (1, 2)],
+                           [Affine(np.array([[2.0]]), np.array([1.0])),
+                            Affine(np.array([[-1.0]]), np.array([0.0]))]),
+                   SumReduceStep(2, 1)])
+        model = materialize(program, _uint8_calib(d=d))
+        x = np.array([[0, 0], [255, 255], [7, 200]], dtype=np.int64)
+        want = 2.0 * x[:, :1] + 1.0 - x[:, 1:]
+        got = model.predict_scores(x)
+        np.testing.assert_allclose(got, want, atol=2 * model.out_format.resolution)
+
+    def test_multi_unit_segments_use_fuzzy(self):
+        program, *_ = _simple_matmul_program(seg=2)
+        model = materialize(program, _uint8_calib())
+        assert all(t.kind == "fuzzy" for t in model.layers[0].tables)
+
+
+class TestMultiLayer:
+    def _two_layer_model(self):
+        rng = np.random.default_rng(7)
+        model = nn.Sequential(
+            nn.Linear(8, 6, rng=0),
+            nn.ReLU(),
+            nn.Linear(6, 3, rng=1),
+        )
+        # Scale weights down so uint8 inputs stay in sane ranges.
+        for p in model.parameters():
+            p.data *= 0.1
+        model.eval_mode()
+        return model
+
+    def test_two_lookup_rounds_after_fusion(self):
+        model = self._two_layer_model()
+        program = fuse_basic(lower_sequential(model, input_dim=8, input_segment_dim=2))
+        calib = _uint8_calib()
+        compiled = materialize(program, calib, MaterializeConfig(fuzzy_leaves=64))
+        assert compiled.num_lookup_rounds == 2
+
+    def test_predictions_track_float_model(self):
+        model = self._two_layer_model()
+        program = fuse_basic(lower_sequential(model, input_dim=8, input_segment_dim=2))
+        calib = _uint8_calib(n=600)
+        compiled = materialize(program, calib, MaterializeConfig(fuzzy_leaves=128))
+        want = np.argmax(model.forward(calib.astype(np.float64)), axis=1)
+        got = compiled.predict(calib)
+        agreement = (got == want).mean()
+        assert agreement > 0.8
+
+    def test_resource_accounting_positive(self):
+        model = self._two_layer_model()
+        program = fuse_basic(lower_sequential(model, input_dim=8, input_segment_dim=2))
+        compiled = materialize(program, _uint8_calib())
+        assert compiled.sram_bits() > 0
+        assert compiled.tcam_bits() > 0
+        assert compiled.bus_bits() > 0
+        assert compiled.num_tables == sum(l.n_lookups for l in compiled.layers)

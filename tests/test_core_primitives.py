@@ -1,0 +1,185 @@
+"""Tests for the primitive IR, function algebra, and lowering."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.errors import CompilationError
+from repro.core.primitives import (
+    Affine, ElementwiseAffine, ElementwiseFunc, General,
+    MapStep, SumReduceStep, PrimitiveProgram, compose, even_partition,
+)
+from repro.core.operators import lower_sequential
+
+
+class TestFuncSpecs:
+    def test_elementwise_affine(self):
+        f = ElementwiseAffine(scale=[2.0, 3.0], shift=[1.0, -1.0])
+        np.testing.assert_allclose(f(np.array([[1.0, 1.0]])), [[3.0, 2.0]])
+
+    def test_elementwise_affine_slice(self):
+        f = ElementwiseAffine(scale=[2.0, 3.0, 4.0], shift=[0.0, 1.0, 2.0])
+        g = f.slice(1, 3)
+        np.testing.assert_allclose(g(np.array([[1.0, 1.0]])), [[4.0, 6.0]])
+
+    def test_affine(self):
+        f = Affine(matrix=np.array([[1.0], [2.0]]), bias=np.array([0.5]))
+        np.testing.assert_allclose(f(np.array([[1.0, 1.0]])), [[3.5]])
+
+    def test_affine_not_sliceable(self):
+        f = Affine(matrix=np.eye(2), bias=np.zeros(2))
+        with pytest.raises(CompilationError):
+            f.slice(0, 1)
+
+    def test_elementwise_func(self):
+        f = ElementwiseFunc(lambda v: np.maximum(v, 0), 3, name="relu")
+        np.testing.assert_allclose(f(np.array([[-1.0, 0.0, 2.0]])), [[0, 0, 2]])
+
+
+class TestCompose:
+    def test_affine_affine(self):
+        f = Affine(np.array([[2.0]]), np.array([1.0]))
+        g = Affine(np.array([[3.0]]), np.array([-1.0]))
+        h = compose(f, g)
+        assert isinstance(h, Affine)
+        np.testing.assert_allclose(h(np.array([[1.0]])), [[8.0]])  # 3*(2*1+1)-1
+
+    def test_ew_affine_then_affine(self):
+        f = ElementwiseAffine([2.0, 1.0], [0.0, 1.0])
+        g = Affine(np.array([[1.0], [1.0]]), np.array([0.0]))
+        h = compose(f, g)
+        assert isinstance(h, Affine)
+        np.testing.assert_allclose(h(np.array([[1.0, 1.0]])), [[4.0]])  # 2+2
+
+    def test_affine_then_ew_affine(self):
+        f = Affine(np.array([[1.0, 0.0], [0.0, 1.0]]), np.array([1.0, 1.0]))
+        g = ElementwiseAffine([2.0, 3.0], [0.0, 0.0])
+        h = compose(f, g)
+        assert isinstance(h, Affine)
+        np.testing.assert_allclose(h(np.array([[1.0, 1.0]])), [[4.0, 6.0]])
+
+    def test_ew_ew(self):
+        f = ElementwiseAffine([2.0], [1.0])
+        g = ElementwiseAffine([3.0], [0.0])
+        h = compose(f, g)
+        assert isinstance(h, ElementwiseAffine)
+        np.testing.assert_allclose(h(np.array([[1.0]])), [[9.0]])
+
+    def test_nonlinear_gives_general(self):
+        f = Affine(np.array([[1.0]]), np.array([0.0]))
+        g = ElementwiseFunc(lambda v: np.maximum(v, 0), 1)
+        h = compose(f, g)
+        assert isinstance(h, General)
+        np.testing.assert_allclose(h(np.array([[-2.0]])), [[0.0]])
+
+    def test_dim_mismatch(self):
+        f = Affine(np.ones((2, 3)), np.zeros(3))
+        g = Affine(np.ones((2, 1)), np.zeros(1))
+        with pytest.raises(CompilationError):
+            compose(f, g)
+
+    def test_composition_matches_sequential_eval(self):
+        rng = np.random.default_rng(0)
+        f = Affine(rng.normal(size=(4, 3)), rng.normal(size=3))
+        g = ElementwiseAffine(rng.normal(size=3), rng.normal(size=3))
+        x = rng.normal(size=(10, 4))
+        np.testing.assert_allclose(compose(f, g)(x), g(f(x)), atol=1e-12)
+
+
+class TestSteps:
+    def test_even_partition(self):
+        assert even_partition(7, 3) == [(0, 3), (3, 6), (6, 7)]
+
+    def test_even_partition_invalid(self):
+        with pytest.raises(ValueError):
+            even_partition(4, 0)
+
+    def test_map_step_apply(self):
+        step = MapStep(partition=[(0, 1), (1, 2)],
+                       fns=[ElementwiseAffine([2.0], [0.0]),
+                            ElementwiseAffine([3.0], [0.0])])
+        np.testing.assert_allclose(step.apply(np.array([[1.0, 1.0]])), [[2.0, 3.0]])
+
+    def test_map_step_dim_check(self):
+        with pytest.raises(CompilationError):
+            MapStep(partition=[(0, 2)], fns=[ElementwiseAffine([1.0], [0.0])])
+
+    def test_sum_reduce(self):
+        step = SumReduceStep(n_segments=2, seg_dim=2)
+        out = step.apply(np.array([[1.0, 2.0, 10.0, 20.0]]))
+        np.testing.assert_allclose(out, [[11.0, 22.0]])
+
+    def test_program_matmul_partition_equivalence(self):
+        """Partition + Map + SumReduce == the direct MatMul."""
+        rng = np.random.default_rng(1)
+        w = rng.normal(size=(6, 4))
+        b = rng.normal(size=4)
+        partition = even_partition(6, 2)
+        fns = [Affine(w[s:e], b / len(partition)) for s, e in partition]
+        program = PrimitiveProgram(
+            input_dim=6,
+            steps=[MapStep(partition, fns), SumReduceStep(3, 4)])
+        program.validate()
+        x = rng.normal(size=(5, 6))
+        np.testing.assert_allclose(program.evaluate(x), x @ w + b, atol=1e-12)
+
+    def test_program_validate_gap(self):
+        program = PrimitiveProgram(
+            input_dim=4,
+            steps=[MapStep([(0, 1), (2, 4)],
+                           [ElementwiseAffine([1.0], [0.0]),
+                            ElementwiseAffine([1.0, 1.0], [0.0, 0.0])])])
+        with pytest.raises(CompilationError):
+            program.validate()
+
+    def test_num_map_steps(self):
+        program = PrimitiveProgram(
+            input_dim=2,
+            steps=[MapStep([(0, 2)], [ElementwiseAffine([1.0, 1.0], [0.0, 0.0])]),
+                   MapStep([(0, 2)], [ElementwiseAffine([2.0, 2.0], [0.0, 0.0])])])
+        assert program.num_map_steps == 2
+
+
+class TestLowering:
+    def _mlp(self, in_dim=8, hidden=6, out=3):
+        return nn.Sequential(
+            nn.BatchNorm1d(in_dim),
+            nn.Linear(in_dim, hidden, rng=0),
+            nn.ReLU(),
+            nn.BatchNorm1d(hidden),
+            nn.Linear(hidden, out, rng=1),
+        )
+
+    def test_lowered_program_matches_model(self):
+        model = self._mlp()
+        rng = np.random.default_rng(2)
+        # Warm BN running stats, then eval.
+        model.train_mode(True)
+        for _ in range(5):
+            model.forward(rng.normal(size=(32, 8)))
+        model.eval_mode()
+        program = lower_sequential(model, input_dim=8, input_segment_dim=2)
+        x = rng.normal(size=(10, 8))
+        np.testing.assert_allclose(program.evaluate(x), model.forward(x), atol=1e-9)
+
+    def test_lowering_counts(self):
+        model = self._mlp()
+        model.eval_mode()
+        program = lower_sequential(model, input_dim=8, input_segment_dim=2)
+        # BN, FC(+SR), ReLU, BN, FC = 5 map steps.
+        assert program.num_map_steps == 5
+
+    def test_softmax_tail_dropped(self):
+        model = nn.Sequential(nn.Linear(4, 2, rng=0), nn.Softmax())
+        model.eval_mode()
+        program = lower_sequential(model, input_dim=4, input_segment_dim=2)
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(6, 4))
+        scores = program.evaluate(x)
+        np.testing.assert_array_equal(np.argmax(scores, axis=1),
+                                      np.argmax(model.forward(x), axis=1))
+
+    def test_unsupported_layer_raises(self):
+        model = nn.Sequential(nn.Conv1d(1, 1, 2, rng=0))
+        with pytest.raises(CompilationError):
+            lower_sequential(model, input_dim=4)

@@ -1,0 +1,78 @@
+"""Tests for the Pegasus Syntax frontend (paper Figure 6)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CompilationError
+from repro.core.syntax import Partition, Map, SumReduce
+
+
+def _calib(n=400, d=8, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.floor(rng.uniform(0, 255, size=(n, d))).astype(np.int64)
+
+
+class TestPartition:
+    def test_default_stride(self):
+        assert Partition(dim=2).segments(8) == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+    def test_overlapping_rejected(self):
+        with pytest.raises(CompilationError):
+            Partition(dim=4, stride=2)
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(CompilationError):
+            Partition(dim=3).segments(8)
+
+
+class TestMap:
+    def test_needs_exactly_one_fn_arg(self):
+        with pytest.raises(CompilationError):
+            Map(Partition(dim=2), out_dim=1)
+        with pytest.raises(CompilationError):
+            Map(Partition(dim=2), out_dim=1, fn=lambda v: v,
+                fns=[lambda v: v])
+
+    def test_per_segment_fns_count_checked(self):
+        m = Map(Partition(dim=2), out_dim=1, fns=[lambda v: v.sum(1, keepdims=True)])
+        with pytest.raises(CompilationError):
+            m.steps(input_dim=8)  # 4 segments, 1 fn
+
+
+class TestEndToEnd:
+    def test_figure6_shape(self):
+        """The paper's example: SumReduce(Map(Partition(dim=2), depth=4))."""
+        rng = np.random.default_rng(1)
+        w = rng.normal(size=(2, 3)) * 0.05
+
+        expr = SumReduce(Map(Partition(dim=2, stride=2), out_dim=3,
+                             fn=lambda seg: seg @ w, clustering_depth=6))
+        calib = _calib()
+        compiled = expr.compile(calib)
+        assert compiled.num_lookup_rounds == 1
+        assert compiled.num_tables == 4
+        # Clustering depth controls table entries: 2^6 leaves.
+        assert all(t.n_entries <= 64 for t in compiled.layers[0].tables)
+
+    def test_compiled_approximates_expression(self):
+        rng = np.random.default_rng(2)
+        w = rng.normal(size=(2, 2)) * 0.05
+        expr = SumReduce(Map(Partition(dim=2), out_dim=2,
+                             fn=lambda seg: np.tanh(seg @ w),
+                             clustering_depth=7))
+        calib = _calib(d=8)
+        compiled = expr.compile(calib)
+        want = sum(np.tanh(calib[:, s:s + 2].astype(float) @ w)
+                   for s in range(0, 8, 2))
+        got = compiled.predict_scores(calib)
+        assert np.abs(got - want).mean() < 0.1
+
+    def test_per_segment_functions(self):
+        fns = [lambda seg, k=k: np.full((len(seg), 1), float(k))
+               for k in range(4)]
+        expr = SumReduce(Map(Partition(dim=2), out_dim=1, fns=fns,
+                             clustering_depth=2))
+        compiled = expr.compile(_calib(d=8))
+        # Sum of constants 0+1+2+3 = 6 for every input.
+        scores = compiled.predict_scores(_calib(n=10, d=8, seed=9))
+        np.testing.assert_allclose(scores, 6.0, atol=0.01)

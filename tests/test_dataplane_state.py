@@ -1,0 +1,117 @@
+"""Tests for per-flow registers, resource reports, and throughput models."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.errors import PipelineError
+from repro.core import PegasusCompiler, CompilerConfig
+from repro.dataplane import (
+    FlowStateTable, FlowStateLayout, RegisterField,
+    summarize_resources, TOFINO2, line_rate_pps, measure_model_throughput,
+)
+from repro.net.packet import FlowKey
+
+
+def _layout():
+    return FlowStateLayout(fields=[
+        RegisterField("prev_ts", 16),
+        RegisterField("idx_hist", 4, count=7),
+    ])
+
+
+class TestFlowStateLayout:
+    def test_bits_per_flow(self):
+        assert _layout().bits_per_flow == 16 + 28  # the paper's 44-bit CNN-L layout
+
+    def test_sram_for_1m_flows(self):
+        layout = _layout()
+        assert layout.sram_bits(1_000_000) == 44_000_000
+        frac = layout.sram_fraction(1_000_000, TOFINO2.total_sram_bits)
+        assert 0.2 < frac < 0.3  # ~22% of 200 Mb
+
+    def test_unknown_field(self):
+        with pytest.raises(KeyError):
+            _layout().field("nope")
+
+
+class TestFlowStateTable:
+    def _key(self, port=1000):
+        return FlowKey(1, 2, port, 80, 6)
+
+    def test_fresh_record_zeroed(self):
+        table = FlowStateTable(_layout())
+        rec = table.get(self._key())
+        assert rec["prev_ts"] == [0]
+        assert rec["idx_hist"] == [0] * 7
+
+    def test_write_read(self):
+        table = FlowStateTable(_layout())
+        table.write(self._key(), "prev_ts", 1234)
+        assert table.read(self._key(), "prev_ts") == 1234
+
+    def test_width_enforced(self):
+        table = FlowStateTable(_layout())
+        with pytest.raises(PipelineError):
+            table.write(self._key(), "idx_hist", 16)  # 4-bit register
+        with pytest.raises(PipelineError):
+            table.write(self._key(), "prev_ts", 1 << 16)
+
+    def test_index_bounds(self):
+        table = FlowStateTable(_layout())
+        with pytest.raises(PipelineError):
+            table.write(self._key(), "idx_hist", 1, index=7)
+
+    def test_shift_in(self):
+        table = FlowStateTable(_layout())
+        for v in range(9):
+            table.shift_in(self._key(), "idx_hist", v)
+        assert table.get(self._key())["idx_hist"] == [2, 3, 4, 5, 6, 7, 8]
+
+    def test_eviction_at_capacity(self):
+        table = FlowStateTable(_layout(), capacity=2)
+        table.get(self._key(1))
+        table.get(self._key(2))
+        table.get(self._key(3))
+        assert len(table) == 2
+        assert table.evictions == 1
+
+
+class TestResourceReport:
+    def test_summary_fields(self):
+        rng = np.random.default_rng(0)
+        model = nn.Sequential(nn.Linear(8, 6, rng=0), nn.ReLU(), nn.Linear(6, 3, rng=1))
+        for p in model.parameters():
+            p.data *= 0.1
+        model.eval_mode()
+        x = np.floor(rng.uniform(0, 255, size=(300, 8))).astype(np.int64)
+        compiled = PegasusCompiler(CompilerConfig(refine=False)).compile_sequential(model, x).compiled
+        report = summarize_resources(compiled, _layout(), TOFINO2)
+        assert report.stateful_bits_per_flow == 44
+        assert 0 < report.sram_fraction < 1
+        assert 0 < report.tcam_fraction < 1
+        assert 0 < report.bus_fraction <= 1
+        assert report.stages_used >= 2
+        row = report.row()
+        assert row["bits/flow"] == 44
+
+
+class TestThroughput:
+    def test_line_rate_independent_of_model(self):
+        pps = line_rate_pps(TOFINO2, avg_packet_bytes=800)
+        assert pps == pytest.approx(12.8e12 / (800 * 8))
+
+    def test_smaller_packets_more_pps(self):
+        assert line_rate_pps(TOFINO2, 100) > line_rate_pps(TOFINO2, 1500)
+
+    def test_measured_throughput_positive(self):
+        x = np.zeros((1000, 4))
+        pps = measure_model_throughput(lambda v: v.sum(axis=1), x)
+        assert pps > 0
+
+    def test_line_rate_dwarfs_numpy(self):
+        x = np.random.default_rng(0).normal(size=(2000, 16))
+        w = np.random.default_rng(1).normal(size=(16, 3))
+        sw = line_rate_pps(TOFINO2)
+        cpu = measure_model_throughput(lambda v: np.argmax(v @ w, axis=1), x)
+        assert sw / cpu > 10  # orders of magnitude in practice

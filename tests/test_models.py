@@ -1,0 +1,153 @@
+"""Tests for the six paper models: training, compilation, accounting."""
+
+import numpy as np
+import pytest
+
+from repro.eval.metrics import macro_f1
+from repro.eval.runner import prepare_dataset
+from repro.models import build_model, MODEL_NAMES
+from repro.models.cnn import CNNL
+from repro.models.rnn import RNNB
+
+
+FLOWS = 40  # quick-mode dataset size for unit tests
+
+
+@pytest.fixture(scope="module")
+def peerrush():
+    return prepare_dataset("peerrush", FLOWS, 0)
+
+
+class TestBuildModel:
+    def test_all_names_construct(self):
+        for name in MODEL_NAMES:
+            model = build_model(name, n_classes=3, seed=0)
+            assert model.name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            build_model("GPT-5", n_classes=3)
+
+
+@pytest.mark.parametrize("name", ["MLP-B", "CNN-B", "CNN-M"])
+class TestClassifierContracts:
+    def test_train_compile_predict(self, name, peerrush):
+        train_v, _v, test_v, n_classes = peerrush
+        model = build_model(name, n_classes, seed=0)
+        model.train(train_v)
+        model.compile_dataplane(train_v)
+        pred = model.predict_dataplane(test_v)
+        assert pred.shape == test_v["y"].shape
+        assert set(np.unique(pred)).issubset(set(range(n_classes)))
+        # Better than chance on a learnable dataset.
+        assert macro_f1(test_v["y"], pred, n_classes) > 1.5 / n_classes
+
+    def test_requires_training_first(self, name, peerrush):
+        from repro.errors import TrainingError
+        _t, _v, test_v, n_classes = peerrush
+        model = build_model(name, n_classes, seed=0)
+        with pytest.raises(TrainingError):
+            model.predict_float(test_v)
+
+    def test_accounting_positive(self, name, peerrush):
+        _t, _v, _test, n_classes = peerrush
+        model = build_model(name, n_classes, seed=0)
+        assert model.model_size_kbits() > 0
+        assert model.input_scale_bits() == 128
+        assert model.flow_layout().bits_per_flow > 0
+
+
+class TestRNNB:
+    def test_discrete_chain_tracks_float(self, peerrush):
+        train_v, _v, test_v, n_classes = peerrush
+        model = RNNB(n_classes, seed=0, epochs=30)
+        model.train(train_v)
+        model.compile_dataplane(train_v, n_hidden_clusters=128, n_token_leaves=32)
+        f1_float = macro_f1(test_v["y"], model.predict_float(test_v), n_classes)
+        f1_dp = macro_f1(test_v["y"], model.predict_dataplane(test_v), n_classes)
+        assert f1_dp > 1.0 / n_classes
+        assert f1_dp <= f1_float + 0.15  # dataplane approximates float
+
+    def test_table_accounting(self, peerrush):
+        train_v, _v, _t, n_classes = peerrush
+        model = RNNB(n_classes, seed=0, epochs=5)
+        model.train(train_v)
+        model.compile_dataplane(train_v, n_hidden_clusters=64, n_token_leaves=16)
+        compiled = model.compiled
+        assert compiled.num_tables == 2 * 8 + 1
+        assert compiled.sram_bits() > 0
+        assert compiled.tcam_bits() > 0
+
+    def test_hidden_index_width(self, peerrush):
+        train_v, _v, _t, n_classes = peerrush
+        model = RNNB(n_classes, seed=0, epochs=5)
+        model.train(train_v)
+        model.compile_dataplane(train_v, n_hidden_clusters=64, n_token_leaves=16)
+        for t in model.compiled.transitions:
+            assert t.max() < 64
+
+
+class TestCNNL:
+    def test_input_scale_is_3840_bits(self):
+        assert CNNL(n_classes=3).input_scale_bits() == 3840
+
+    def test_flow_layout_variants(self):
+        assert CNNL(3, idx_bits=4, use_ipd=False).flow_layout().bits_per_flow == 28
+        assert CNNL(3, idx_bits=4, use_ipd=True).flow_layout().bits_per_flow == 44
+        assert CNNL(3, idx_bits=8, use_ipd=True).flow_layout().bits_per_flow == 72
+
+    def test_high_accuracy_on_raw_bytes(self, peerrush):
+        train_v, _v, test_v, n_classes = peerrush
+        model = CNNL(n_classes, seed=0, epochs=10)
+        model.train(train_v)
+        model.compile_dataplane(train_v)
+        f1 = macro_f1(test_v["y"], model.predict_dataplane(test_v), n_classes)
+        assert f1 > 0.9  # payload headers separate PeerRush classes
+
+    def test_runtime_matches_views_path(self, peerrush):
+        """The packet-level TwoStageRuntime agrees with the vectorized path."""
+        from repro.net import make_dataset
+        ds = make_dataset("peerrush", flows_per_class=FLOWS, seed=0)
+        train, _val, test = ds.split(rng=0)
+        from repro.net.features import dataset_views
+        train_v = dataset_views(train)
+        model = CNNL(ds.n_classes, seed=0, epochs=10, use_ipd=False)
+        model.train(train_v)
+        model.compile_dataplane(train_v)
+        runtime = model.make_runtime()
+        decisions = runtime.process_flows(test[:20])
+        assert decisions, "runtime produced no classifications"
+        correct = sum(d.predicted == d.flow_label for d in decisions)
+        assert correct / len(decisions) > 0.6
+
+    def test_extractor_index_fits_bits(self, peerrush):
+        train_v, _v, _t, n_classes = peerrush
+        model = CNNL(n_classes, seed=0, epochs=5, idx_bits=4)
+        model.train(train_v)
+        model.compile_dataplane(train_v)
+        assert model.extractor_tree.n_leaves <= 16
+
+
+class TestAutoEncoder:
+    def test_scores_higher_on_noise(self, peerrush):
+        train_v, _v, test_v, _n = peerrush
+        model = build_model("AutoEncoder", 0, seed=0)
+        model.train(train_v)
+        benign = model.score_float(test_v)
+        rng = np.random.default_rng(1)
+        noise_v = {"seq": rng.integers(0, 256, size=test_v["seq"].shape)}
+        anomalous = model.score_float(noise_v)
+        assert anomalous.mean() > benign.mean()
+
+    def test_dataplane_scores_correlate_with_float(self, peerrush):
+        train_v, _v, test_v, _n = peerrush
+        model = build_model("AutoEncoder", 0, seed=0)
+        model.train(train_v)
+        model.compile_dataplane(train_v)
+        rng = np.random.default_rng(2)
+        mixed = {"seq": np.concatenate([
+            test_v["seq"], rng.integers(0, 256, size=(50, 16))]).astype(np.uint8)}
+        float_scores = model.score_float(mixed)
+        dp_scores = model.score_dataplane(mixed)
+        corr = np.corrcoef(float_scores, dp_scores)[0, 1]
+        assert corr > 0.5

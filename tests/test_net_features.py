@@ -1,0 +1,182 @@
+"""Tests for feature extraction and the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ShapeError
+from repro.net import (
+    Packet, FlowKey,
+    length_bucket, ipd_bucket, flow_statistical_features,
+    sequence_tokens, raw_byte_matrix,
+    N_STAT_FEATURES, SEQ_WINDOW, SEQ_TOKENS, RAW_BYTES_PER_PACKET,
+    make_dataset, make_attack_flows, DATASET_NAMES, ATTACK_NAMES,
+)
+from repro.net.features import dataset_views
+from repro.net.synth import dataset_profiles, generate_flow
+
+
+def _window(n=SEQ_WINDOW, length=500, payload_len=80):
+    key = FlowKey(1, 2, 3, 4, 6)
+    return [Packet(ts=0.001 * i, length=length, key=key,
+                   payload=np.full(payload_len, i, dtype=np.uint8))
+            for i in range(n)]
+
+
+class TestBuckets:
+    @given(st.integers(min_value=0, max_value=1500))
+    def test_length_bucket_in_range(self, n):
+        assert 0 <= length_bucket(n) <= 255
+
+    def test_length_bucket_monotone(self):
+        buckets = [length_bucket(n) for n in range(0, 1500, 10)]
+        assert buckets == sorted(buckets)
+
+    @given(st.floats(min_value=0, max_value=100, allow_nan=False))
+    def test_ipd_bucket_in_range(self, d):
+        assert 0 <= ipd_bucket(d) <= 255
+
+    def test_ipd_bucket_monotone(self):
+        deltas = [1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0]
+        buckets = [ipd_bucket(d) for d in deltas]
+        assert buckets == sorted(buckets)
+        assert len(set(buckets)) == len(buckets)  # log scale separates decades
+
+    def test_ipd_bucket_zero(self):
+        assert ipd_bucket(0.0) == 0
+
+
+class TestFeatureViews:
+    def test_stat_shape_and_dtype(self):
+        feats = flow_statistical_features(_window())
+        assert feats.shape == (N_STAT_FEATURES,)
+        assert feats.dtype == np.uint8
+
+    def test_stat_max_min(self):
+        win = _window()
+        win[3].length = 1400
+        feats = flow_statistical_features(win)
+        assert feats[0] == length_bucket(1400)
+        assert feats[1] == length_bucket(500)
+
+    def test_stat_empty_raises(self):
+        with pytest.raises(ShapeError):
+            flow_statistical_features([])
+
+    def test_stat_single_packet(self):
+        feats = flow_statistical_features(_window(1))
+        assert feats[2] == 0 and feats[3] == 0  # no IPDs
+
+    def test_seq_tokens_shape(self):
+        tokens = sequence_tokens(_window())
+        assert tokens.shape == (SEQ_TOKENS,)
+
+    def test_seq_tokens_interleave(self):
+        tokens = sequence_tokens(_window())
+        assert tokens[0] == length_bucket(500)
+        assert tokens[1] == 0  # first packet has no preceding IPD
+
+    def test_seq_wrong_window_raises(self):
+        with pytest.raises(ShapeError):
+            sequence_tokens(_window(5))
+
+    def test_raw_bytes_shape(self):
+        raw = raw_byte_matrix(_window())
+        assert raw.shape == (SEQ_WINDOW, RAW_BYTES_PER_PACKET)
+
+    def test_raw_bytes_pads_short_payloads(self):
+        raw = raw_byte_matrix(_window(payload_len=10))
+        assert raw[0, 10:].sum() == 0
+
+    def test_raw_bytes_truncates_long_payloads(self):
+        raw = raw_byte_matrix(_window(payload_len=100))
+        assert raw.shape[1] == RAW_BYTES_PER_PACKET
+
+
+class TestSyntheticDatasets:
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_make_dataset_classes(self, name):
+        ds = make_dataset(name, flows_per_class=5, seed=0)
+        labels = {f.label for f in ds.flows}
+        assert labels == set(range(ds.n_classes))
+
+    def test_deterministic(self):
+        a = make_dataset("peerrush", flows_per_class=3, seed=42)
+        b = make_dataset("peerrush", flows_per_class=3, seed=42)
+        for fa, fb in zip(a.flows, b.flows):
+            assert [p.length for p in fa.packets] == [p.length for p in fb.packets]
+
+    def test_different_seeds_differ(self):
+        a = make_dataset("peerrush", flows_per_class=3, seed=1)
+        b = make_dataset("peerrush", flows_per_class=3, seed=2)
+        lens_a = [p.length for f in a.flows for p in f.packets]
+        lens_b = [p.length for f in b.flows for p in f.packets]
+        assert lens_a != lens_b
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError):
+            make_dataset("nope")
+
+    def test_split_fractions(self):
+        ds = make_dataset("peerrush", flows_per_class=20, seed=0)
+        train, val, test = ds.split(rng=0)
+        assert len(train) + len(val) + len(test) == len(ds.flows)
+        assert len(train) == 45  # 15 per class
+        assert len(val) == 6
+
+    def test_split_disjoint(self):
+        ds = make_dataset("ciciot", flows_per_class=10, seed=0)
+        train, val, test = ds.split(rng=0)
+        ids = [id(f) for f in train + val + test]
+        assert len(set(ids)) == len(ids)
+
+    def test_flows_long_enough_for_windows(self):
+        ds = make_dataset("iscxvpn", flows_per_class=5, seed=0)
+        assert all(len(f) >= SEQ_WINDOW for f in ds.flows)
+
+    def test_dataset_views_shapes(self):
+        ds = make_dataset("peerrush", flows_per_class=4, seed=0)
+        views = dataset_views(ds.flows)
+        n = len(views["y"])
+        assert views["stats"].shape == (n, N_STAT_FEATURES)
+        assert views["seq"].shape == (n, SEQ_TOKENS)
+        assert views["raw"].shape == (n, SEQ_WINDOW, RAW_BYTES_PER_PACKET)
+
+    def test_classes_statistically_separable(self):
+        # Sanity: class mean packet lengths differ on peerrush.
+        ds = make_dataset("peerrush", flows_per_class=20, seed=0)
+        means = []
+        for label in range(3):
+            lens = [p.length for f in ds.flows if f.label == label for p in f.packets]
+            means.append(np.mean(lens))
+        assert np.ptp(means) > 100
+
+    @pytest.mark.parametrize("attack", ATTACK_NAMES)
+    def test_attack_flows(self, attack):
+        flows = make_attack_flows(attack, n_flows=3, seed=0)
+        assert len(flows) == 3
+        assert all(f.label >= 100 for f in flows)
+
+    def test_unknown_attack(self):
+        with pytest.raises(ValueError):
+            make_attack_flows("NotAnAttack")
+
+    def test_motif_present_in_payloads(self):
+        profiles = dataset_profiles("peerrush")
+        p = profiles[0]
+        flow = generate_flow(p, rng=0)
+        motif = np.frombuffer(p.motif, dtype=np.uint8)
+        found = 0
+        for pkt in flow.packets:
+            s = pkt.payload.tobytes()
+            if p.motif in s:
+                found += 1
+        assert found >= len(flow.packets) // 2
+
+    @settings(deadline=None, max_examples=10)
+    @given(st.sampled_from(list(DATASET_NAMES)), st.integers(0, 1000))
+    def test_generate_valid_lengths(self, name, seed):
+        ds = make_dataset(name, flows_per_class=2, seed=seed)
+        for f in ds.flows:
+            for p in f.packets:
+                assert 40 <= p.length <= 1500

@@ -1,0 +1,140 @@
+"""Tests for packets, flow assembly, windowing, and trace serialization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TraceFormatError
+from repro.net import (
+    Packet, FlowKey, Flow, assemble_flows, flow_windows,
+    Trace, write_trace, read_trace,
+)
+
+
+def _pkt(ts=0.0, length=100, sport=1000, dport=80, payload=()):
+    key = FlowKey(0x0A000001, 0x0A000002, sport, dport, 6)
+    return Packet(ts=ts, length=length, key=key, payload=np.array(payload, dtype=np.uint8))
+
+
+class TestFlowKey:
+    def test_reversed(self):
+        key = FlowKey(1, 2, 10, 20, 6)
+        assert key.reversed() == FlowKey(2, 1, 20, 10, 6)
+
+    def test_canonical_is_direction_independent(self):
+        key = FlowKey(5, 2, 10, 20, 6)
+        assert key.canonical() == key.reversed().canonical()
+
+    def test_canonical_idempotent(self):
+        key = FlowKey(1, 2, 10, 20, 6).canonical()
+        assert key.canonical() == key
+
+
+class TestPacket:
+    def test_rejects_oversized(self):
+        with pytest.raises(ValueError):
+            _pkt(length=2000)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            _pkt(length=-1)
+
+    def test_payload_len(self):
+        assert _pkt(payload=[1, 2, 3]).payload_len == 3
+
+
+class TestFlowAssembly:
+    def test_groups_by_canonical_key(self):
+        fwd = _pkt(ts=0.0, sport=1000, dport=80)
+        rev = Packet(ts=1.0, length=60, key=fwd.key.reversed())
+        flows = assemble_flows([fwd, rev])
+        assert len(flows) == 1
+        assert len(next(iter(flows.values()))) == 2
+
+    def test_orders_by_timestamp(self):
+        pkts = [_pkt(ts=2.0), _pkt(ts=0.5), _pkt(ts=1.0)]
+        flow = next(iter(assemble_flows(pkts).values()))
+        assert [p.ts for p in flow.packets] == [0.5, 1.0, 2.0]
+
+    def test_distinct_flows_stay_separate(self):
+        flows = assemble_flows([_pkt(sport=1000), _pkt(sport=1001)])
+        assert len(flows) == 2
+
+    def test_ipds(self):
+        flow = Flow(key=_pkt().key, packets=[_pkt(ts=0.0), _pkt(ts=0.3), _pkt(ts=1.0)])
+        np.testing.assert_allclose(flow.inter_packet_delays(), [0.3, 0.7])
+
+    def test_duration_single_packet(self):
+        assert Flow(key=_pkt().key, packets=[_pkt()]).duration == 0.0
+
+
+class TestFlowWindows:
+    def _flow(self, n):
+        return Flow(key=_pkt().key, packets=[_pkt(ts=float(i)) for i in range(n)])
+
+    def test_short_flow_yields_nothing(self):
+        assert flow_windows(self._flow(5), window=8) == []
+
+    def test_exact_window(self):
+        assert len(flow_windows(self._flow(8), window=8)) == 1
+
+    def test_stride(self):
+        wins = flow_windows(self._flow(16), window=8, stride=4)
+        assert len(wins) == 3
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            flow_windows(self._flow(8), window=0)
+
+
+class TestTraceSerialization:
+    def test_roundtrip(self, tmp_path):
+        pkts = [_pkt(ts=0.1, length=100, payload=[1, 2, 3]),
+                _pkt(ts=0.2, length=200, sport=1001, payload=list(range(50)))]
+        path = tmp_path / "t.spcap"
+        write_trace(Trace(pkts), path)
+        back = read_trace(path)
+        assert len(back) == 2
+        assert back.packets[0].ts == pytest.approx(0.1)
+        assert back.packets[1].length == 200
+        np.testing.assert_array_equal(back.packets[0].payload, [1, 2, 3])
+        assert back.packets[1].key.src_port == 1001
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.spcap"
+        path.write_bytes(b"NOTATRACE")
+        with pytest.raises(TraceFormatError):
+            read_trace(path)
+
+    def test_truncated(self, tmp_path):
+        pkts = [_pkt(payload=[1] * 20)]
+        path = tmp_path / "t.spcap"
+        write_trace(Trace(pkts), path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-5])
+        with pytest.raises(TraceFormatError):
+            read_trace(path)
+
+    def test_from_flows_interleaves(self):
+        f1 = Flow(key=_pkt().key, packets=[_pkt(ts=0.0), _pkt(ts=2.0)])
+        f2 = Flow(key=_pkt(sport=1001).key, packets=[_pkt(ts=1.0, sport=1001)])
+        trace = Trace.from_flows([f1, f2])
+        assert [p.ts for p in trace.packets] == [0.0, 1.0, 2.0]
+
+    @given(st.lists(st.tuples(
+        st.floats(min_value=0, max_value=1e6, allow_nan=False),
+        st.integers(min_value=0, max_value=1500),
+        st.integers(min_value=0, max_value=100)), min_size=0, max_size=20))
+    def test_roundtrip_property(self, specs):
+        import tempfile
+        from pathlib import Path
+
+        pkts = [_pkt(ts=ts, length=ln, payload=[7] * pl) for ts, ln, pl in specs]
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "p.spcap"
+            write_trace(Trace(pkts), path)
+            back = read_trace(path)
+        assert len(back) == len(pkts)
+        for orig, rt in zip(pkts, back.packets):
+            assert rt.length == orig.length
+            assert rt.payload_len == orig.payload_len

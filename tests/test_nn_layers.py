@@ -1,0 +1,283 @@
+"""Gradient-check and behaviour tests for the NN substrate layers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.errors import ShapeError
+
+
+def numeric_grad(fn, x, eps=1e-6):
+    """Central-difference gradient of scalar fn at x."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.ravel()
+    grad_flat = grad.ravel()
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        plus = fn()
+        flat[i] = orig - eps
+        minus = fn()
+        flat[i] = orig
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_input_grad(layer, x, atol=1e-5):
+    """Compare layer.backward against numeric input gradient of sum(output)."""
+    y = layer.forward(x)
+    analytic = layer.backward(np.ones_like(y))
+
+    def total():
+        return float(layer.forward(x).sum())
+
+    numeric = numeric_grad(total, x)
+    np.testing.assert_allclose(analytic, numeric, atol=atol)
+
+
+def check_param_grads(layer, x, atol=1e-5):
+    y = layer.forward(x)
+    layer.zero_grad()
+    layer.forward(x)
+    layer.backward(np.ones_like(y))
+    for p in layer.parameters():
+        analytic = p.grad.copy()
+
+        def total(p=p):
+            return float(layer.forward(x).sum())
+
+        numeric = numeric_grad(total, p.data)
+        np.testing.assert_allclose(analytic, numeric, atol=atol,
+                                   err_msg=f"param {p.name}")
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        layer = nn.Linear(4, 3, rng=0)
+        assert layer.forward(np.zeros((5, 4))).shape == (5, 3)
+
+    def test_forward_value(self):
+        layer = nn.Linear(2, 1, rng=0)
+        layer.weight.data[:] = [[2.0], [3.0]]
+        layer.bias.data[:] = [1.0]
+        np.testing.assert_allclose(layer.forward(np.array([[1.0, 1.0]])), [[6.0]])
+
+    def test_input_grad(self):
+        rng = np.random.default_rng(1)
+        check_input_grad(nn.Linear(4, 3, rng=0), rng.normal(size=(3, 4)))
+
+    def test_param_grads(self):
+        rng = np.random.default_rng(2)
+        check_param_grads(nn.Linear(3, 2, rng=0), rng.normal(size=(4, 3)))
+
+    def test_shape_error(self):
+        with pytest.raises(ShapeError):
+            nn.Linear(4, 3, rng=0).forward(np.zeros((2, 5)))
+
+
+class TestConv1d:
+    def test_output_length(self):
+        conv = nn.Conv1d(1, 1, kernel_size=3, stride=2, padding=1, rng=0)
+        assert conv.output_length(8) == 4
+
+    def test_forward_known_value(self):
+        conv = nn.Conv1d(1, 1, kernel_size=2, rng=0)
+        conv.weight.data[:] = np.array([[[1.0, -1.0]]])
+        conv.bias.data[:] = 0.0
+        x = np.array([[[1.0, 3.0, 6.0]]])
+        np.testing.assert_allclose(conv.forward(x), [[[-2.0, -3.0]]])
+
+    def test_input_grad(self):
+        rng = np.random.default_rng(3)
+        conv = nn.Conv1d(2, 3, kernel_size=3, stride=1, padding=1, rng=0)
+        check_input_grad(conv, rng.normal(size=(2, 2, 6)))
+
+    def test_input_grad_strided(self):
+        rng = np.random.default_rng(4)
+        conv = nn.Conv1d(1, 2, kernel_size=2, stride=2, rng=0)
+        check_input_grad(conv, rng.normal(size=(2, 1, 6)))
+
+    def test_param_grads(self):
+        rng = np.random.default_rng(5)
+        conv = nn.Conv1d(2, 2, kernel_size=2, rng=0)
+        check_param_grads(conv, rng.normal(size=(3, 2, 5)))
+
+    def test_kernel_too_large(self):
+        with pytest.raises(ShapeError):
+            nn.Conv1d(1, 1, kernel_size=5, rng=0).forward(np.zeros((1, 1, 3)))
+
+
+class TestBatchNorm:
+    def test_normalizes_in_train_mode(self):
+        bn = nn.BatchNorm1d(3)
+        rng = np.random.default_rng(6)
+        x = rng.normal(5.0, 2.0, size=(200, 3))
+        y = bn.forward(x)
+        np.testing.assert_allclose(y.mean(axis=0), 0.0, atol=1e-8)
+        np.testing.assert_allclose(y.std(axis=0), 1.0, atol=1e-3)
+
+    def test_eval_uses_running_stats(self):
+        bn = nn.BatchNorm1d(2)
+        rng = np.random.default_rng(7)
+        for _ in range(50):
+            bn.forward(rng.normal(3.0, 1.5, size=(64, 2)))
+        bn.eval_mode()
+        y = bn.forward(np.full((4, 2), 3.0))
+        np.testing.assert_allclose(y, 0.0, atol=0.2)
+
+    def test_inference_scale_shift_matches_eval_forward(self):
+        bn = nn.BatchNorm1d(3)
+        rng = np.random.default_rng(8)
+        for _ in range(10):
+            bn.forward(rng.normal(size=(32, 3)))
+        bn.gamma.data[:] = [1.0, 2.0, 0.5]
+        bn.beta.data[:] = [0.1, -0.2, 0.3]
+        bn.eval_mode()
+        x = rng.normal(size=(5, 3))
+        scale, shift = bn.inference_scale_shift()
+        np.testing.assert_allclose(bn.forward(x), scale * x + shift, atol=1e-10)
+
+    def test_3d_input(self):
+        bn = nn.BatchNorm1d(2)
+        x = np.random.default_rng(9).normal(size=(4, 2, 8))
+        assert bn.forward(x).shape == (4, 2, 8)
+
+    def test_train_input_grad(self):
+        rng = np.random.default_rng(10)
+        bn = nn.BatchNorm1d(3)
+        check_input_grad(bn, rng.normal(size=(6, 3)), atol=1e-4)
+
+    def test_bad_ndim(self):
+        with pytest.raises(ShapeError):
+            nn.BatchNorm1d(2).forward(np.zeros((2, 2, 2, 2)))
+
+
+class TestActivations:
+    @pytest.mark.parametrize("layer_cls", [nn.ReLU, nn.Tanh, nn.Sigmoid, nn.Softmax])
+    def test_input_grads(self, layer_cls):
+        rng = np.random.default_rng(11)
+        x = rng.normal(size=(4, 5))
+        layer = layer_cls()
+        y = layer.forward(x)
+        g_out = rng.normal(size=y.shape)
+        analytic = layer.backward(g_out)
+
+        def total():
+            return float((layer.forward(x) * g_out).sum())
+
+        numeric = numeric_grad(total, x)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-5)
+
+    def test_relu_clamps(self):
+        y = nn.ReLU().forward(np.array([-1.0, 0.0, 2.0]))
+        np.testing.assert_array_equal(y, [0.0, 0.0, 2.0])
+
+    def test_softmax_sums_to_one(self):
+        y = nn.Softmax().forward(np.random.default_rng(12).normal(size=(3, 7)))
+        np.testing.assert_allclose(y.sum(axis=-1), 1.0)
+
+
+class TestPooling:
+    def test_maxpool_value(self):
+        pool = nn.MaxPool1d(2)
+        x = np.array([[[1.0, 5.0, 2.0, 3.0]]])
+        np.testing.assert_array_equal(pool.forward(x), [[[5.0, 3.0]]])
+
+    def test_maxpool_grad_routes_to_argmax(self):
+        pool = nn.MaxPool1d(2)
+        x = np.array([[[1.0, 5.0, 2.0, 3.0]]])
+        pool.forward(x)
+        g = pool.backward(np.array([[[1.0, 1.0]]]))
+        np.testing.assert_array_equal(g, [[[0.0, 1.0, 0.0, 1.0]]])
+
+    def test_avgpool_value(self):
+        pool = nn.AvgPool1d(2)
+        x = np.array([[[2.0, 4.0, 6.0, 8.0]]])
+        np.testing.assert_array_equal(pool.forward(x), [[[3.0, 7.0]]])
+
+    def test_global_maxpool(self):
+        pool = nn.GlobalMaxPool1d()
+        x = np.array([[[1.0, 9.0, 2.0], [4.0, 0.0, 3.0]]])
+        np.testing.assert_array_equal(pool.forward(x), [[9.0, 4.0]])
+
+    def test_global_maxpool_grad(self):
+        rng = np.random.default_rng(13)
+        check_input_grad(nn.GlobalMaxPool1d(), rng.normal(size=(2, 3, 5)))
+
+
+class TestEmbedding:
+    def test_lookup(self):
+        emb = nn.Embedding(10, 4, rng=0)
+        out = emb.forward(np.array([[1, 2], [3, 1]]))
+        assert out.shape == (2, 2, 4)
+        np.testing.assert_array_equal(out[0, 0], emb.weight.data[1])
+
+    def test_grad_accumulates_per_index(self):
+        emb = nn.Embedding(5, 2, rng=0)
+        emb.forward(np.array([[0, 0, 1]]))
+        emb.backward(np.ones((1, 3, 2)))
+        np.testing.assert_array_equal(emb.weight.grad[0], [2.0, 2.0])
+        np.testing.assert_array_equal(emb.weight.grad[1], [1.0, 1.0])
+
+    def test_out_of_range(self):
+        with pytest.raises(ShapeError):
+            nn.Embedding(4, 2, rng=0).forward(np.array([[4]]))
+
+
+class TestRNN:
+    def test_forward_shape(self):
+        rnn = nn.WindowedRNN(3, 5, rng=0)
+        assert rnn.forward(np.zeros((2, 7, 3))).shape == (2, 5)
+
+    def test_input_grad_bptt(self):
+        rng = np.random.default_rng(14)
+        rnn = nn.WindowedRNN(2, 3, rng=0)
+        check_input_grad(rnn, rng.normal(size=(2, 4, 2)), atol=1e-4)
+
+    def test_param_grads_bptt(self):
+        rng = np.random.default_rng(15)
+        rnn = nn.WindowedRNN(2, 3, rng=0)
+        check_param_grads(rnn, rng.normal(size=(2, 4, 2)), atol=1e-4)
+
+
+class TestSequentialAndTraining:
+    def test_sequential_composition(self):
+        model = nn.Sequential(nn.Linear(4, 8, rng=0), nn.ReLU(), nn.Linear(8, 2, rng=1))
+        assert model.forward(np.zeros((3, 4))).shape == (3, 2)
+        assert model.param_count() == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_fit_learns_linearly_separable(self):
+        rng = np.random.default_rng(16)
+        x = rng.normal(size=(400, 2))
+        y = (x[:, 0] + x[:, 1] > 0).astype(np.int64)
+        model = nn.Sequential(nn.Linear(2, 16, rng=0), nn.ReLU(), nn.Linear(16, 2, rng=1))
+        nn.fit(model, x, y, nn.CrossEntropyLoss(), nn.Adam(model.parameters(), lr=0.01),
+               epochs=20, batch_size=64, rng=0)
+        acc = (nn.predict_classes(model, x) == y).mean()
+        assert acc > 0.95
+
+    def test_fit_learns_xor(self):
+        rng = np.random.default_rng(17)
+        x = rng.uniform(-1, 1, size=(600, 2))
+        y = ((x[:, 0] > 0) ^ (x[:, 1] > 0)).astype(np.int64)
+        model = nn.Sequential(nn.Linear(2, 32, rng=0), nn.Tanh(), nn.Linear(32, 2, rng=1))
+        nn.fit(model, x, y, nn.CrossEntropyLoss(), nn.Adam(model.parameters(), lr=0.02),
+               epochs=60, batch_size=64, rng=0)
+        acc = (nn.predict_classes(model, x) == y).mean()
+        assert acc > 0.9
+
+    def test_binary_linear_ste_learns(self):
+        rng = np.random.default_rng(18)
+        x = np.sign(rng.normal(size=(500, 16)))
+        true_w = np.sign(rng.normal(size=(16, 2)))
+        y = np.argmax(x @ true_w, axis=1)
+        model = nn.Sequential(nn.BinaryLinear(16, 2, rng=0))
+        nn.fit(model, x, y, nn.CrossEntropyLoss(), nn.Adam(model.parameters(), lr=0.01),
+               epochs=30, batch_size=64, rng=0)
+        acc = (nn.predict_classes(model, x) == y).mean()
+        assert acc > 0.9
+
+    def test_train_eval_mode_propagates(self):
+        model = nn.Sequential(nn.BatchNorm1d(2), nn.Linear(2, 2, rng=0))
+        model.eval_mode()
+        assert not model[0].training

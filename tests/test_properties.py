@@ -1,0 +1,136 @@
+"""Cross-module property-based tests on the core invariants.
+
+These are the load-bearing guarantees of the reproduction:
+
+1. Basic fusion never changes program semantics.
+2. Materialized tables approximate the float program, and the
+   approximation improves with clustering depth.
+3. The staged pipeline, the compiled reference model, and the emitted P4
+   entries agree bit-for-bit.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.backends import emit_p4
+from repro.backends.p4 import interpret_entries
+from repro.core import (
+    Affine, ElementwiseAffine, ElementwiseFunc, MapStep, PrimitiveProgram,
+    SumReduceStep, even_partition, fuse_basic, materialize, MaterializeConfig,
+)
+from repro.dataplane import place_model, TOFINO2
+
+
+def _random_program(rng: np.random.Generator, input_dim: int,
+                    n_blocks: int) -> PrimitiveProgram:
+    """A random stack of [elementwise-affine, matmul(+SR), nonlinearity]."""
+    steps = []
+    dim = input_dim
+    for b in range(n_blocks):
+        scale = rng.uniform(0.5, 1.5, dim)
+        shift = rng.normal(0, 0.1, dim)
+        steps.append(MapStep([(0, dim)], [ElementwiseAffine(scale, shift)]))
+        out_dim = int(rng.integers(2, 6))
+        seg = 2 if b == 0 and dim % 2 == 0 else dim
+        partition = even_partition(dim, seg)
+        w = rng.normal(0, 0.2, (dim, out_dim))
+        fns = [Affine(w[s:e], rng.normal(0, 0.1, out_dim) / len(partition))
+               for s, e in partition]
+        steps.append(MapStep(partition, fns))
+        if len(partition) > 1:
+            steps.append(SumReduceStep(len(partition), out_dim))
+        if rng.random() < 0.7:
+            steps.append(MapStep([(0, out_dim)],
+                                 [ElementwiseFunc(lambda v: np.maximum(v, 0),
+                                                  out_dim, name="relu")]))
+        dim = out_dim
+    program = PrimitiveProgram(input_dim=input_dim, steps=steps)
+    program.validate()
+    return program
+
+
+class TestFusionSemantics:
+    @settings(deadline=None, max_examples=20)
+    @given(st.integers(0, 10_000), st.integers(1, 3))
+    def test_fusion_preserves_semantics(self, seed, n_blocks):
+        rng = np.random.default_rng(seed)
+        program = _random_program(rng, input_dim=8, n_blocks=n_blocks)
+        fused = fuse_basic(program)
+        x = rng.normal(0, 50, size=(20, 8))
+        np.testing.assert_allclose(fused.evaluate(x), program.evaluate(x),
+                                   rtol=1e-9, atol=1e-9)
+
+    @settings(deadline=None, max_examples=20)
+    @given(st.integers(0, 10_000), st.integers(1, 3))
+    def test_fusion_never_adds_lookups(self, seed, n_blocks):
+        rng = np.random.default_rng(seed)
+        program = _random_program(rng, input_dim=8, n_blocks=n_blocks)
+        fused = fuse_basic(program)
+        assert fused.num_map_steps <= program.num_map_steps
+
+
+class TestMaterializationFidelity:
+    @settings(deadline=None, max_examples=10)
+    @given(st.integers(0, 1000))
+    def test_depth_improves_approximation(self, seed):
+        rng = np.random.default_rng(seed)
+        w = rng.normal(0, 0.05, (6, 2))
+        partition = even_partition(6, 2)
+        fns = [Affine(w[s:e], np.zeros(2)) for s, e in partition]
+        program = PrimitiveProgram(
+            input_dim=6, steps=[MapStep(partition, fns), SumReduceStep(3, 2)])
+        calib = np.floor(rng.uniform(0, 255, size=(300, 6))).astype(np.int64)
+        want = calib.astype(np.float64) @ w
+        err_small = np.abs(materialize(
+            program, calib, MaterializeConfig(fuzzy_leaves=2)
+        ).predict_scores(calib) - want).mean()
+        err_large = np.abs(materialize(
+            program, calib, MaterializeConfig(fuzzy_leaves=64)
+        ).predict_scores(calib) - want).mean()
+        assert err_large <= err_small + 1e-9
+
+
+from functools import lru_cache
+
+
+@lru_cache(maxsize=1)
+def _cached_artifacts():
+    rng = np.random.default_rng(3)
+    w = rng.normal(0, 0.05, (6, 3))
+    partition = even_partition(6, 2)
+    fns = [Affine(w[s:e], np.full(3, 0.1)) for s, e in partition]
+    program = PrimitiveProgram(
+        input_dim=6, steps=[MapStep(partition, fns), SumReduceStep(3, 3)])
+    calib = np.floor(rng.uniform(0, 255, size=(400, 6))).astype(np.int64)
+    compiled = materialize(program, calib, MaterializeConfig(fuzzy_leaves=16))
+    return compiled, calib
+
+
+class TestThreeWayAgreement:
+    """Compiled model == staged pipeline == interpreted P4 entries."""
+
+    @pytest.fixture(scope="class")
+    def artifacts(self):
+        return _cached_artifacts()
+
+    def test_pipeline_agrees(self, artifacts):
+        compiled, calib = artifacts
+        pipeline = place_model(compiled, TOFINO2)
+        np.testing.assert_array_equal(pipeline.process(calib[:100]),
+                                      compiled.forward_int(calib[:100]))
+
+    def test_p4_entries_agree(self, artifacts):
+        compiled, calib = artifacts
+        program = emit_p4(compiled)
+        np.testing.assert_array_equal(
+            interpret_entries(program, compiled, calib[:30]),
+            compiled.forward_int(calib[:30]))
+
+    @settings(deadline=None, max_examples=15)
+    @given(st.integers(0, 2**31))
+    def test_pipeline_agrees_on_random_inputs(self, seed):
+        compiled, _ = _cached_artifacts()
+        pipeline = place_model(compiled, TOFINO2)
+        x = np.floor(np.random.default_rng(seed).uniform(0, 255, (5, 6))).astype(np.int64)
+        np.testing.assert_array_equal(pipeline.process(x), compiled.forward_int(x))

@@ -1,0 +1,70 @@
+"""Tests for bit-manipulation helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.bits import popcount, int_to_bits, bits_to_int, pack_signs, xnor_popcount
+
+
+class TestPopcount:
+    def test_scalar_zero(self):
+        assert popcount(0) == 0
+
+    def test_scalar_all_ones_32(self):
+        assert popcount(0xFFFFFFFF) == 32
+
+    def test_scalar_all_ones_64(self):
+        assert popcount(0xFFFFFFFFFFFFFFFF) == 64
+
+    def test_array(self):
+        got = popcount(np.array([0, 1, 3, 7, 255], dtype=np.uint64))
+        np.testing.assert_array_equal(got, [0, 1, 2, 3, 8])
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_matches_python_bin(self, v):
+        assert popcount(v) == bin(v).count("1")
+
+
+class TestBitsRoundtrip:
+    @given(st.integers(min_value=0, max_value=2**16 - 1))
+    def test_roundtrip_16(self, v):
+        assert bits_to_int(int_to_bits(v, 16)) == v
+
+    def test_msb_first(self):
+        np.testing.assert_array_equal(int_to_bits(0b100, 3), [1, 0, 0])
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            int_to_bits(8, 3)
+        with pytest.raises(ValueError):
+            int_to_bits(-1, 3)
+
+
+class TestXnorPopcount:
+    def _binary_dot(self, a, b):
+        return float(np.dot(np.where(a >= 0, 1, -1), np.where(b >= 0, 1, -1)))
+
+    @given(st.integers(min_value=1, max_value=200), st.integers(0, 2**32))
+    def test_matches_dense_dot(self, n, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=n)
+        b = rng.normal(size=n)
+        packed_a = pack_signs(a)
+        packed_b = pack_signs(b)
+        assert xnor_popcount(packed_a, packed_b, n) == self._binary_dot(a, b)
+
+    def test_batched(self):
+        rng = np.random.default_rng(7)
+        a = rng.normal(size=(5, 130))
+        b = rng.normal(size=130)
+        packed_a = pack_signs(a)
+        packed_b = pack_signs(b)
+        got = xnor_popcount(packed_a, packed_b[None, :], 130)
+        want = [self._binary_dot(a[i], b) for i in range(5)]
+        np.testing.assert_array_equal(got, want)
+
+    def test_identical_vectors_give_n(self):
+        v = np.array([1.0, -2.0, 3.0, -4.0])
+        p = pack_signs(v)
+        assert xnor_popcount(p, p, 4) == 4

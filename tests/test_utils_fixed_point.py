@@ -1,0 +1,89 @@
+"""Tests for fixed-point formats and adaptive calibration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import QuantizationError
+from repro.utils.fixed_point import QFormat, choose_qformat
+
+
+class TestQFormat:
+    def test_scale(self):
+        assert QFormat(8, 3).scale == 8.0
+
+    def test_int_range(self):
+        q = QFormat(8, 0)
+        assert q.int_min == -128
+        assert q.int_max == 127
+
+    def test_quantize_rounds(self):
+        q = QFormat(8, 2)
+        assert q.quantize(1.26) == 5  # 1.26 * 4 = 5.04 -> 5
+
+    def test_quantize_saturates(self):
+        q = QFormat(8, 0)
+        assert q.quantize(1000.0) == 127
+        assert q.quantize(-1000.0) == -128
+
+    def test_dequantize_inverts_scale(self):
+        q = QFormat(16, 8)
+        np.testing.assert_allclose(q.dequantize(q.quantize(3.14159)), 3.14159, atol=q.resolution)
+
+    def test_negative_frac_bits_allowed(self):
+        # Coarse formats (resolution > 1) are legal for very large ranges.
+        q = QFormat(8, -2)
+        assert q.quantize(20.0) == 5
+        assert q.dequantize(5) == 20.0
+
+    def test_invalid_total_bits(self):
+        with pytest.raises(QuantizationError):
+            QFormat(1, 0)
+
+    @given(st.floats(min_value=-100, max_value=100, allow_nan=False))
+    def test_roundtrip_error_bounded(self, v):
+        q = QFormat(16, 7)
+        assert abs(q.roundtrip(v) - v) <= q.resolution / 2 + 1e-12
+
+    def test_rescale_right_shift(self):
+        src = QFormat(16, 8)
+        dst = QFormat(16, 4)
+        stored = src.quantize(2.5)
+        assert dst.dequantize(src.rescale_to(stored, dst)) == 2.5
+
+    def test_rescale_saturates(self):
+        src = QFormat(16, 0)
+        dst = QFormat(8, 0)
+        assert src.rescale_to(np.array([100000]), dst)[0] == dst.int_max
+
+
+class TestChooseQFormat:
+    def test_small_range_gets_many_frac_bits(self):
+        q = choose_qformat(np.array([0.1, -0.2, 0.05]), 8)
+        assert q.quantize(0.2) != q.quantize(0.1)
+        assert abs(q.roundtrip(0.2) - 0.2) < 0.02
+
+    def test_large_range_fits(self):
+        values = np.array([-100.0, 100.0])
+        q = choose_qformat(values, 8)
+        assert q.real_max >= 100.0
+        assert q.real_min <= -100.0
+
+    def test_empty_raises(self):
+        with pytest.raises(QuantizationError):
+            choose_qformat(np.array([]), 8)
+
+    def test_nan_raises(self):
+        with pytest.raises(QuantizationError):
+            choose_qformat(np.array([np.nan]), 8)
+
+    @given(st.lists(st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+                    min_size=1, max_size=20),
+           st.sampled_from([8, 12, 16]))
+    def test_never_overflows(self, values, bits):
+        values = np.asarray(values)
+        q = choose_qformat(values, bits)
+        stored = q.quantize(values)
+        # With margin=1.0 the extreme value must not saturate past one step.
+        assert stored.max() <= q.int_max
+        assert stored.min() >= q.int_min
