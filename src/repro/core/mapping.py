@@ -143,11 +143,24 @@ class CompiledModel:
         return self.layers[-1].out_format
 
     def forward_int(self, x_int: np.ndarray) -> np.ndarray:
+        """Integer forward pass over a batch of any size.
+
+        Every op is a table gather or a saturating integer add, so results
+        are *batch-size invariant*: evaluating N rows at once is bit-equal
+        to evaluating them one at a time — the property that lets the
+        batched runtimes replace per-packet calls with one call per batch.
+        The empty batch (0, input_dim) is explicitly supported.
+        """
         x = np.asarray(x_int, dtype=np.int64)
         if x.ndim == 1:
             x = x[None, :]
+        if x.ndim != 2:
+            raise ShapeError(f"expected a (N, {self.input_dim}) batch, got shape {x.shape}")
         if x.shape[1] != self.input_dim:
             raise ShapeError(f"expected input dim {self.input_dim}, got {x.shape[1]}")
+        if x.shape[0] == 0:
+            out_dim = self.layers[-1].out_dim if self.layers else self.input_dim
+            return np.zeros((0, out_dim), dtype=np.int64)
         for layer in self.layers:
             x = layer.forward_int(x)
         return x

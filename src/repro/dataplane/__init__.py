@@ -12,9 +12,11 @@ from repro.dataplane.target import TargetConfig, TOFINO2, GENERIC_PISA
 from repro.dataplane.phv import PHVAllocator, PHVField
 from repro.dataplane.tables import TernaryTableEntry, ternary_entries_for_tree, tcam_lookup
 from repro.dataplane.pipeline import Pipeline, place_model, TablePlacement, StageBudget
-from repro.dataplane.registers import FlowStateTable, FlowStateLayout, RegisterField
+from repro.dataplane.registers import (FlowStateTable, FlowStateLayout,
+                                       RegisterField, VectorFlowState)
 from repro.dataplane.resources import ResourceReport, summarize_resources
-from repro.dataplane.runtime import WindowedClassifierRuntime, TwoStageRuntime
+from repro.dataplane.runtime import (WindowedClassifierRuntime, TwoStageRuntime,
+                                     PacketDecision, DEFAULT_BATCH_SIZE)
 from repro.dataplane.throughput import line_rate_pps, measure_model_throughput
 
 __all__ = [
@@ -33,10 +35,13 @@ __all__ = [
     "FlowStateTable",
     "FlowStateLayout",
     "RegisterField",
+    "VectorFlowState",
     "ResourceReport",
     "summarize_resources",
     "WindowedClassifierRuntime",
     "TwoStageRuntime",
+    "PacketDecision",
+    "DEFAULT_BATCH_SIZE",
     "line_rate_pps",
     "measure_model_throughput",
 ]

@@ -77,10 +77,19 @@ class Pipeline:
         return max((self.stage_bus_used(s) for s in range(self.n_stages_used)), default=0)
 
     def process(self, x_int: np.ndarray) -> np.ndarray:
-        """Execute a batch through the placed pipeline, layer round by round."""
+        """Execute a batch through the placed pipeline, layer round by round.
+
+        Like :meth:`CompiledModel.forward_int`, results are batch-size
+        invariant (integer-only lookups and saturating adds), so the batched
+        runtimes can hand a whole trace batch to one placed pipeline call.
+        """
         x = np.asarray(x_int, dtype=np.int64)
         if x.ndim == 1:
             x = x[None, :]
+        if x.shape[0] == 0:
+            out_dim = self.model.layers[-1].out_dim if self.model.layers \
+                else self.model.input_dim
+            return np.zeros((0, out_dim), dtype=np.int64)
         by_layer: dict[int, list[TablePlacement]] = {}
         for p in self.placements:
             by_layer.setdefault(p.layer_index, []).append(p)

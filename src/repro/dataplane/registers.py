@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.errors import PipelineError
 from repro.net.packet import FlowKey
 
@@ -107,3 +109,105 @@ class FlowStateTable:
         arr = self.get(key)[name]
         arr.pop(0)
         arr.append(value)
+
+
+def register_dtype(bits: int) -> np.dtype:
+    """Narrowest unsigned NumPy dtype that holds a ``bits``-wide register."""
+    if bits <= 8:
+        return np.dtype(np.uint8)
+    if bits <= 16:
+        return np.dtype(np.uint16)
+    if bits <= 32:
+        return np.dtype(np.uint32)
+    return np.dtype(np.uint64)
+
+
+class VectorFlowState:
+    """Columnar per-flow register storage for the batched runtimes.
+
+    Semantically identical to :class:`FlowStateTable` (same fields, same
+    widths, same FIFO eviction at capacity) but laid out for vectorized
+    access: each :class:`RegisterField` becomes one preallocated 2-D NumPy
+    array of shape ``(capacity, field.count)`` in the narrowest unsigned
+    dtype that holds the field width. Flow keys map to *slots* (row indices)
+    through an insertion-ordered dict, so a whole batch of packets can
+    gather/scatter its per-flow state with fancy indexing instead of one
+    dict write per packet.
+
+    Eviction model: like the scalar table, this is an exact-match store of
+    bounded ``capacity`` with FIFO eviction — when a new flow arrives at
+    capacity, the *oldest inserted* flow is evicted, its slot's register
+    rows are zeroed, and the slot is reused. ``evictions`` counts these
+    events. A batched caller that still has unprocessed packets referring
+    to the victim's slot must flush before the eviction happens; pass those
+    slots as ``blocked`` to :meth:`acquire` and it refuses (returns None)
+    instead of corrupting in-flight state.
+    """
+
+    def __init__(self, layout: FlowStateLayout, capacity: int = 1_000_000):
+        if capacity < 1:
+            raise PipelineError("VectorFlowState capacity must be >= 1")
+        self.layout = layout
+        self.capacity = capacity
+        self.evictions = 0
+        self._slot_of: dict[FlowKey, int] = {}   # insertion order = FIFO order
+        self._next_slot = 0                      # high-water mark of used rows
+        self.columns: dict[str, np.ndarray] = {
+            f.name: np.zeros((capacity, f.count), dtype=register_dtype(f.bits))
+            for f in layout.fields}
+
+    def __len__(self) -> int:
+        return len(self._slot_of)
+
+    def slot_of(self, key: FlowKey) -> int | None:
+        """The slot currently assigned to ``key``, or None if untracked."""
+        return self._slot_of.get(key)
+
+    def acquire(self, key: FlowKey, blocked: set[int] = frozenset()) -> int | None:
+        """Slot for ``key``, allocating (with FIFO eviction) when absent.
+
+        Returns None — without mutating anything — when allocation would
+        evict a slot in ``blocked`` (a slot with unflushed in-batch state).
+        """
+        slot = self._slot_of.get(key)
+        if slot is not None:
+            return slot
+        if self._next_slot < self.capacity:
+            slot = self._next_slot
+            self._next_slot += 1
+        else:
+            victim_key = next(iter(self._slot_of))
+            slot = self._slot_of[victim_key]
+            if slot in blocked:
+                return None
+            del self._slot_of[victim_key]
+            self.evictions += 1
+            for col in self.columns.values():
+                col[slot] = 0
+        self._slot_of[key] = slot
+        return slot
+
+    # -- scalar element access (reference path / tests) ----------------------
+
+    def read(self, key: FlowKey, name: str, index: int = 0) -> int:
+        return int(self.columns[name][self.acquire(key), index])
+
+    def write(self, key: FlowKey, name: str, value: int, index: int = 0) -> None:
+        """Write one field element, enforcing its register width."""
+        reg = self.layout.field(name)
+        if not 0 <= value < (1 << reg.bits):
+            raise PipelineError(
+                f"value {value} does not fit register {name!r} ({reg.bits} bits)")
+        if not 0 <= index < reg.count:
+            raise PipelineError(f"register {name!r} index {index} out of range")
+        self.columns[name][self.acquire(key), index] = value
+
+    def shift_in(self, key: FlowKey, name: str, value: int) -> None:
+        """Append to a register array row, shifting older entries out."""
+        reg = self.layout.field(name)
+        if not 0 <= value < (1 << reg.bits):
+            raise PipelineError(
+                f"value {value} does not fit register {name!r} ({reg.bits} bits)")
+        row = self.columns[name][self.acquire(key)]
+        row[:-1] = row[1:]
+        row[-1] = value

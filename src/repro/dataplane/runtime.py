@@ -11,6 +11,49 @@ Two runtimes cover the paper's deployment shapes:
   are stored per flow, and a second stage classifies from the window of
   indexes (+ optional IPD buckets). This is the paper's "Flow Scalability"
   design that gets CNN-L to 28–72 stateful bits per flow.
+
+Flow-state register layout
+--------------------------
+
+Both runtimes keep per-flow state in a :class:`VectorFlowState`: one
+preallocated 2-D NumPy array per register field, rows indexed by a flow-slot
+table (canonical 5-tuple -> row) with FIFO eviction at ``capacity``.
+
+:class:`WindowedClassifierRuntime` (window ``W``, default 8)::
+
+    prev_ts   16 bits        last packet's timestamp in 64 us units
+    count      8 bits        packets seen (saturating at 255)
+    len_hist   8 bits x W-1  length buckets of the last W-1 packets
+    ipd_hist   8 bits x W-1  IPD buckets of the last W-1 packets
+                             -> 16 + 8 + 7*8 + 7*8 = 136 bits/flow at W=8
+
+:class:`TwoStageRuntime` (window ``W``, index width ``idx_bits``)::
+
+    prev_ts   16 bits        only when ``needs_ipd``
+    count      8 bits
+    idx_hist  idx_bits x W-1 fuzzy indexes of the last W-1 packets
+                             -> 16 + 4*7 = 44 bits/flow for the paper's
+                                CNN-L 44-bit variant (count is control-plane
+                                bookkeeping the paper folds into prev_ts)
+
+Eviction: when a new flow arrives at capacity the *oldest inserted* flow is
+dropped, its register rows are zeroed, and the slot is reused — so a
+re-arriving evicted flow restarts its window from scratch, exactly the
+state-loss the Figure-7 capacity ablation measures.
+
+Batched replay
+--------------
+
+``process_flows`` / ``process_trace`` replay a trace in NumPy batches
+(``batch_size`` packets at a time): per-flow state is gathered/scattered
+with fancy indexing and the compiled model (:meth:`CompiledModel.forward_int`
+or :meth:`Pipeline.process`) is invoked **once per batch**. Intra-batch
+packets of the same flow are handled exactly (each packet's window may span
+stored history and earlier in-batch packets), so batched decisions are
+bit-identical to the per-packet reference path ``process_flows_scalar`` for
+every batch size — a property the regression tests assert. Batches are cut
+early only when a FIFO eviction would reuse a slot that still has unflushed
+in-batch state.
 """
 
 from __future__ import annotations
@@ -21,18 +64,26 @@ import numpy as np
 
 from repro.core.fuzzy import FuzzyTree
 from repro.core.mapping import CompiledModel
-from repro.net.features import length_bucket, ipd_bucket, stats_from_buckets
+from repro.net.features import (length_bucket, ipd_bucket, stats_from_buckets,
+                                length_bucket_array, ipd_bucket_array)
 from repro.net.flow import Flow
 from repro.net.packet import Packet
 from repro.net.traces import Trace
-from repro.dataplane.registers import FlowStateTable, FlowStateLayout, RegisterField
+from repro.dataplane.registers import (FlowStateLayout, RegisterField,
+                                       VectorFlowState)
 
 TS_UNIT_SECONDS = 64e-6     # 16-bit timestamp register in 64 us units
 TS_MASK = 0xFFFF
+DEFAULT_BATCH_SIZE = 256
 
 
 def _ts_units(ts: float) -> int:
     return int(ts / TS_UNIT_SECONDS) & TS_MASK
+
+
+def _ts_units_array(ts: np.ndarray) -> np.ndarray:
+    return (np.asarray(ts, dtype=np.float64) / TS_UNIT_SECONDS).astype(np.int64) \
+        & TS_MASK
 
 
 def _ipd_bucket_from_units(cur_units: int, prev_units: int) -> int:
@@ -42,22 +93,198 @@ def _ipd_bucket_from_units(cur_units: int, prev_units: int) -> int:
 
 @dataclass
 class PacketDecision:
-    """One per-packet classification the switch emitted."""
+    """One per-packet classification the switch emitted.
+
+    ``seq`` is the packet's position in the replayed trace — the merge key
+    that lets sharded replicas reassemble one globally ordered decision
+    stream.
+    """
 
     flow_label: int
     predicted: int
     ts: float
+    seq: int = -1
+
+
+def flows_to_trace(flows: list[Flow]) -> tuple[Trace, list, np.ndarray]:
+    """Interleave labelled flows into one trace with per-packet keys/labels.
+
+    The single source of the flows -> (trace, canonical keys, label array)
+    preamble shared by the batched path, the scalar reference path, and the
+    serving dispatcher — so label lookup and key canonicalization can never
+    diverge between them.
+    """
+    label_by_key = {f.key.canonical(): f.label for f in flows}
+    trace = Trace.from_flows(flows)
+    keys = trace.canonical_keys()
+    labels = np.asarray([label_by_key[k] for k in keys], dtype=np.int64)
+    return trace, keys, labels
+
+
+def _group_structure(slots: np.ndarray):
+    """Per-batch flow grouping: who else in this batch shares my flow slot.
+
+    Returns ``(uniq, rank, counts, occ, prev_idx, last_idx)`` where ``uniq``
+    are the distinct slots, ``rank[i]`` indexes packet i's slot in ``uniq``,
+    ``occ[i]`` is packet i's occurrence number within its flow in this batch,
+    ``prev_idx[i]`` is the batch index of the previous same-flow packet (or
+    -1 when the previous packet predates the batch), and ``last_idx[u]`` is
+    the batch index of each flow's final packet (whose post-state is written
+    back).
+    """
+    uniq, rank, counts = np.unique(slots, return_inverse=True, return_counts=True)
+    rank = rank.reshape(-1)
+    order = np.argsort(rank, kind="stable")
+    ends = np.cumsum(counts)
+    occ_sorted = np.arange(len(slots), dtype=np.int64) - np.repeat(ends - counts, counts)
+    occ = np.empty(len(slots), dtype=np.int64)
+    occ[order] = occ_sorted
+    prev_idx = np.full(len(slots), -1, dtype=np.int64)
+    follow = np.nonzero(occ_sorted > 0)[0]
+    prev_idx[order[follow]] = order[follow - 1]
+    last_idx = order[ends - 1]
+    return uniq, rank, counts, occ, prev_idx, last_idx
+
+
+def _gather_windows(hist: np.ndarray, rank: np.ndarray, occ: np.ndarray,
+                    vals: np.ndarray, counts: np.ndarray, window: int) -> np.ndarray:
+    """Effective (N, window) per-packet windows for one register array.
+
+    Packet i's window is the last ``window`` entries of the virtual sequence
+    ``stored_history(flow) ++ in-batch values of flow`` ending at packet i —
+    i.e. positions ``occ[i] .. occ[i]+window-1`` of that sequence. ``hist``
+    is the (n_uniq, window-1) stored history gathered per unique slot.
+    """
+    hist_cols = window - 1
+    occ_table = np.zeros((len(counts), int(counts.max())), dtype=np.int64)
+    occ_table[rank, occ] = vals
+    pos = occ[:, None] + np.arange(window, dtype=np.int64)[None, :]
+    win = occ_table[rank[:, None], np.maximum(pos - hist_cols, 0)]
+    if hist_cols:
+        from_hist = pos < hist_cols
+        stored = hist[rank[:, None], np.minimum(pos, hist_cols - 1)]
+        win = np.where(from_hist, stored, win)
+    return win
+
+
+class _BatchedReplayMixin:
+    """Shared trace-replay plumbing for the batched runtimes.
+
+    Subclasses provide ``state`` (a :class:`VectorFlowState`), ``window``,
+    ``batch_size``, ``process_packet`` (the scalar reference),
+    ``_replay_columns`` (per-packet columnar inputs) and ``_process_batch``
+    (the vectorized step).
+    """
+
+    def process_flows(self, flows: list[Flow], batch_size: int | None = None
+                      ) -> list[PacketDecision]:
+        """Replay the interleaved trace of many labelled flows, batched."""
+        trace, keys, labels = flows_to_trace(flows)
+        return self.process_trace(trace, labels=labels, batch_size=batch_size,
+                                  keys=keys)
+
+    def process_trace(self, trace: Trace, labels: np.ndarray | None = None,
+                      batch_size: int | None = None,
+                      spans: list[tuple[int, int]] | None = None,
+                      scheduler=None, keys: list | None = None
+                      ) -> list[PacketDecision]:
+        """Replay a time-ordered trace in batches.
+
+        ``labels`` are per-packet ground-truth labels (default -1); batch
+        boundaries come from, in order of precedence: explicit ``spans``
+        ((start, stop) windows), a ``scheduler`` (a
+        :class:`repro.serving.BatchScheduler` applied to the trace's own
+        timestamp column), or fixed ``batch_size`` cuts. Decisions come
+        back in trace order with ``seq`` set to the packet's trace position.
+        """
+        n = len(trace.packets)
+        if keys is None:
+            keys = trace.canonical_keys()
+        if labels is None:
+            labels = np.full(n, -1, dtype=np.int64)
+        else:
+            labels = np.asarray(labels, dtype=np.int64)
+        cols = self._replay_columns(trace)
+        if spans is None and scheduler is not None:
+            spans = scheduler.spans(cols["ts"])
+        if spans is None:
+            b = int(self.batch_size if batch_size is None else batch_size)
+            if b < 1:
+                raise ValueError(f"batch_size must be >= 1, got {b}")
+            spans = [(i, min(i + b, n)) for i in range(0, n, b)]
+        decisions: list[PacketDecision] = []
+        for start, stop, slots in self._slot_batches(keys, spans):
+            if stop == start:
+                continue
+            batch_cols = self._batch_columns(cols, trace, start, stop)
+            self._process_batch(slots, batch_cols, labels[start:stop], start,
+                                decisions)
+        return decisions
+
+    def _batch_columns(self, cols: dict[str, np.ndarray], trace: Trace,
+                       start: int, stop: int) -> dict[str, np.ndarray]:
+        """One batch's view of the replay columns (overridable for columns
+        too large to materialize for the whole trace at once)."""
+        return {name: col[start:stop] for name, col in cols.items()}
+
+    def process_flows_scalar(self, flows: list[Flow]) -> list[PacketDecision]:
+        """Per-packet reference replay (the pre-batching code path).
+
+        Kept as the ground truth the batched path is regression-tested
+        against: identical decisions, identical order, for any batch size.
+        """
+        trace, _keys, labels = flows_to_trace(flows)
+        decisions = []
+        for i, packet in enumerate(trace.packets):
+            d = self.process_packet(packet, int(labels[i]))
+            if d is not None:
+                d.seq = i
+                decisions.append(d)
+        return decisions
+
+    def _slot_batches(self, keys: list, spans: list[tuple[int, int]]):
+        """Assign flow slots packet-by-packet, yielding processable batches.
+
+        A requested span is cut early when a FIFO eviction would reuse a
+        slot that still has unflushed packets in the pending batch — the
+        pending batch is processed first (state written back), then the
+        eviction proceeds, preserving scalar-replay semantics exactly.
+        """
+        state = self.state
+        for start, stop in spans:
+            i = start
+            while i < stop:
+                seen: set[int] = set()
+                slots: list[int] = []
+                j = i
+                while j < stop:
+                    slot = state.acquire(keys[j], blocked=seen)
+                    if slot is None:
+                        break
+                    slots.append(slot)
+                    seen.add(slot)
+                    j += 1
+                yield i, j, np.asarray(slots, dtype=np.int64)
+                i = j
 
 
 @dataclass
-class WindowedClassifierRuntime:
-    """Classify every packet once its flow has a full token window."""
+class WindowedClassifierRuntime(_BatchedReplayMixin):
+    """Classify every packet once its flow has a full token window.
+
+    ``model`` is anything exposing the integer decision interface
+    ``predict(x_int) -> class ids`` — a :class:`CompiledModel` or a placed
+    :class:`repro.dataplane.Pipeline`; the batched replay invokes it once
+    per batch. See the module docstring for the per-flow register layout
+    (136 bits/flow at the default window of 8) and eviction behavior.
+    """
 
     model: CompiledModel
     feature_mode: str = "seq"          # "seq" (interleaved tokens) | "stats"
     window: int = 8
     capacity: int = 1_000_000
-    state: FlowStateTable = field(init=False)
+    batch_size: int = DEFAULT_BATCH_SIZE
+    state: VectorFlowState = field(init=False)
 
     def __post_init__(self):
         if self.feature_mode not in ("seq", "stats"):
@@ -69,7 +296,7 @@ class WindowedClassifierRuntime:
             RegisterField("len_hist", 8, count=hist),
             RegisterField("ipd_hist", 8, count=hist),
         ])
-        self.state = FlowStateTable(layout, capacity=self.capacity)
+        self.state = VectorFlowState(layout, capacity=self.capacity)
 
     @property
     def bits_per_flow(self) -> int:
@@ -83,19 +310,39 @@ class WindowedClassifierRuntime:
         tokens[1::2] = ipds
         return tokens
 
+    def _features_batch(self, win_len: np.ndarray, win_ipd: np.ndarray) -> np.ndarray:
+        if self.feature_mode == "stats":
+            n, w = win_len.shape
+            take = min(6, w)
+            first_len = np.zeros((n, 6), dtype=np.int64)
+            first_len[:, :take] = win_len[:, :take]
+            first_ipd = np.zeros((n, 6), dtype=np.int64)
+            first_ipd[:, :take] = win_ipd[:, :take]
+            return np.column_stack([
+                win_len.max(axis=1), win_len.min(axis=1),
+                win_ipd.max(axis=1), win_ipd.min(axis=1),
+                first_len, first_ipd])
+        n, w = win_len.shape
+        tokens = np.empty((n, 2 * w), dtype=np.int64)
+        tokens[:, 0::2] = win_len
+        tokens[:, 1::2] = win_ipd
+        return tokens
+
     def process_packet(self, packet: Packet, flow_label: int) -> PacketDecision | None:
         """Feed one packet; returns a decision when a window is available."""
         key = packet.key.canonical()
-        record = self.state.get(key)
-        count = record["count"][0]
+        slot = self.state.acquire(key)
+        cols = self.state.columns
+        count = int(cols["count"][slot, 0])
         cur_units = _ts_units(packet.ts)
         len_b = length_bucket(packet.length)
-        ipd_b = _ipd_bucket_from_units(cur_units, record["prev_ts"][0]) if count else 0
+        ipd_b = (_ipd_bucket_from_units(cur_units, int(cols["prev_ts"][slot, 0]))
+                 if count else 0)
 
         decision = None
         if count >= self.window - 1:
-            lens = list(record["len_hist"]) + [len_b]
-            ipds = list(record["ipd_hist"]) + [ipd_b]
+            lens = [int(v) for v in cols["len_hist"][slot]] + [len_b]
+            ipds = [int(v) for v in cols["ipd_hist"][slot]] + [ipd_b]
             x = self._features(lens, ipds)[None, :]
             pred = int(self.model.predict(x)[0])
             decision = PacketDecision(flow_label=flow_label, predicted=pred, ts=packet.ts)
@@ -106,20 +353,48 @@ class WindowedClassifierRuntime:
         self.state.write(key, "count", min(count + 1, 255))
         return decision
 
-    def process_flows(self, flows: list[Flow]) -> list[PacketDecision]:
-        """Replay the interleaved trace of many labelled flows."""
-        label_by_key = {f.key.canonical(): f.label for f in flows}
-        trace = Trace.from_flows(flows)
-        decisions = []
-        for packet in trace.packets:
-            d = self.process_packet(packet, label_by_key[packet.key.canonical()])
-            if d is not None:
-                decisions.append(d)
-        return decisions
+    def _replay_columns(self, trace: Trace) -> dict[str, np.ndarray]:
+        return trace.packet_columns()
+
+    def _process_batch(self, slots: np.ndarray, cols: dict[str, np.ndarray],
+                       labels: np.ndarray, base: int,
+                       out: list[PacketDecision]) -> None:
+        ts = cols["ts"]
+        cur_units = _ts_units_array(ts)
+        len_b = length_bucket_array(cols["length"])
+        uniq, rank, counts, occ, prev_idx, last_idx = _group_structure(slots)
+        c = self.state.columns
+        cnt0 = c["count"][uniq, 0].astype(np.int64)
+        count_i = cnt0[rank] + occ
+        prev0 = c["prev_ts"][uniq, 0].astype(np.int64)
+        prev_units = np.where(prev_idx >= 0,
+                              cur_units[np.maximum(prev_idx, 0)], prev0[rank])
+        delta_units = (cur_units - prev_units) & TS_MASK
+        ipd_b = np.where(count_i > 0,
+                         ipd_bucket_array(delta_units * TS_UNIT_SECONDS), 0)
+
+        hist_len = c["len_hist"][uniq].astype(np.int64)
+        hist_ipd = c["ipd_hist"][uniq].astype(np.int64)
+        win_len = _gather_windows(hist_len, rank, occ, len_b, counts, self.window)
+        win_ipd = _gather_windows(hist_ipd, rank, occ, ipd_b, counts, self.window)
+
+        ready = count_i >= self.window - 1
+        if ready.any():
+            x = self._features_batch(win_len[ready], win_ipd[ready])
+            preds = np.asarray(self.model.predict(x))
+            for k, i in enumerate(np.nonzero(ready)[0]):
+                out.append(PacketDecision(flow_label=int(labels[i]),
+                                          predicted=int(preds[k]),
+                                          ts=float(ts[i]), seq=base + int(i)))
+
+        c["len_hist"][uniq] = win_len[last_idx, 1:]
+        c["ipd_hist"][uniq] = win_ipd[last_idx, 1:]
+        c["prev_ts"][uniq, 0] = cur_units[last_idx]
+        c["count"][uniq, 0] = np.minimum(cnt0 + counts, 255)
 
 
 @dataclass
-class TwoStageRuntime:
+class TwoStageRuntime(_BatchedReplayMixin):
     """Per-packet fuzzy extraction + windowed index classification (CNN-L).
 
     ``extractor_tree`` (optionally behind a refined ``feature_fn``) maps
@@ -129,7 +404,12 @@ class TwoStageRuntime:
     packet in window slot ``s`` contributes; logits are the SumReduce of all
     slot contributions, as in Advanced Primitive Fusion. This is the
     paper's "Flow Scalability" design that gets CNN-L to 28-72 stateful
-    bits per flow.
+    bits per flow (see the module docstring for the register layout).
+
+    Batched replay extracts the whole batch's fuzzy indexes with one
+    ``feature_fn`` / tree evaluation and one SumReduce gather per window
+    slot; ``feature_fn`` must therefore accept (N, raw_bytes) inputs and an
+    optional per-row IPD-bucket array (scalar calls pass a single row).
     """
 
     extractor_tree: FuzzyTree
@@ -144,7 +424,8 @@ class TwoStageRuntime:
     # bucket, when needs_ipd) before the fuzzy tree — the paper's NN feature
     # extraction, itself realized as per-segment tables on the switch.
     feature_fn: object = None
-    state: FlowStateTable = field(init=False)
+    batch_size: int = DEFAULT_BATCH_SIZE
+    state: VectorFlowState = field(init=False)
 
     def __post_init__(self):
         if len(self.slot_values) != self.window:
@@ -153,8 +434,8 @@ class TwoStageRuntime:
                   RegisterField("idx_hist", self.idx_bits, count=self.window - 1)]
         if self.needs_ipd:
             fields.insert(0, RegisterField("prev_ts", 16))
-        self.state = FlowStateTable(FlowStateLayout(fields=fields),
-                                    capacity=self.capacity)
+        self.state = VectorFlowState(FlowStateLayout(fields=fields),
+                                     capacity=self.capacity)
 
     @property
     def bits_per_flow(self) -> int:
@@ -171,21 +452,22 @@ class TwoStageRuntime:
 
     def process_packet(self, packet: Packet, flow_label: int) -> PacketDecision | None:
         key = packet.key.canonical()
-        record = self.state.get(key)
-        count = record["count"][0]
+        slot = self.state.acquire(key)
+        cols = self.state.columns
+        count = int(cols["count"][slot, 0])
         ipd_b = None
         if self.needs_ipd:
             cur_units = _ts_units(packet.ts)
-            ipd_b = (_ipd_bucket_from_units(cur_units, record["prev_ts"][0])
+            ipd_b = (_ipd_bucket_from_units(cur_units, int(cols["prev_ts"][slot, 0]))
                      if count else 0)
         idx = self._extract_index(packet, ipd_b)
 
         decision = None
         if count >= self.window - 1:
-            indexes = list(record["idx_hist"]) + [idx]
+            indexes = [int(v) for v in cols["idx_hist"][slot]] + [idx]
             logits = np.zeros(self.n_classes, dtype=np.int64)
-            for slot, slot_idx in enumerate(indexes):
-                logits += self.slot_values[slot][slot_idx]
+            for slot_pos, slot_idx in enumerate(indexes):
+                logits += self.slot_values[slot_pos][slot_idx]
             decision = PacketDecision(flow_label=flow_label,
                                       predicted=int(np.argmax(logits)), ts=packet.ts)
 
@@ -195,12 +477,57 @@ class TwoStageRuntime:
         self.state.write(key, "count", min(count + 1, 255))
         return decision
 
-    def process_flows(self, flows: list[Flow]) -> list[PacketDecision]:
-        label_by_key = {f.key.canonical(): f.label for f in flows}
-        trace = Trace.from_flows(flows)
-        decisions = []
-        for packet in trace.packets:
-            d = self.process_packet(packet, label_by_key[packet.key.canonical()])
-            if d is not None:
-                decisions.append(d)
-        return decisions
+    def _replay_columns(self, trace: Trace) -> dict[str, np.ndarray]:
+        return {"ts": np.asarray([p.ts for p in trace.packets], dtype=np.float64)}
+
+    def _batch_columns(self, cols: dict[str, np.ndarray], trace: Trace,
+                       start: int, stop: int) -> dict[str, np.ndarray]:
+        # Raw bytes are ~480 B/packet as float64: materialize per batch, not
+        # for the whole trace.
+        batch = super()._batch_columns(cols, trace, start, stop)
+        batch["payload"] = trace.payload_matrix(self.raw_bytes, start, stop)
+        return batch
+
+    def _process_batch(self, slots: np.ndarray, cols: dict[str, np.ndarray],
+                       labels: np.ndarray, base: int,
+                       out: list[PacketDecision]) -> None:
+        ts = cols["ts"]
+        uniq, rank, counts, occ, prev_idx, last_idx = _group_structure(slots)
+        c = self.state.columns
+        cnt0 = c["count"][uniq, 0].astype(np.int64)
+        count_i = cnt0[rank] + occ
+        ipd_b = None
+        if self.needs_ipd:
+            cur_units = _ts_units_array(ts)
+            prev0 = c["prev_ts"][uniq, 0].astype(np.int64)
+            prev_units = np.where(prev_idx >= 0,
+                                  cur_units[np.maximum(prev_idx, 0)], prev0[rank])
+            delta_units = (cur_units - prev_units) & TS_MASK
+            ipd_b = np.where(count_i > 0,
+                             ipd_bucket_array(delta_units * TS_UNIT_SECONDS), 0)
+
+        feats = cols["payload"]
+        if self.feature_fn is not None:
+            feats = np.asarray(self.feature_fn(feats, ipd_b))
+        idx = np.asarray(self.extractor_tree.predict_index(feats), dtype=np.int64)
+        idx = np.minimum(idx, (1 << self.idx_bits) - 1)
+
+        hist_idx = c["idx_hist"][uniq].astype(np.int64)
+        win_idx = _gather_windows(hist_idx, rank, occ, idx, counts, self.window)
+
+        ready = count_i >= self.window - 1
+        if ready.any():
+            ready_win = win_idx[ready]
+            logits = np.zeros((len(ready_win), self.n_classes), dtype=np.int64)
+            for slot_pos in range(self.window):
+                logits += self.slot_values[slot_pos][ready_win[:, slot_pos]]
+            preds = np.argmax(logits, axis=1)
+            for k, i in enumerate(np.nonzero(ready)[0]):
+                out.append(PacketDecision(flow_label=int(labels[i]),
+                                          predicted=int(preds[k]),
+                                          ts=float(ts[i]), seq=base + int(i)))
+
+        c["idx_hist"][uniq] = win_idx[last_idx, 1:]
+        if self.needs_ipd:
+            c["prev_ts"][uniq, 0] = cur_units[last_idx]
+        c["count"][uniq, 0] = np.minimum(cnt0 + counts, 255)

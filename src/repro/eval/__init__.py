@@ -16,6 +16,7 @@ from repro.eval.runner import (
     run_fig8,
     run_fig9,
     run_table2,
+    run_batched_throughput,
 )
 from repro.eval.reporting import render_table
 
@@ -33,5 +34,6 @@ __all__ = [
     "run_fig8",
     "run_fig9",
     "run_table2",
+    "run_batched_throughput",
     "render_table",
 ]

@@ -212,6 +212,77 @@ def run_fig9(flows_per_class: int = 120, seed: int = 0,
     return {"accuracy": accuracy, "throughput": throughput}
 
 
+def run_batched_throughput(flows_per_class: int = 120, seed: int = 0,
+                           batch_sizes: tuple[int, ...] = (1, 32, 256, 1024),
+                           shard_counts: tuple[int, ...] = (1, 4),
+                           dataset: str = "peerrush",
+                           attack_flows: int = 30,
+                           repeats: int = 2) -> dict:
+    """Software-dataplane packets/sec of the batched runtime (serving study).
+
+    Replays the Figure-8 serving mix — the benign test split plus every
+    unknown-attack flow set — through :class:`WindowedClassifierRuntime`
+    at several batch sizes, then through a
+    :class:`~repro.serving.ShardedDispatcher` at several shard counts
+    (batch 256, flush on batch-full; a trace-time timeout would trade
+    latency for amortization). Each measurement rebuilds a fresh runtime so
+    flow state starts cold; best of ``repeats`` runs.
+    Returns per-config pps plus ``speedup_256_vs_1``, the tentpole's
+    batching win.
+    """
+    import time
+
+    from repro.dataplane.runtime import WindowedClassifierRuntime
+    from repro.serving import BatchScheduler, ShardedDispatcher
+
+    row = train_and_eval_model("MLP-B", dataset, flows_per_class, seed)
+    compiled = row["_model"].compiled
+    ds = make_dataset(dataset, flows_per_class=flows_per_class, seed=seed)
+    _train, _val, test_flows = ds.split(rng=seed)
+    flows = list(test_flows)
+    for i, attack in enumerate(ATTACK_NAMES):
+        flows.extend(make_attack_flows(attack, n_flows=attack_flows, seed=seed + i))
+    n_packets = sum(len(f) for f in flows)
+
+    def best_of(run) -> tuple[float, int]:
+        best, n_decisions = float("inf"), 0
+        for _ in range(repeats):
+            start = time.perf_counter()
+            decisions = run()
+            best = min(best, time.perf_counter() - start)
+            n_decisions = len(decisions)
+        return n_packets / max(best, 1e-9), n_decisions
+
+    results: dict = {"n_packets": n_packets, "batch": {}, "shards": {}}
+    for b in batch_sizes:
+        pps, n_dec = best_of(lambda b=b: WindowedClassifierRuntime(
+            compiled, feature_mode="stats", batch_size=b).process_flows(flows))
+        results["batch"][b] = {"pps": pps, "decisions": n_dec}
+    for s in shard_counts:
+        best_wall, best_critical, n_dec = float("inf"), float("inf"), 0
+        for _ in range(repeats):
+            dispatcher = ShardedDispatcher(
+                runtime_factory=lambda: WindowedClassifierRuntime(
+                    compiled, feature_mode="stats", batch_size=256),
+                n_shards=s,
+                scheduler=BatchScheduler(batch_size=256))
+            start = time.perf_counter()
+            decisions = dispatcher.serve_flows(flows)
+            best_wall = min(best_wall, time.perf_counter() - start)
+            best_critical = min(best_critical, max(dispatcher.shard_seconds))
+            n_dec = len(decisions)
+        results["shards"][s] = {
+            "pps": n_packets / max(best_wall, 1e-9),
+            # Replicas run concurrently in a real deployment: wall clock is
+            # the slowest shard, not the serial sum.
+            "pps_parallel": n_packets / max(best_critical, 1e-9),
+            "decisions": n_dec}
+    if 1 in results["batch"] and 256 in results["batch"]:
+        results["speedup_256_vs_1"] = \
+            results["batch"][256]["pps"] / results["batch"][1]["pps"]
+    return results
+
+
 def _cpu_throughput(model, views) -> float:
     """Measured full-precision inference throughput on this host."""
     import time

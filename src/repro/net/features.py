@@ -40,6 +40,23 @@ def ipd_bucket(delta_seconds: float) -> int:
     return min(int(np.log2(micros + 1.0) * _IPD_LOG_SCALE / 2.0), 255)
 
 
+def length_bucket_array(lengths: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`length_bucket`: bit-identical per element."""
+    lengths = np.asarray(lengths, dtype=np.int64)
+    return np.minimum(lengths * 255 // MAX_PACKET_LENGTH, 255)
+
+
+def ipd_bucket_array(delta_seconds: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`ipd_bucket`: bit-identical per element.
+
+    Uses the exact same float64 expression as the scalar form, so the
+    batched runtimes make the same bucket decisions as per-packet replay.
+    """
+    micros = np.maximum(np.asarray(delta_seconds, dtype=np.float64), 0.0) * 1e6
+    return np.minimum((np.log2(micros + 1.0) * _IPD_LOG_SCALE / 2.0).astype(np.int64),
+                      255)
+
+
 def _packet_buckets(packets: list[Packet]) -> tuple[list[int], list[int]]:
     lens = [length_bucket(p.length) for p in packets]
     times = [p.ts for p in packets]

@@ -40,6 +40,40 @@ class Trace:
         packets = [p for f in flows for p in f.packets]
         return Trace(packets).sort()
 
+    # -- columnar views for the batched runtimes ----------------------------
+
+    def canonical_keys(self) -> list[FlowKey]:
+        """Canonical 5-tuple of every packet, in trace order."""
+        return [p.key.canonical() for p in self.packets]
+
+    def packet_columns(self) -> dict[str, np.ndarray]:
+        """Per-packet scalar columns (``ts`` float64, ``length`` int64).
+
+        One pass over the packet objects; everything downstream of this
+        (bucketing, flow-state gathers, model inference) runs on whole
+        NumPy batches instead of per-packet Python.
+        """
+        return {
+            "ts": np.asarray([p.ts for p in self.packets], dtype=np.float64),
+            "length": np.asarray([p.length for p in self.packets], dtype=np.int64),
+        }
+
+    def payload_matrix(self, n_bytes: int, start: int = 0,
+                       stop: int | None = None) -> np.ndarray:
+        """First ``n_bytes`` payload bytes of packets [start:stop]: (N, n_bytes) f64.
+
+        Zero-padded, matching the per-packet raw view the two-stage runtime
+        extracts fuzzy indexes from. The range arguments let batched replay
+        materialize one batch at a time instead of the whole trace.
+        """
+        packets = self.packets[start:stop]
+        out = np.zeros((len(packets), n_bytes), dtype=np.float64)
+        for i, pkt in enumerate(packets):
+            take = min(pkt.payload_len, n_bytes)
+            if take:
+                out[i, :take] = pkt.payload[:take]
+        return out
+
 
 def write_trace(trace: Trace, path: str | Path) -> None:
     """Serialize a trace to the SPCAP1 binary format."""

@@ -1,0 +1,52 @@
+"""Batched serving layer: schedule, shard, and replay traces at scale.
+
+The dataplane runtimes in :mod:`repro.dataplane.runtime` decide one packet
+at a time when driven through ``process_packet``; this package is the
+throughput path that drives them in **NumPy batches** across **multiple
+pipeline replicas**:
+
+- :class:`BatchScheduler` — cuts a time-ordered trace into batches, flushed
+  when full (``batch_size``) or when the oldest buffered packet has waited
+  ``timeout`` seconds of trace time, mirroring the full-or-timeout batching
+  of inference servers and NIC drivers.
+- :class:`ShardedDispatcher` — hashes each flow's canonical 5-tuple onto
+  one of N independent runtime replicas (flow state never spans shards),
+  replays every shard, and merges decisions back into global trace order.
+
+End-to-end example (train → compile → serve)::
+
+    from repro.dataplane import WindowedClassifierRuntime
+    from repro.models import build_model
+    from repro.net import make_dataset
+    from repro.net.features import dataset_views
+    from repro.serving import BatchScheduler, ShardedDispatcher
+
+    ds = make_dataset("peerrush", flows_per_class=60, seed=0)
+    train, _val, test = ds.split(rng=0)
+    model = build_model("MLP-B", ds.n_classes, seed=0)
+    views = dataset_views(train)
+    model.train(views)
+    model.compile_dataplane(views)
+
+    dispatcher = ShardedDispatcher(
+        runtime_factory=lambda: WindowedClassifierRuntime(
+            model.compiled, feature_mode="stats", batch_size=256),
+        n_shards=4,
+        scheduler=BatchScheduler(batch_size=256, timeout=0.050))
+    decisions = dispatcher.serve_flows(test)   # global trace order
+
+Sharded + batched replay is bit-identical to per-packet replay (same
+decisions, same order) whenever register capacity does not bind — the
+regression tests in ``tests/test_dataplane_batched.py`` and
+``tests/test_serving.py`` assert it.
+"""
+
+from repro.serving.scheduler import BatchScheduler, FlushStats
+from repro.serving.dispatcher import ShardedDispatcher, shard_hash
+
+__all__ = [
+    "BatchScheduler",
+    "FlushStats",
+    "ShardedDispatcher",
+    "shard_hash",
+]

@@ -1,0 +1,133 @@
+"""Sharded multi-pipeline dispatch: serve one trace across N replicas.
+
+One software pipeline replica is single-threaded NumPy; to scale a heavy
+trace the dispatcher hashes each flow's canonical 5-tuple onto one of
+``n_shards`` runtime replicas (so all packets of a flow — and therefore all
+its register state — live on exactly one replica), replays each shard's
+packet subsequence through the batched runtime, and merges the per-shard
+decision streams back into global trace order via the decisions' ``seq``
+field.
+
+Because flows never span shards, sharded decisions are bit-identical to an
+unsharded replay whenever per-replica register capacity does not bind
+(asserted by the serving tests); under capacity pressure each replica runs
+its own FIFO eviction, so eviction points — like on a real multi-pipe
+switch — may differ from a single giant table.
+
+Usage::
+
+    from repro.serving import BatchScheduler, ShardedDispatcher
+
+    dispatcher = ShardedDispatcher(
+        runtime_factory=lambda: WindowedClassifierRuntime(
+            compiled, feature_mode="stats", batch_size=256),
+        n_shards=4,
+        scheduler=BatchScheduler(batch_size=256, timeout=0.050))
+    decisions = dispatcher.serve_flows(test_flows)
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.dataplane.runtime import flows_to_trace
+from repro.net.packet import FlowKey
+from repro.net.traces import Trace
+from repro.serving.scheduler import BatchScheduler, FlushStats
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_FNV_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def shard_hash(key: FlowKey) -> int:
+    """Deterministic FNV-1a over the 5-tuple bytes (stable across runs)."""
+    h = _FNV_OFFSET
+    for value, width in ((key.src_ip, 4), (key.dst_ip, 4),
+                         (key.src_port, 2), (key.dst_port, 2), (key.proto, 1)):
+        for shift in range(0, 8 * width, 8):
+            h ^= (value >> shift) & 0xFF
+            h = (h * _FNV_PRIME) & _FNV_MASK
+    return h
+
+
+@dataclass
+class ShardedDispatcher:
+    """Fan a trace out over ``n_shards`` independent runtime replicas.
+
+    ``runtime_factory`` builds one fresh replica (a
+    :class:`~repro.dataplane.runtime.WindowedClassifierRuntime` or
+    :class:`~repro.dataplane.runtime.TwoStageRuntime`); each replica owns
+    its own flow-state registers. ``scheduler`` (optional) supplies
+    flush-on-full-or-timeout batch spans per shard; without it each replica
+    uses its own fixed ``batch_size``.
+
+    Replicas are replayed serially here (single-threaded simulator), but
+    ``shard_seconds`` records each replica's replay time from the last
+    serve call — in a real deployment replicas run concurrently, so the
+    modeled parallel wall clock is ``max(shard_seconds)``. ``flush_stats``
+    aggregates the scheduler's flush counts over all shards of the last
+    serve (the scheduler itself only keeps its most recent call).
+    """
+
+    runtime_factory: Callable[[], Any]
+    n_shards: int = 1
+    scheduler: BatchScheduler | None = None
+    runtimes: list[Any] = field(init=False)
+    shard_seconds: list[float] = field(init=False, default_factory=list)
+    flush_stats: FlushStats = field(init=False, default_factory=FlushStats)
+
+    def __post_init__(self):
+        if self.n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {self.n_shards}")
+        self.runtimes = [self.runtime_factory() for _ in range(self.n_shards)]
+
+    def shard_of(self, key: FlowKey) -> int:
+        """The replica index serving this flow."""
+        return shard_hash(key.canonical()) % self.n_shards
+
+    def serve_flows(self, flows: list) -> list:
+        """Replay the interleaved trace of many labelled flows, sharded."""
+        trace, keys, labels = flows_to_trace(flows)
+        return self.serve_trace(trace, labels=labels, keys=keys)
+
+    def serve_trace(self, trace: Trace, labels: np.ndarray | None = None,
+                    keys: list | None = None) -> list:
+        """Shard, replay, and merge one trace; decisions in global order."""
+        n = len(trace.packets)
+        if keys is None:
+            keys = trace.canonical_keys()
+        if labels is None:
+            labels = np.full(n, -1, dtype=np.int64)
+        else:
+            labels = np.asarray(labels, dtype=np.int64)
+        shard_ids = np.fromiter(
+            (shard_hash(k) % self.n_shards for k in keys),
+            dtype=np.int64, count=n)
+
+        decisions: list = []
+        self.shard_seconds = []
+        self.flush_stats = FlushStats()
+        for s, runtime in enumerate(self.runtimes):
+            member = np.nonzero(shard_ids == s)[0]
+            if len(member) == 0:
+                self.shard_seconds.append(0.0)
+                continue
+            sub_trace = Trace([trace.packets[i] for i in member])
+            sub_keys = [keys[i] for i in member]
+            start = time.perf_counter()
+            shard_decisions = runtime.process_trace(
+                sub_trace, labels=labels[member], scheduler=self.scheduler,
+                keys=sub_keys)
+            self.shard_seconds.append(time.perf_counter() - start)
+            if self.scheduler is not None:
+                self.flush_stats.merge(self.scheduler.stats)
+            for d in shard_decisions:
+                d.seq = int(member[d.seq])   # shard-local -> global position
+            decisions.extend(shard_decisions)
+        decisions.sort(key=lambda d: d.seq)
+        return decisions

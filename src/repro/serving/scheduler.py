@@ -1,0 +1,97 @@
+"""Batch scheduling: cut a time-ordered trace into flushable batches.
+
+A line-rate serving layer cannot wait forever to fill a batch: a batch is
+flushed either when it reaches ``batch_size`` packets (*batch-full*) or when
+the oldest buffered packet has waited ``timeout`` seconds of trace time
+(*timeout*) — the same full-or-timeout discipline batching NIC drivers and
+inference servers use. :class:`BatchScheduler` computes those flush points
+for an offline trace replay as half-open index spans.
+
+Usage::
+
+    from repro.serving import BatchScheduler
+
+    sched = BatchScheduler(batch_size=256, timeout=0.050)
+    ts = trace.packet_columns()["ts"]
+    spans = sched.spans(ts)                       # [(0, 256), (256, 311), ...]
+    decisions = runtime.process_trace(trace, spans=spans)
+
+Flush points never change *what* is decided — per-flow state evolves the
+same way no matter where the trace is cut (asserted by the serving tests) —
+they only trade batch amortization against decision latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class FlushStats:
+    """Why batches were flushed during the last :meth:`BatchScheduler.spans`."""
+
+    full: int = 0        # reached batch_size
+    timeout: int = 0     # oldest buffered packet waited `timeout` trace-seconds
+    tail: int = 0        # end of trace drained a partial batch
+
+    @property
+    def total(self) -> int:
+        return self.full + self.timeout + self.tail
+
+    def merge(self, other: "FlushStats") -> None:
+        """Accumulate another run's counts (e.g. across dispatcher shards)."""
+        self.full += other.full
+        self.timeout += other.timeout
+        self.tail += other.tail
+
+
+@dataclass
+class BatchScheduler:
+    """Flush-on-full-or-timeout batch boundaries for trace replay.
+
+    ``timeout`` is in *trace time* (seconds between packet timestamps), not
+    wall-clock time; ``None`` disables the timeout so only batch-full and
+    end-of-trace flush.
+    """
+
+    batch_size: int = 256
+    timeout: float | None = None
+    stats: FlushStats = field(default_factory=FlushStats)
+
+    def __post_init__(self):
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.timeout is not None and self.timeout < 0:
+            raise ValueError(f"timeout must be >= 0, got {self.timeout}")
+
+    def spans(self, ts: np.ndarray) -> list[tuple[int, int]]:
+        """Half-open (start, stop) batch spans covering the whole trace.
+
+        ``ts`` must be the trace's nondecreasing per-packet timestamps.
+        Resets and repopulates ``stats``.
+        """
+        ts = np.asarray(ts, dtype=np.float64)
+        n = len(ts)
+        self.stats = FlushStats()
+        out: list[tuple[int, int]] = []
+        i = 0
+        while i < n:
+            stop = min(i + self.batch_size, n)
+            timed_out = False
+            if self.timeout is not None:
+                t_stop = int(np.searchsorted(ts, ts[i] + self.timeout, side="right"))
+                t_stop = max(t_stop, i + 1)
+                if t_stop < stop:
+                    stop = t_stop
+                    timed_out = True
+            if timed_out:
+                self.stats.timeout += 1
+            elif stop - i == self.batch_size:
+                self.stats.full += 1
+            else:
+                self.stats.tail += 1
+            out.append((i, stop))
+            i = stop
+        return out

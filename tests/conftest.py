@@ -1,0 +1,26 @@
+"""Shared fixtures for the batched-runtime and serving tests."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import PegasusCompiler, CompilerConfig
+from repro.net import make_dataset
+
+
+@pytest.fixture(scope="session")
+def compiled16():
+    """A small compiled 16-input 3-class model (fits both seq and stats views)."""
+    rng = np.random.default_rng(0)
+    model = nn.Sequential(nn.Linear(16, 8, rng=0), nn.ReLU(), nn.Linear(8, 3, rng=1))
+    for p in model.parameters():
+        p.data *= 0.1
+    model.eval_mode()
+    x = np.floor(rng.uniform(0, 255, size=(400, 16))).astype(np.int64)
+    return PegasusCompiler(CompilerConfig(refine=False)).compile_sequential(model, x).compiled
+
+
+@pytest.fixture(scope="session")
+def replay_flows():
+    """A small interleaved multi-flow trace workload (24 flows)."""
+    return make_dataset("peerrush", flows_per_class=8, seed=0).flows

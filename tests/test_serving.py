@@ -1,0 +1,99 @@
+"""Tests for the serving layer: batch scheduling and sharded dispatch."""
+
+import numpy as np
+import pytest
+
+from repro.dataplane.runtime import WindowedClassifierRuntime
+from repro.net.traces import Trace
+from repro.serving import BatchScheduler, ShardedDispatcher, shard_hash
+
+
+class TestBatchScheduler:
+    def test_spans_partition_trace(self):
+        ts = np.linspace(0.0, 1.0, 100)
+        spans = BatchScheduler(batch_size=32).spans(ts)
+        assert spans == [(0, 32), (32, 64), (64, 96), (96, 100)]
+
+    def test_flush_on_batch_full(self):
+        sched = BatchScheduler(batch_size=10)
+        sched.spans(np.linspace(0.0, 1.0, 30))
+        assert sched.stats.full == 3
+        assert sched.stats.timeout == 0
+
+    def test_flush_on_timeout(self):
+        # 0.1 s between packets, 0.25 s timeout: at most 3 packets per batch.
+        ts = np.arange(20) * 0.1
+        sched = BatchScheduler(batch_size=256, timeout=0.25)
+        spans = sched.spans(ts)
+        assert all(stop - start <= 3 for start, stop in spans)
+        assert sched.stats.timeout > 0
+        # Spans still partition the trace.
+        flat = [i for start, stop in spans for i in range(start, stop)]
+        assert flat == list(range(20))
+
+    def test_timeout_always_makes_progress(self):
+        # Timeout shorter than any gap: one-packet batches, never stuck.
+        ts = np.arange(5) * 1.0
+        spans = BatchScheduler(batch_size=4, timeout=1e-9).spans(ts)
+        assert spans == [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            BatchScheduler(batch_size=0)
+        with pytest.raises(ValueError):
+            BatchScheduler(timeout=-1.0)
+
+
+class TestShardedDispatcher:
+    def _dispatcher(self, compiled16, n_shards, **sched_kwargs):
+        return ShardedDispatcher(
+            runtime_factory=lambda: WindowedClassifierRuntime(
+                compiled16, feature_mode="stats", batch_size=32),
+            n_shards=n_shards,
+            scheduler=BatchScheduler(batch_size=32, **sched_kwargs))
+
+    def test_sharded_matches_unsharded(self, compiled16, replay_flows):
+        """Shard counts that do not divide the 24-flow workload stay exact."""
+        ref = WindowedClassifierRuntime(
+            compiled16, feature_mode="stats").process_flows_scalar(replay_flows)
+        assert ref
+        for n_shards in (1, 5, 7):
+            assert len(replay_flows) % n_shards != 0 or n_shards == 1
+            got = self._dispatcher(compiled16, n_shards).serve_flows(replay_flows)
+            assert got == ref
+
+    def test_timeout_flushes_do_not_change_decisions(self, compiled16, replay_flows):
+        ref = WindowedClassifierRuntime(
+            compiled16, feature_mode="stats").process_flows_scalar(replay_flows)
+        disp = self._dispatcher(compiled16, 3, timeout=0.01)
+        assert disp.serve_flows(replay_flows) == ref
+        # flush_stats aggregates over all shards, not just the last one.
+        assert disp.flush_stats.total >= disp.scheduler.stats.total > 0
+
+    def test_flows_pinned_to_one_shard(self, compiled16, replay_flows):
+        disp = self._dispatcher(compiled16, 4)
+        trace = Trace.from_flows(replay_flows)
+        shard_of_key = {}
+        for key in trace.canonical_keys():
+            shard = disp.shard_of(key)
+            assert shard_of_key.setdefault(key, shard) == shard
+        # A sane hash spreads 24 flows over more than one replica.
+        assert len(set(shard_of_key.values())) > 1
+
+    def test_serve_trace_without_labels(self, compiled16, replay_flows):
+        disp = self._dispatcher(compiled16, 2)
+        decisions = disp.serve_trace(Trace.from_flows(replay_flows))
+        assert decisions
+        assert all(d.flow_label == -1 for d in decisions)
+        seqs = [d.seq for d in decisions]
+        assert seqs == sorted(seqs)
+
+    def test_shard_hash_deterministic(self):
+        from repro.net.packet import FlowKey
+        key = FlowKey(0x0A000001, 0x0A000002, 443, 51234, 6)
+        assert shard_hash(key) == shard_hash(FlowKey(*key))
+        assert shard_hash(key) != shard_hash(key.reversed())
+
+    def test_invalid_shards(self):
+        with pytest.raises(ValueError):
+            ShardedDispatcher(runtime_factory=lambda: None, n_shards=0)
