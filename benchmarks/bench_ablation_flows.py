@@ -11,7 +11,7 @@ import numpy as np
 
 from repro.dataplane.runtime import WindowedClassifierRuntime
 from repro.eval.reporting import render_table
-from repro.eval.runner import prepare_dataset, train_and_eval_model
+from repro.eval.runner import train_and_eval_model
 from repro.net import make_dataset
 
 

@@ -7,7 +7,7 @@ least-squares centroid refinement never hurts and usually helps.
 
 import numpy as np
 
-from repro.core import PegasusCompiler, CompilerConfig, MaterializeConfig
+from repro.core import PegasusCompiler, CompilerConfig
 from repro.eval.metrics import macro_f1
 from repro.eval.reporting import render_table
 from repro.eval.runner import prepare_dataset

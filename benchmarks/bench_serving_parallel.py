@@ -1,0 +1,68 @@
+"""Parallel serving: measured concurrent wall clock across worker processes.
+
+The serial ``ShardedDispatcher`` *models* parallel wall clock as
+``max(shard_seconds)``; ``ParallelDispatcher`` measures it, fanning the
+Figure-8 serving mix out to persistent multiprocessing workers over columnar
+shard payloads, with and without the per-replica flow-decision cache.
+
+Asserted here: every parallel configuration's decisions are **bit-identical**
+to the serial dispatcher's, and — on hosts with >= 4 usable cores (CI's
+runners; a single-core container cannot parallelize anything) — measured
+wall-clock throughput at 4 workers is >= 2x the 1-worker run. Results land
+in the ``parallel`` section of ``BENCH_serving.json`` for the CI regression
+gate.
+"""
+
+import os
+
+from repro.eval.reporting import render_table, update_bench_json
+from repro.eval.runner import run_parallel_throughput
+
+
+def _usable_cores() -> int:
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+def _run(scale):
+    return run_parallel_throughput(flows_per_class=scale["flows_per_class"],
+                                   seed=scale["seed"])
+
+
+def test_throughput_parallel(benchmark, bench_scale):
+    res = benchmark.pedantic(_run, args=(bench_scale,), rounds=1, iterations=1)
+    rows = []
+    for n, entry in sorted(res["workers"].items()):
+        rows.append([f"workers={n}", entry["serial_pps"],
+                     entry["parallel"]["pps"],
+                     entry["parallel_cached"]["pps"],
+                     entry["parallel_cached"]["cache_hit_rate"],
+                     entry["decisions"]])
+    print()
+    print(render_table(
+        ["config", "serial_pps", "parallel_pps", "cached_pps", "hit_rate",
+         "decisions"], rows,
+        title=f"Parallel serving throughput — {res['n_packets']} packets, "
+              f"{_usable_cores()} cores, "
+              f"4-vs-1 speedup {res['speedup_4_vs_1']:.2f}x "
+              f"({res['speedup_4_vs_1_cached']:.2f}x cached)"))
+
+    update_bench_json("parallel", {
+        "n_packets": res["n_packets"],
+        "cores": _usable_cores(),
+        "pps": {n: e["parallel"]["pps"] for n, e in res["workers"].items()},
+        "pps_cached": {n: e["parallel_cached"]["pps"]
+                       for n, e in res["workers"].items()},
+        "serial_pps": {n: e["serial_pps"] for n, e in res["workers"].items()},
+        "speedup_4_vs_1": res["speedup_4_vs_1"],
+        "speedup_4_vs_1_cached": res["speedup_4_vs_1_cached"],
+        "cache_hit_rate": res["cache_hit_rate"],
+        "all_match_serial": res["all_match_serial"],
+    })
+
+    # Concurrency must never change a single decision.
+    assert res["all_match_serial"]
+    # Real wall-clock scaling needs real cores; CI runners have >= 4.
+    if _usable_cores() >= 4:
+        assert res["speedup_4_vs_1"] >= 2.0

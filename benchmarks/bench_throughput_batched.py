@@ -7,10 +7,11 @@ Figure-8 serving workload (benign traffic + unknown attacks) at batch sizes
 {1, 32, 256, 1024} and shard counts {1, 4}. The tentpole target — >= 5x
 pps at batch 256 over batch 1 — is asserted, as is decision-count
 invariance across every configuration (batching must never change what the
-switch decides).
+switch decides). Results land in the ``batched`` section of
+``BENCH_serving.json`` for the CI regression gate.
 """
 
-from repro.eval.reporting import render_table
+from repro.eval.reporting import render_table, update_bench_json
 from repro.eval.runner import run_batched_throughput
 
 
@@ -30,6 +31,12 @@ def test_throughput_batched(benchmark, bench_scale):
         ["config", "pps", "pps_parallel", "decisions"], rows,
         title=f"Batched dataplane throughput — {res['n_packets']} packets, "
               f"batch-256 speedup {res['speedup_256_vs_1']:.1f}x"))
+
+    update_bench_json("batched", {
+        "n_packets": res["n_packets"],
+        "pps": {b: cfg["pps"] for b, cfg in res["batch"].items()},
+        "speedup_256_vs_1": res["speedup_256_vs_1"],
+    })
 
     # Batching amortizes per-packet Python/NumPy overhead: >= 5x at 256.
     assert res["speedup_256_vs_1"] >= 5.0

@@ -4,14 +4,20 @@ Every bench regenerates one table or figure of the paper. They are heavy
 (each trains several models), so each runs exactly once per session via
 ``benchmark.pedantic(rounds=1)`` and prints its rendered table — the rows a
 reader compares against the paper.
+
+CI's bench-smoke job shrinks the workload via ``BENCH_FLOWS_PER_CLASS`` so
+the serving benches finish in a couple of minutes while still producing the
+trajectory JSON (``BENCH_serving.json``) the regression gate checks.
 """
+
+import os
 
 import pytest
 
 # Dataset scale for the benches: large enough for stable orderings, small
 # enough that the whole suite finishes in minutes.
-FLOWS_PER_CLASS = 120
-SEED = 0
+FLOWS_PER_CLASS = int(os.environ.get("BENCH_FLOWS_PER_CLASS", "120"))
+SEED = int(os.environ.get("BENCH_SEED", "0"))
 
 
 @pytest.fixture(scope="session")

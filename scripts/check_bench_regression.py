@@ -1,0 +1,88 @@
+"""Gate CI on the serving-bench trajectory: fail on regression vs baseline.
+
+Usage::
+
+    python scripts/check_bench_regression.py BENCH_serving.json \
+        benchmarks/baselines/bench_serving_baseline.json --max-regression 0.30
+
+The baseline JSON names its gated metrics in ``gate_metrics`` — a list of
+dotted paths into both files, every one higher-is-better. A current value
+below ``baseline * (1 - max_regression)`` fails the gate; metrics absent
+from the baseline are reported but not gated (absolute pps is
+machine-dependent, so baselines gate the *relative* metrics — batching
+speedup, parallel speedup, cache hit rate — and keep pps informational).
+The gate also fails outright if the current results report
+``parallel.all_match_serial == false``: a fast wrong answer is not a
+trade-off.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def lookup(data: dict, dotted: str):
+    node = data
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", type=Path, help="bench results JSON")
+    parser.add_argument("baseline", type=Path, help="committed baseline JSON")
+    parser.add_argument("--max-regression", type=float, default=0.30,
+                        help="allowed fractional drop per gated metric")
+    args = parser.parse_args(argv)
+
+    current = json.loads(args.current.read_text())
+    baseline = json.loads(args.baseline.read_text())
+    gate_metrics = baseline.get("gate_metrics", [])
+    if not gate_metrics:
+        print(f"{args.baseline}: no gate_metrics declared", file=sys.stderr)
+        return 2
+
+    cores = lookup(current, "parallel.cores")
+    failures = []
+    print(f"{'metric':<34s} {'baseline':>12s} {'current':>12s} {'ratio':>7s}")
+    for metric in gate_metrics:
+        if metric.startswith("parallel.speedup") and cores == 1:
+            # No scheduler parallelizes on one core; report, don't gate.
+            print(f"{metric:<34s} {'(skipped: single-core host)':>33s}")
+            continue
+        base, cur = lookup(baseline, metric), lookup(current, metric)
+        if base is None or cur is None:
+            failures.append(f"{metric}: missing "
+                            f"({'baseline' if base is None else 'current'})")
+            continue
+        ratio = cur / base if base else float("inf")
+        flag = ""
+        if cur < base * (1.0 - args.max_regression):
+            failures.append(f"{metric}: {cur:.4g} < {base:.4g} "
+                            f"- {args.max_regression:.0%}")
+            flag = "  << REGRESSION"
+        print(f"{metric:<34s} {base:>12.4g} {cur:>12.4g} {ratio:>6.2f}x{flag}")
+
+    if lookup(current, "parallel.all_match_serial") is False:
+        failures.append("parallel.all_match_serial: parallel decisions "
+                        "diverged from the serial dispatcher")
+
+    if failures:
+        print("\nBench regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nBench regression gate OK "
+          f"(tolerance {args.max_regression:.0%}, "
+          f"{len(gate_metrics)} metrics).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,8 +17,6 @@ This package reproduces the SIGCOMM 2025 Pegasus system end to end:
   and figure in the paper's evaluation.
 """
 
-__version__ = "1.0.0"
-
 from repro.errors import (
     PegasusError,
     ShapeError,
@@ -29,6 +27,8 @@ from repro.errors import (
     TraceFormatError,
     TrainingError,
 )
+
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",

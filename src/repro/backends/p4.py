@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.mapping import CompiledModel, SegmentTable
+from repro.core.mapping import CompiledModel
 from repro.dataplane.tables import ternary_entries_for_tree
 
 

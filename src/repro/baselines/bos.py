@@ -61,10 +61,9 @@ class _BoSNet(nn.Module):
             grad_pre = grad_h * (np.abs(pre) <= 1.0)        # STE through sign
             grad_pre = grad_pre * (1.0 - pre ** 2)          # through tanh
             self.w_x.forward(bits)                          # set cache
-            gx = self.w_x.backward(grad_pre)
+            self.w_x.backward(grad_pre)     # input grads discarded (binary input)
             self.w_h.forward(h_prev)
             grad_h = self.w_h.backward(grad_pre)
-            del gx
         return np.zeros((grad_out.shape[0], SEQ_WINDOW * BITS_PER_STEP))
 
 

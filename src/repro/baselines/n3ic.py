@@ -110,8 +110,6 @@ class N3ICModel(TrafficModel):
 
     def pipeline_stages_needed(self) -> int:
         """Why N3IC cannot scale on PISA: stages for all popcounts (§2)."""
-        h1, h2 = self.hidden
-        n_popcounts = h1 + h2 + self.n_classes
         # Popcounts within a layer can share stages only per output neuron
         # group; the dominant cost is sequential popcount depth per layer.
         return 3 * POPCNT_STAGES

@@ -77,4 +77,5 @@ __all__ = [
     "PegasusCompiler",
     "CompilerConfig",
     "CompilationResult",
+    "syntax",
 ]

@@ -10,7 +10,7 @@ model needs per flow (e.g. CNN-L: a 16-bit previous-packet timestamp plus a
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

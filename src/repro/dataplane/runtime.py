@@ -171,10 +171,16 @@ class _BatchedReplayMixin:
     """Shared trace-replay plumbing for the batched runtimes.
 
     Subclasses provide ``state`` (a :class:`VectorFlowState`), ``window``,
-    ``batch_size``, ``process_packet`` (the scalar reference),
+    ``batch_size``, ``required_columns`` (the per-packet columns their
+    vectorized step consumes), ``process_packet`` (the scalar reference),
     ``_replay_columns`` (per-packet columnar inputs) and ``_process_batch``
-    (the vectorized step).
+    (the vectorized step). ``decision_cache`` (any object with the
+    :class:`repro.serving.FlowDecisionCache` get/put interface) optionally
+    short-circuits model invocation for repeating flow windows — exactly,
+    since the cache key is the window's packed content.
     """
+
+    required_columns: tuple[str, ...] = ("ts",)
 
     def process_flows(self, flows: list[Flow], batch_size: int | None = None
                       ) -> list[PacketDecision]:
@@ -185,28 +191,58 @@ class _BatchedReplayMixin:
 
     def process_trace(self, trace: Trace, labels: np.ndarray | None = None,
                       batch_size: int | None = None,
-                      spans: list[tuple[int, int]] | None = None,
-                      scheduler=None, keys: list | None = None
+                      spans=None, scheduler=None, keys: list | None = None
                       ) -> list[PacketDecision]:
         """Replay a time-ordered trace in batches.
 
         ``labels`` are per-packet ground-truth labels (default -1); batch
         boundaries come from, in order of precedence: explicit ``spans``
-        ((start, stop) windows), a ``scheduler`` (a
+        (an iterable of (start, stop) windows, e.g. a
+        :class:`repro.serving.SpanStream`), a ``scheduler`` (a
         :class:`repro.serving.BatchScheduler` applied to the trace's own
         timestamp column), or fixed ``batch_size`` cuts. Decisions come
         back in trace order with ``seq`` set to the packet's trace position.
         """
-        n = len(trace.packets)
         if keys is None:
             keys = trace.canonical_keys()
+        cols = self._replay_columns(trace)
+        return self._replay(
+            cols, keys, labels, spans, scheduler, batch_size,
+            lambda start, stop: self._batch_columns(cols, trace, start, stop))
+
+    def process_columns(self, cols: dict[str, np.ndarray], keys: list,
+                        labels: np.ndarray | None = None,
+                        batch_size: int | None = None,
+                        spans=None, scheduler=None) -> list[PacketDecision]:
+        """Replay per-packet *columns* directly — no :class:`Trace` needed.
+
+        The columnar entry point for shard payloads that crossed a process
+        boundary as NumPy arrays (see :class:`repro.serving.ParallelDispatcher`):
+        ``cols`` must hold this runtime's ``required_columns`` and ``keys``
+        the per-packet canonical :class:`FlowKey` objects, all aligned.
+        Identical semantics (and decisions) to :meth:`process_trace` on the
+        equivalent trace.
+        """
+        missing = [c for c in self.required_columns if c not in cols]
+        if missing:
+            raise ValueError(f"missing replay columns: {missing}")
+        if len(keys) != len(cols["ts"]):
+            raise ValueError(
+                f"{len(keys)} keys for {len(cols['ts'])} packets")
+        return self._replay(
+            cols, keys, labels, spans, scheduler, batch_size,
+            lambda start, stop: {k: v[start:stop] for k, v in cols.items()})
+
+    def _replay(self, cols, keys, labels, spans, scheduler, batch_size,
+                batch_columns) -> list[PacketDecision]:
+        """Shared core of the trace/columnar replay entry points."""
+        n = len(cols["ts"])
         if labels is None:
             labels = np.full(n, -1, dtype=np.int64)
         else:
             labels = np.asarray(labels, dtype=np.int64)
-        cols = self._replay_columns(trace)
         if spans is None and scheduler is not None:
-            spans = scheduler.spans(cols["ts"])
+            spans = scheduler.iter_spans(cols["ts"])
         if spans is None:
             b = int(self.batch_size if batch_size is None else batch_size)
             if b < 1:
@@ -216,9 +252,9 @@ class _BatchedReplayMixin:
         for start, stop, slots in self._slot_batches(keys, spans):
             if stop == start:
                 continue
-            batch_cols = self._batch_columns(cols, trace, start, stop)
-            self._process_batch(slots, batch_cols, labels[start:stop], start,
-                                decisions)
+            self._process_batch(slots, keys[start:stop],
+                                batch_columns(start, stop),
+                                labels[start:stop], start, decisions)
         return decisions
 
     def _batch_columns(self, cols: dict[str, np.ndarray], trace: Trace,
@@ -267,6 +303,54 @@ class _BatchedReplayMixin:
                 yield i, j, np.asarray(slots, dtype=np.int64)
                 i = j
 
+    def _predict_ready(self, keys: list, ready_rows: np.ndarray,
+                       windows: np.ndarray, predict_rows) -> np.ndarray:
+        """Predictions for the window-complete rows, through the cache.
+
+        ``keys`` are the batch's canonical flow keys, ``ready_rows`` the
+        batch indices of the window-complete packets, ``windows`` the
+        (n_ready, W) packed window contents (each row, as bytes, is the
+        cache's *window index*), and ``predict_rows(rows)`` invokes the
+        model on the given positions of ``ready_rows``. Without a cache the
+        model runs on every ready row; with one it runs on misses only —
+        bit-identical either way, because the model's decision is a pure
+        function of the window.
+        """
+        n_ready = len(ready_rows)
+        cache = self.decision_cache
+        if cache is None:
+            return np.asarray(predict_rows(np.arange(n_ready, dtype=np.int64)),
+                              dtype=np.int64)
+        preds = np.empty(n_ready, dtype=np.int64)
+        row_bytes = windows.shape[1] * windows.dtype.itemsize
+        packed = np.ascontiguousarray(windows).tobytes()
+        miss_rows: dict[tuple, list[int]] = {}
+        for r in range(n_ready):
+            lo = r * row_bytes
+            ck = (keys[int(ready_rows[r])], packed[lo:lo + row_bytes])
+            repeat = miss_rows.get(ck)
+            if repeat is not None:
+                # In-batch duplicate of a missed window (elephants repeat
+                # theirs every packet): the scalar path would hit the entry
+                # the first miss inserts, so count it a hit and fan the one
+                # prediction out instead of re-invoking the model.
+                repeat.append(r)
+                cache.stats.hits += 1
+                continue
+            hit = cache.get(ck)
+            if hit is None:
+                miss_rows[ck] = [r]
+            else:
+                preds[r] = hit
+        if miss_rows:
+            first = np.asarray([rows[0] for rows in miss_rows.values()],
+                               dtype=np.int64)
+            got = np.asarray(predict_rows(first), dtype=np.int64)
+            for k, (ck, rows) in enumerate(miss_rows.items()):
+                preds[rows] = got[k]
+                cache.put(ck, int(got[k]))
+        return preds
+
 
 @dataclass
 class WindowedClassifierRuntime(_BatchedReplayMixin):
@@ -277,6 +361,8 @@ class WindowedClassifierRuntime(_BatchedReplayMixin):
     :class:`repro.dataplane.Pipeline`; the batched replay invokes it once
     per batch. See the module docstring for the per-flow register layout
     (136 bits/flow at the default window of 8) and eviction behavior.
+    ``decision_cache`` (a :class:`repro.serving.FlowDecisionCache`) makes
+    repeating windows of already-classified flows skip the model entirely.
     """
 
     model: CompiledModel
@@ -284,7 +370,10 @@ class WindowedClassifierRuntime(_BatchedReplayMixin):
     window: int = 8
     capacity: int = 1_000_000
     batch_size: int = DEFAULT_BATCH_SIZE
+    decision_cache: object = None
     state: VectorFlowState = field(init=False)
+
+    required_columns = ("ts", "length")
 
     def __post_init__(self):
         if self.feature_mode not in ("seq", "stats"):
@@ -343,9 +432,19 @@ class WindowedClassifierRuntime(_BatchedReplayMixin):
         if count >= self.window - 1:
             lens = [int(v) for v in cols["len_hist"][slot]] + [len_b]
             ipds = [int(v) for v in cols["ipd_hist"][slot]] + [ipd_b]
-            x = self._features(lens, ipds)[None, :]
-            pred = int(self.model.predict(x)[0])
-            decision = PacketDecision(flow_label=flow_label, predicted=pred, ts=packet.ts)
+            pred = None
+            if self.decision_cache is not None:
+                # Same packed layout as the batched path: len window ++ ipd
+                # window, one byte per bucket.
+                ck = (key, np.asarray(lens + ipds, dtype=np.uint8).tobytes())
+                pred = self.decision_cache.get(ck)
+            if pred is None:
+                x = self._features(lens, ipds)[None, :]
+                pred = int(self.model.predict(x)[0])
+                if self.decision_cache is not None:
+                    self.decision_cache.put(ck, pred)
+            decision = PacketDecision(flow_label=flow_label, predicted=int(pred),
+                                      ts=packet.ts)
 
         self.state.shift_in(key, "len_hist", len_b)
         self.state.shift_in(key, "ipd_hist", ipd_b)
@@ -356,9 +455,9 @@ class WindowedClassifierRuntime(_BatchedReplayMixin):
     def _replay_columns(self, trace: Trace) -> dict[str, np.ndarray]:
         return trace.packet_columns()
 
-    def _process_batch(self, slots: np.ndarray, cols: dict[str, np.ndarray],
-                       labels: np.ndarray, base: int,
-                       out: list[PacketDecision]) -> None:
+    def _process_batch(self, slots: np.ndarray, keys: list,
+                       cols: dict[str, np.ndarray], labels: np.ndarray,
+                       base: int, out: list[PacketDecision]) -> None:
         ts = cols["ts"]
         cur_units = _ts_units_array(ts)
         len_b = length_bucket_array(cols["length"])
@@ -378,11 +477,16 @@ class WindowedClassifierRuntime(_BatchedReplayMixin):
         win_len = _gather_windows(hist_len, rank, occ, len_b, counts, self.window)
         win_ipd = _gather_windows(hist_ipd, rank, occ, ipd_b, counts, self.window)
 
-        ready = count_i >= self.window - 1
-        if ready.any():
-            x = self._features_batch(win_len[ready], win_ipd[ready])
-            preds = np.asarray(self.model.predict(x))
-            for k, i in enumerate(np.nonzero(ready)[0]):
+        ready_rows = np.nonzero(count_i >= self.window - 1)[0]
+        if len(ready_rows):
+            ready_len, ready_ipd = win_len[ready_rows], win_ipd[ready_rows]
+            windows = np.concatenate([ready_len, ready_ipd],
+                                     axis=1).astype(np.uint8)
+            preds = self._predict_ready(
+                keys, ready_rows, windows,
+                lambda rows: self.model.predict(
+                    self._features_batch(ready_len[rows], ready_ipd[rows])))
+            for k, i in enumerate(ready_rows):
                 out.append(PacketDecision(flow_label=int(labels[i]),
                                           predicted=int(preds[k]),
                                           ts=float(ts[i]), seq=base + int(i)))
@@ -425,7 +529,10 @@ class TwoStageRuntime(_BatchedReplayMixin):
     # extraction, itself realized as per-segment tables on the switch.
     feature_fn: object = None
     batch_size: int = DEFAULT_BATCH_SIZE
+    decision_cache: object = None
     state: VectorFlowState = field(init=False)
+
+    required_columns = ("ts", "payload")
 
     def __post_init__(self):
         if len(self.slot_values) != self.window:
@@ -440,6 +547,11 @@ class TwoStageRuntime(_BatchedReplayMixin):
     @property
     def bits_per_flow(self) -> int:
         return self.state.layout.bits_per_flow
+
+    @property
+    def _win_dtype(self) -> np.dtype:
+        """Narrowest dtype holding one fuzzy index (the cache-key packing)."""
+        return np.dtype(np.uint8 if self.idx_bits <= 8 else np.uint16)
 
     def _extract_index(self, packet: Packet, ipd_bucket: int | None) -> int:
         vec = np.zeros(self.raw_bytes, dtype=np.float64)
@@ -465,11 +577,19 @@ class TwoStageRuntime(_BatchedReplayMixin):
         decision = None
         if count >= self.window - 1:
             indexes = [int(v) for v in cols["idx_hist"][slot]] + [idx]
-            logits = np.zeros(self.n_classes, dtype=np.int64)
-            for slot_pos, slot_idx in enumerate(indexes):
-                logits += self.slot_values[slot_pos][slot_idx]
-            decision = PacketDecision(flow_label=flow_label,
-                                      predicted=int(np.argmax(logits)), ts=packet.ts)
+            pred = None
+            if self.decision_cache is not None:
+                ck = (key, np.asarray(indexes, dtype=self._win_dtype).tobytes())
+                pred = self.decision_cache.get(ck)
+            if pred is None:
+                logits = np.zeros(self.n_classes, dtype=np.int64)
+                for slot_pos, slot_idx in enumerate(indexes):
+                    logits += self.slot_values[slot_pos][slot_idx]
+                pred = int(np.argmax(logits))
+                if self.decision_cache is not None:
+                    self.decision_cache.put(ck, pred)
+            decision = PacketDecision(flow_label=flow_label, predicted=int(pred),
+                                      ts=packet.ts)
 
         self.state.shift_in(key, "idx_hist", idx)
         if self.needs_ipd:
@@ -488,9 +608,9 @@ class TwoStageRuntime(_BatchedReplayMixin):
         batch["payload"] = trace.payload_matrix(self.raw_bytes, start, stop)
         return batch
 
-    def _process_batch(self, slots: np.ndarray, cols: dict[str, np.ndarray],
-                       labels: np.ndarray, base: int,
-                       out: list[PacketDecision]) -> None:
+    def _process_batch(self, slots: np.ndarray, keys: list,
+                       cols: dict[str, np.ndarray], labels: np.ndarray,
+                       base: int, out: list[PacketDecision]) -> None:
         ts = cols["ts"]
         uniq, rank, counts, occ, prev_idx, last_idx = _group_structure(slots)
         c = self.state.columns
@@ -515,14 +635,21 @@ class TwoStageRuntime(_BatchedReplayMixin):
         hist_idx = c["idx_hist"][uniq].astype(np.int64)
         win_idx = _gather_windows(hist_idx, rank, occ, idx, counts, self.window)
 
-        ready = count_i >= self.window - 1
-        if ready.any():
-            ready_win = win_idx[ready]
-            logits = np.zeros((len(ready_win), self.n_classes), dtype=np.int64)
-            for slot_pos in range(self.window):
-                logits += self.slot_values[slot_pos][ready_win[:, slot_pos]]
-            preds = np.argmax(logits, axis=1)
-            for k, i in enumerate(np.nonzero(ready)[0]):
+        ready_rows = np.nonzero(count_i >= self.window - 1)[0]
+        if len(ready_rows):
+            ready_win = win_idx[ready_rows]
+
+            def predict_rows(rows):
+                sub = ready_win[rows]
+                logits = np.zeros((len(sub), self.n_classes), dtype=np.int64)
+                for slot_pos in range(self.window):
+                    logits += self.slot_values[slot_pos][sub[:, slot_pos]]
+                return np.argmax(logits, axis=1)
+
+            preds = self._predict_ready(keys, ready_rows,
+                                        ready_win.astype(self._win_dtype),
+                                        predict_rows)
+            for k, i in enumerate(ready_rows):
                 out.append(PacketDecision(flow_label=int(labels[i]),
                                           predicted=int(preds[k]),
                                           ts=float(ts[i]), seq=base + int(i)))

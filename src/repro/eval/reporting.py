@@ -1,6 +1,10 @@
-"""Plain-text rendering of experiment results (the benches print these)."""
+"""Rendering of experiment results: text tables and the bench trajectory JSON."""
 
 from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
 
 
 def render_table(headers: list[str], rows: list[list], title: str = "") -> str:
@@ -24,3 +28,33 @@ def _fmt(cell) -> str:
             return f"{cell:.4f}"
         return f"{cell:,.1f}"
     return str(cell)
+
+
+def update_bench_json(section: str, payload: dict,
+                      path: str | Path | None = None) -> Path:
+    """Merge one bench's scalar results into the bench-trajectory JSON.
+
+    Each serving bench writes its results under its own ``section`` key of
+    one shared file (default ``BENCH_serving.json`` in the working
+    directory, overridable via the ``BENCH_JSON`` env var), so the CI bench
+    job can upload a single artifact and diff it against the committed
+    baseline. NumPy scalars are coerced to plain JSON types.
+    """
+    path = Path(path or os.environ.get("BENCH_JSON", "BENCH_serving.json"))
+    data = json.loads(path.read_text()) if path.exists() else {}
+    data[section] = _jsonify(payload)
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def _jsonify(obj):
+    """Recursively coerce NumPy scalars/arrays and dict keys to JSON types."""
+    if isinstance(obj, dict):
+        return {str(k): _jsonify(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonify(v) for v in obj]
+    if isinstance(obj, (bool, int, float, str)) or obj is None:
+        return obj
+    if hasattr(obj, "tolist"):          # NumPy scalar or array
+        return obj.tolist()
+    return str(obj)

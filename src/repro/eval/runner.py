@@ -212,6 +212,38 @@ def run_fig9(flows_per_class: int = 120, seed: int = 0,
     return {"accuracy": accuracy, "throughput": throughput}
 
 
+def _serving_mix(dataset: str, flows_per_class: int, seed: int,
+                 attack_flows: int, elephant_flows: int = 0,
+                 elephant_packets: int = 400) -> tuple[list, object]:
+    """The Figure-8 serving workload plus a compiled MLP-B to serve it with.
+
+    Benign test split + every unknown-attack flow set, shared by the batched
+    and parallel throughput studies so their numbers are comparable.
+    ``elephant_flows`` additionally injects constant-rate heavy hitters
+    (fixed packet length, fixed inter-packet delay — flood/stream-shaped
+    traffic): their feature windows repeat packet after packet, which is the
+    case the flow-decision cache short-circuits.
+    """
+    from repro.net.flow import Flow
+    from repro.net.packet import FlowKey, Packet
+
+    row = train_and_eval_model("MLP-B", dataset, flows_per_class, seed)
+    compiled = row["_model"].compiled
+    ds = make_dataset(dataset, flows_per_class=flows_per_class, seed=seed)
+    _train, _val, test_flows = ds.split(rng=seed)
+    flows = list(test_flows)
+    for i, attack in enumerate(ATTACK_NAMES):
+        flows.extend(make_attack_flows(attack, n_flows=attack_flows, seed=seed + i))
+    for e in range(elephant_flows):
+        key = FlowKey(0xC0A80000 + e, 0x08080808, 50000 + e, 443, 6)
+        ipd = 0.00064 * (1 + e % 3)        # exact 64 us multiples: stable IPDs
+        length = 1200 - 100 * (e % 4)
+        packets = [Packet(ts=i * ipd, length=length, key=key)
+                   for i in range(elephant_packets)]
+        flows.append(Flow(key=key.canonical(), packets=packets, label=0))
+    return flows, compiled
+
+
 def run_batched_throughput(flows_per_class: int = 120, seed: int = 0,
                            batch_sizes: tuple[int, ...] = (1, 32, 256, 1024),
                            shard_counts: tuple[int, ...] = (1, 4),
@@ -235,13 +267,7 @@ def run_batched_throughput(flows_per_class: int = 120, seed: int = 0,
     from repro.dataplane.runtime import WindowedClassifierRuntime
     from repro.serving import BatchScheduler, ShardedDispatcher
 
-    row = train_and_eval_model("MLP-B", dataset, flows_per_class, seed)
-    compiled = row["_model"].compiled
-    ds = make_dataset(dataset, flows_per_class=flows_per_class, seed=seed)
-    _train, _val, test_flows = ds.split(rng=seed)
-    flows = list(test_flows)
-    for i, attack in enumerate(ATTACK_NAMES):
-        flows.extend(make_attack_flows(attack, n_flows=attack_flows, seed=seed + i))
+    flows, compiled = _serving_mix(dataset, flows_per_class, seed, attack_flows)
     n_packets = sum(len(f) for f in flows)
 
     def best_of(run) -> tuple[float, int]:
@@ -280,6 +306,94 @@ def run_batched_throughput(flows_per_class: int = 120, seed: int = 0,
     if 1 in results["batch"] and 256 in results["batch"]:
         results["speedup_256_vs_1"] = \
             results["batch"][256]["pps"] / results["batch"][1]["pps"]
+    return results
+
+
+def run_parallel_throughput(flows_per_class: int = 120, seed: int = 0,
+                            worker_counts: tuple[int, ...] = (1, 2, 4),
+                            dataset: str = "peerrush",
+                            attack_flows: int = 30,
+                            repeats: int = 2,
+                            batch_size: int = 256,
+                            cache_capacity: int = 1 << 16,
+                            elephant_flows: int = 12) -> dict:
+    """Measured concurrent serving throughput (parallel dispatcher study).
+
+    Replays the Figure-8 serving mix — plus ``elephant_flows`` constant-rate
+    heavy hitters, the flood/stream-shaped traffic whose repeating windows
+    the decision cache short-circuits — through a
+    :class:`~repro.serving.ParallelDispatcher` at several worker counts,
+    with and without the per-replica flow-decision cache, and through a
+    :class:`~repro.serving.ShardedDispatcher` with the same shard count as
+    the serial reference. Every parallel run is checked **bit-identical**
+    to its serial reference (``all_match_serial``). Each measurement
+    rebuilds fresh dispatchers so flow state starts cold; workers are
+    started before timing so ``wall_seconds`` is pure serve time; best of
+    ``repeats`` runs. ``speedup_4_vs_1`` compares measured wall clock at 4
+    workers vs 1 — real concurrency, not the serial dispatcher's
+    ``max(shard_seconds)`` model (expect ~1x on a single-core host).
+    """
+    import time
+
+    from repro.dataplane.runtime import WindowedClassifierRuntime
+    from repro.serving import (BatchScheduler, FlowDecisionCache,
+                               ParallelDispatcher, ShardedDispatcher)
+
+    flows, compiled = _serving_mix(dataset, flows_per_class, seed, attack_flows,
+                                   elephant_flows=elephant_flows)
+    n_packets = sum(len(f) for f in flows)
+    scheduler = BatchScheduler(batch_size=batch_size)
+
+    def factory(cached: bool):
+        def build():
+            cache = FlowDecisionCache(cache_capacity) if cached else None
+            return WindowedClassifierRuntime(
+                compiled, feature_mode="stats", batch_size=batch_size,
+                decision_cache=cache)
+        return build
+
+    results: dict = {"n_packets": n_packets, "workers": {}}
+    all_match = True
+    for n in worker_counts:
+        serial_wall = float("inf")
+        reference = None
+        for _ in range(repeats):
+            serial = ShardedDispatcher(runtime_factory=factory(False),
+                                       n_shards=n, scheduler=scheduler)
+            start = time.perf_counter()
+            reference = serial.serve_flows(flows)
+            serial_wall = min(serial_wall, time.perf_counter() - start)
+        entry: dict = {
+            "serial_pps": n_packets / max(serial_wall, 1e-9),
+            "decisions": len(reference),
+        }
+        for label, cached in (("parallel", False), ("parallel_cached", True)):
+            best_wall, decisions, hit_rate = float("inf"), None, 0.0
+            for _ in range(repeats):
+                with ParallelDispatcher(runtime_factory=factory(cached),
+                                        n_workers=n,
+                                        scheduler=scheduler) as dispatcher:
+                    decisions = dispatcher.serve_flows(flows)
+                    best_wall = min(best_wall, dispatcher.wall_seconds)
+                    hit_rate = dispatcher.cache_stats.hit_rate
+            matches = decisions == reference
+            all_match = all_match and matches
+            entry[label] = {
+                "pps": n_packets / max(best_wall, 1e-9),
+                "wall_seconds": best_wall,
+                "matches_serial": matches,
+            }
+            if cached:
+                entry[label]["cache_hit_rate"] = hit_rate
+        results["workers"][n] = entry
+    results["all_match_serial"] = all_match
+    if 1 in results["workers"] and 4 in results["workers"]:
+        one, four = results["workers"][1], results["workers"][4]
+        results["speedup_4_vs_1"] = \
+            four["parallel"]["pps"] / one["parallel"]["pps"]
+        results["speedup_4_vs_1_cached"] = \
+            four["parallel_cached"]["pps"] / one["parallel_cached"]["pps"]
+        results["cache_hit_rate"] = four["parallel_cached"]["cache_hit_rate"]
     return results
 
 

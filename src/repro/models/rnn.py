@@ -14,13 +14,12 @@ per step via fuzzy matching.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro import nn
 from repro.core.fuzzy import FuzzyTree
-from repro.core.mapping import SegmentTable
 from repro.dataplane.registers import FlowStateLayout, RegisterField
 from repro.models.base import TrafficModel
 from repro.net.features import SEQ_WINDOW, SEQ_TOKENS

@@ -20,6 +20,39 @@ from repro.net.packet import Packet, FlowKey
 _MAGIC = b"SPCAP1\x00\x00"
 _REC_HEADER = struct.Struct("<dHHIIHHB")
 
+KEY_COLUMN_NAMES = ("src_ip", "dst_ip", "src_port", "dst_port", "proto")
+
+
+def canonicalize_key_columns(cols: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+    """Vectorized :meth:`FlowKey.canonical` over whole key columns.
+
+    One boolean select pass instead of a Python call per packet; produces
+    exactly the per-key canonical form (smaller (ip, port) endpoint first).
+    """
+    swap = (cols["src_ip"] > cols["dst_ip"]) | (
+        (cols["src_ip"] == cols["dst_ip"])
+        & (cols["src_port"] > cols["dst_port"]))
+    return {
+        "src_ip": np.where(swap, cols["dst_ip"], cols["src_ip"]),
+        "dst_ip": np.where(swap, cols["src_ip"], cols["dst_ip"]),
+        "src_port": np.where(swap, cols["dst_port"], cols["src_port"]),
+        "dst_port": np.where(swap, cols["src_port"], cols["dst_port"]),
+        "proto": np.asarray(cols["proto"]).copy(),
+    }
+
+
+def keys_from_columns(cols: dict[str, np.ndarray]) -> list[FlowKey]:
+    """Rebuild per-packet :class:`FlowKey` objects from key columns.
+
+    The worker-side inverse of :meth:`Trace.canonical_key_columns`: shard
+    payloads cross the process boundary as five arrays and only become
+    (plain-int) tuples again where the flow-slot table needs hashable keys.
+    """
+    return [FlowKey(*t) for t in zip(
+        cols["src_ip"].tolist(), cols["dst_ip"].tolist(),
+        cols["src_port"].tolist(), cols["dst_port"].tolist(),
+        cols["proto"].tolist())]
+
 
 @dataclass
 class Trace:
@@ -57,6 +90,51 @@ class Trace:
             "ts": np.asarray([p.ts for p in self.packets], dtype=np.float64),
             "length": np.asarray([p.length for p in self.packets], dtype=np.int64),
         }
+
+    def key_columns(self) -> dict[str, np.ndarray]:
+        """Raw (directional) per-packet 5-tuple columns, int64, trace order."""
+        arr = np.asarray([p.key for p in self.packets],
+                         dtype=np.int64).reshape(-1, 5)
+        return {name: arr[:, i] for i, name in enumerate(KEY_COLUMN_NAMES)}
+
+    def canonical_key_columns(self) -> dict[str, np.ndarray]:
+        """Canonical per-packet 5-tuple columns (vectorized canonicalization).
+
+        Column-wise equivalent of :meth:`canonical_keys`; the form shard
+        payloads ship across process boundaries (see
+        :func:`keys_from_columns`).
+        """
+        return canonicalize_key_columns(self.key_columns())
+
+    def to_columns(self, payload_bytes: int | None = None
+                   ) -> dict[str, np.ndarray]:
+        """The whole trace as a handful of arrays (the columnar wire form).
+
+        ``ts``/``length`` scalars plus the raw 5-tuple columns; with
+        ``payload_bytes`` set, also a zero-padded ``payload`` byte matrix.
+        :meth:`from_columns` inverts it (up to payload truncation).
+        """
+        cols = self.packet_columns()
+        cols.update(self.key_columns())
+        if payload_bytes is not None:
+            cols["payload"] = self.payload_matrix(payload_bytes)
+        return cols
+
+    @staticmethod
+    def from_columns(cols: dict[str, np.ndarray]) -> "Trace":
+        """Rebuild packet objects from :meth:`to_columns` output."""
+        payload = cols.get("payload")
+        packets = []
+        for i in range(len(cols["ts"])):
+            key = FlowKey(int(cols["src_ip"][i]), int(cols["dst_ip"][i]),
+                          int(cols["src_port"][i]), int(cols["dst_port"][i]),
+                          int(cols["proto"][i]))
+            data = (payload[i].astype(np.uint8) if payload is not None
+                    else np.zeros(0, dtype=np.uint8))
+            packets.append(Packet(ts=float(cols["ts"][i]),
+                                  length=int(cols["length"][i]),
+                                  key=key, payload=data))
+        return Trace(packets)
 
     def payload_matrix(self, n_bytes: int, start: int = 0,
                        stop: int | None = None) -> np.ndarray:

@@ -1,17 +1,28 @@
-"""Batched serving layer: schedule, shard, and replay traces at scale.
+"""Batched serving layer: schedule, shard, cache, and replay traces at scale.
 
 The dataplane runtimes in :mod:`repro.dataplane.runtime` decide one packet
 at a time when driven through ``process_packet``; this package is the
 throughput path that drives them in **NumPy batches** across **multiple
-pipeline replicas**:
+pipeline replicas** — serially simulated or genuinely concurrent:
 
-- :class:`BatchScheduler` — cuts a time-ordered trace into batches, flushed
-  when full (``batch_size``) or when the oldest buffered packet has waited
-  ``timeout`` seconds of trace time, mirroring the full-or-timeout batching
-  of inference servers and NIC drivers.
+- :class:`BatchScheduler` — immutable batch-cutting config: flush when full
+  (``batch_size``) or when the oldest buffered packet has waited ``timeout``
+  seconds of trace time, mirroring the full-or-timeout batching of inference
+  servers and NIC drivers; with ``latency_target`` set, lazily consumed
+  :class:`SpanStream` s adapt the batch size AIMD-style to the measured
+  per-batch service time.
 - :class:`ShardedDispatcher` — hashes each flow's canonical 5-tuple onto
   one of N independent runtime replicas (flow state never spans shards),
-  replays every shard, and merges decisions back into global trace order.
+  replays every shard serially, and merges decisions back into global trace
+  order; parallel wall clock is modeled as ``max(shard_seconds)``.
+- :class:`ParallelDispatcher` — the same sharding fanned out to persistent
+  ``multiprocessing`` workers, each owning one replica; shard payloads and
+  decision streams cross the process boundary as columnar NumPy arrays, and
+  ``wall_seconds`` is *measured* concurrent wall clock.
+- :class:`FlowDecisionCache` — a per-replica LRU of
+  ``(canonical 5-tuple, window index) -> decision`` that short-circuits
+  model invocation for already-classified elephant flows whose windows
+  repeat, without changing a single decision.
 
 End-to-end example (train → compile → serve)::
 
@@ -35,18 +46,26 @@ End-to-end example (train → compile → serve)::
         scheduler=BatchScheduler(batch_size=256, timeout=0.050))
     decisions = dispatcher.serve_flows(test)   # global trace order
 
-Sharded + batched replay is bit-identical to per-packet replay (same
-decisions, same order) whenever register capacity does not bind — the
-regression tests in ``tests/test_dataplane_batched.py`` and
-``tests/test_serving.py`` assert it.
+Sharded + batched + parallel + cached replay is bit-identical to per-packet
+replay (same decisions, same order) whenever register capacity does not
+bind — the regression tests in ``tests/test_dataplane_batched.py``,
+``tests/test_serving.py``, and ``tests/test_serving_parallel.py`` assert it.
 """
 
-from repro.serving.scheduler import BatchScheduler, FlushStats
-from repro.serving.dispatcher import ShardedDispatcher, shard_hash
+from repro.serving.scheduler import BatchScheduler, FlushStats, SpanStream
+from repro.serving.cache import CacheStats, FlowDecisionCache
+from repro.serving.dispatcher import (ShardedDispatcher, shard_hash,
+                                      shard_hash_columns)
+from repro.serving.parallel import ParallelDispatcher
 
 __all__ = [
     "BatchScheduler",
+    "CacheStats",
+    "FlowDecisionCache",
     "FlushStats",
+    "ParallelDispatcher",
     "ShardedDispatcher",
+    "SpanStream",
     "shard_hash",
+    "shard_hash_columns",
 ]

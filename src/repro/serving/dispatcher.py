@@ -36,12 +36,16 @@ import numpy as np
 
 from repro.dataplane.runtime import flows_to_trace
 from repro.net.packet import FlowKey
-from repro.net.traces import Trace
+from repro.net.traces import KEY_COLUMN_NAMES, Trace
+from repro.serving.cache import CacheStats
 from repro.serving.scheduler import BatchScheduler, FlushStats
 
 _FNV_OFFSET = 0xCBF29CE484222325
 _FNV_PRIME = 0x100000001B3
 _FNV_MASK = 0xFFFFFFFFFFFFFFFF
+
+_KEY_FIELD_WIDTHS = (("src_ip", 4), ("dst_ip", 4),
+                     ("src_port", 2), ("dst_port", 2), ("proto", 1))
 
 
 def shard_hash(key: FlowKey) -> int:
@@ -52,6 +56,25 @@ def shard_hash(key: FlowKey) -> int:
         for shift in range(0, 8 * width, 8):
             h ^= (value >> shift) & 0xFF
             h = (h * _FNV_PRIME) & _FNV_MASK
+    return h
+
+
+def shard_hash_columns(cols: dict[str, np.ndarray]) -> np.ndarray:
+    """Vectorized :func:`shard_hash` over whole key columns (uint64).
+
+    Bit-identical to the scalar form for every key — the per-byte FNV-1a
+    rounds run on uint64 arrays with the same wraparound arithmetic — so a
+    columnar dispatcher pins each flow to exactly the shard the scalar
+    dispatcher would.
+    """
+    n = len(cols["src_ip"])
+    h = np.full(n, _FNV_OFFSET, dtype=np.uint64)
+    prime = np.uint64(_FNV_PRIME)
+    for name, width in _KEY_FIELD_WIDTHS:
+        value = np.asarray(cols[name]).astype(np.uint64)
+        for shift in range(0, 8 * width, 8):
+            h = h ^ ((value >> np.uint64(shift)) & np.uint64(0xFF))
+            h = h * prime
     return h
 
 
@@ -68,10 +91,12 @@ class ShardedDispatcher:
 
     Replicas are replayed serially here (single-threaded simulator), but
     ``shard_seconds`` records each replica's replay time from the last
-    serve call — in a real deployment replicas run concurrently, so the
-    modeled parallel wall clock is ``max(shard_seconds)``. ``flush_stats``
-    aggregates the scheduler's flush counts over all shards of the last
-    serve (the scheduler itself only keeps its most recent call).
+    serve call — the modeled parallel wall clock is ``max(shard_seconds)``;
+    :class:`repro.serving.ParallelDispatcher` runs the same sharding on
+    real concurrent workers and *measures* that wall clock instead.
+    ``flush_stats`` aggregates per-shard span-stream flush counts over the
+    last serve (the scheduler itself is immutable configuration, so sharing
+    one across shards — or dispatchers — is safe).
     """
 
     runtime_factory: Callable[[], Any]
@@ -105,9 +130,12 @@ class ShardedDispatcher:
             labels = np.full(n, -1, dtype=np.int64)
         else:
             labels = np.asarray(labels, dtype=np.int64)
-        shard_ids = np.fromiter(
-            (shard_hash(k) % self.n_shards for k in keys),
-            dtype=np.int64, count=n)
+        key_arr = np.asarray(keys, dtype=np.int64).reshape(-1, 5)
+        key_cols = {name: key_arr[:, i]
+                    for i, name in enumerate(KEY_COLUMN_NAMES)}
+        shard_ids = (shard_hash_columns(key_cols)
+                     % np.uint64(self.n_shards)).astype(np.int64)
+        ts_all = np.asarray([p.ts for p in trace.packets], dtype=np.float64)
 
         decisions: list = []
         self.shard_seconds = []
@@ -119,15 +147,26 @@ class ShardedDispatcher:
                 continue
             sub_trace = Trace([trace.packets[i] for i in member])
             sub_keys = [keys[i] for i in member]
+            stream = (self.scheduler.iter_spans(ts_all[member])
+                      if self.scheduler is not None else None)
             start = time.perf_counter()
             shard_decisions = runtime.process_trace(
-                sub_trace, labels=labels[member], scheduler=self.scheduler,
-                keys=sub_keys)
+                sub_trace, labels=labels[member], spans=stream, keys=sub_keys)
             self.shard_seconds.append(time.perf_counter() - start)
-            if self.scheduler is not None:
-                self.flush_stats.merge(self.scheduler.stats)
+            if stream is not None:
+                self.flush_stats.merge(stream.stats)
             for d in shard_decisions:
                 d.seq = int(member[d.seq])   # shard-local -> global position
             decisions.extend(shard_decisions)
         decisions.sort(key=lambda d: d.seq)
         return decisions
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Aggregate decision-cache counters over all replicas (lifetime)."""
+        total = CacheStats()
+        for runtime in self.runtimes:
+            cache = getattr(runtime, "decision_cache", None)
+            if cache is not None:
+                total.merge(cache.stats)
+        return total

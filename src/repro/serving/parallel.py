@@ -1,0 +1,288 @@
+"""Parallel multi-process serving: fan shards out to persistent workers.
+
+:class:`~repro.serving.ShardedDispatcher` replays its replicas *serially* and
+models parallel wall clock as ``max(shard_seconds)``; :class:`ParallelDispatcher`
+makes that wall clock real. Each of ``n_workers`` persistent ``multiprocessing``
+workers owns one runtime replica (built from ``runtime_factory`` inside the
+worker, after the fork), shard payloads cross the process boundary as a handful
+of columnar NumPy arrays — timestamps, lengths, canonical 5-tuple columns, and
+optionally a payload-byte matrix — instead of per-packet Python objects, and
+each worker's decision stream comes back as four flat arrays that the parent
+merges into global ``seq`` order.
+
+Flows are pinned to workers by the same canonical-5-tuple FNV-1a hash the
+serial dispatcher uses, so for any worker count the decisions are
+**bit-identical** to ``ShardedDispatcher`` with ``n_shards == n_workers``
+(and, when per-replica register capacity does not bind, to an unsharded
+replay) — with or without a flow-decision cache in the replicas. The
+equivalence is asserted by ``tests/test_serving_parallel.py``.
+
+Usage::
+
+    from repro.serving import BatchScheduler, FlowDecisionCache, ParallelDispatcher
+
+    with ParallelDispatcher(
+        runtime_factory=lambda: WindowedClassifierRuntime(
+            compiled,
+            feature_mode="stats",
+            batch_size=256,
+            decision_cache=FlowDecisionCache(65536),
+        ),
+        n_workers=4,
+        scheduler=BatchScheduler(batch_size=256, timeout=0.050),
+    ) as dispatcher:
+        decisions = dispatcher.serve_flows(test_flows)
+        pps = len(decisions) / dispatcher.wall_seconds
+
+Workers default to the ``fork`` start method (the factory closure — typically
+capturing a compiled model — is inherited, never pickled); on platforms
+without ``fork`` the dispatcher falls back to ``spawn``, which requires a
+picklable factory. ``close()`` (or the context manager) shuts the workers
+down; replica state (flow registers, decision caches) lives in the workers,
+so it persists across ``serve_*`` calls and is discarded on ``close()``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.dataplane.runtime import PacketDecision, flows_to_trace
+from repro.net.traces import KEY_COLUMN_NAMES, Trace, keys_from_columns
+from repro.serving.cache import CacheStats
+from repro.serving.dispatcher import shard_hash_columns
+from repro.serving.scheduler import BatchScheduler, FlushStats
+
+
+def serve_shard(runtime, shard: dict, scheduler: BatchScheduler | None) -> dict:
+    """Replay one columnar shard payload on a replica; columnar reply.
+
+    Runs inside a worker process (also directly callable in-process, which
+    the unit tests use). The reply carries the decision stream as flat
+    arrays plus the measured replay seconds and the replica's flush/cache
+    stats.
+    """
+    keys = keys_from_columns(shard["keys"])
+    stream = scheduler.iter_spans(shard["cols"]["ts"]) if scheduler is not None else None
+    start = time.perf_counter()
+    decisions = runtime.process_columns(
+        shard["cols"],
+        keys,
+        labels=shard["labels"],
+        spans=stream,
+    )
+    seconds = time.perf_counter() - start
+    cache = getattr(runtime, "decision_cache", None)
+    return {
+        "seq": np.asarray([d.seq for d in decisions], dtype=np.int64),
+        "flow_label": np.asarray([d.flow_label for d in decisions], dtype=np.int64),
+        "predicted": np.asarray([d.predicted for d in decisions], dtype=np.int64),
+        "ts": np.asarray([d.ts for d in decisions], dtype=np.float64),
+        "seconds": seconds,
+        "flush_stats": stream.stats if stream is not None else FlushStats(),
+        "cache_stats": cache.stats if cache is not None else None,
+    }
+
+
+def worker_main(conn, runtime_factory, scheduler) -> None:
+    """Persistent worker loop: build one replica, serve shards until EOF.
+
+    The replica is built on the first request so construction cost lands in
+    the worker, and it persists across requests — flow registers and the
+    decision cache keep their state exactly like a long-lived replica would.
+    """
+    runtime = None
+    try:
+        while True:
+            shard = conn.recv()
+            if shard is None:
+                break
+            try:
+                if runtime is None:
+                    runtime = runtime_factory()
+                if shard.get("warm"):
+                    conn.send(("ok", None))
+                    continue
+                conn.send(("ok", serve_shard(runtime, shard, scheduler)))
+            except Exception:
+                conn.send(("error", traceback.format_exc()))
+    except (EOFError, KeyboardInterrupt):  # pragma: no cover - parent died
+        pass
+    finally:
+        conn.close()
+
+
+@dataclass
+class ParallelDispatcher:
+    """Serve traces across ``n_workers`` concurrent runtime replicas.
+
+    The parallel counterpart of :class:`~repro.serving.ShardedDispatcher`:
+    same flow pinning, same per-replica replay, but replicas live in
+    persistent worker processes and replay their shards concurrently, so
+    ``wall_seconds`` is *measured* concurrent wall clock. ``runtime_factory``
+    runs inside each worker; ``scheduler`` is immutable config shared by
+    value; ``payload_bytes`` (for :class:`TwoStageRuntime` replicas) ships
+    each shard's first payload bytes as one matrix.
+
+    Per-serve telemetry: ``wall_seconds``, per-worker ``shard_seconds``
+    (replay time only, excluding IPC), merged ``flush_stats``, and — when
+    replicas carry a decision cache — lifetime ``cache_stats``.
+    """
+
+    runtime_factory: Callable[[], Any]
+    n_workers: int = 1
+    scheduler: BatchScheduler | None = None
+    payload_bytes: int | None = None
+    start_method: str | None = None
+    shard_seconds: list[float] = field(init=False, default_factory=list)
+    wall_seconds: float = field(init=False, default=0.0)
+    flush_stats: FlushStats = field(init=False, default_factory=FlushStats)
+    cache_stats: CacheStats = field(init=False, default_factory=CacheStats)
+
+    def __post_init__(self):
+        if self.n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {self.n_workers}")
+        if self.start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            self.start_method = "fork" if "fork" in methods else "spawn"
+        self._ctx = multiprocessing.get_context(self.start_method)
+        self._workers: list = []
+        self._conns: list = []
+
+    @property
+    def started(self) -> bool:
+        return bool(self._workers)
+
+    def start(self) -> None:
+        """Fork the workers and build their replicas (no-op when running).
+
+        Replica construction happens here, behind a warm-up ping, so
+        ``wall_seconds`` of the first serve measures serving — not
+        ``runtime_factory`` — and a broken factory surfaces immediately.
+        """
+        if self._workers:
+            return
+        for _ in range(self.n_workers):
+            parent_conn, child_conn = self._ctx.Pipe()
+            proc = self._ctx.Process(
+                target=worker_main,
+                args=(child_conn, self.runtime_factory, self.scheduler),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._workers.append(proc)
+            self._conns.append(parent_conn)
+        for conn in self._conns:
+            conn.send({"warm": True})
+        failures = []
+        for w, conn in enumerate(self._conns):
+            status, reply = conn.recv()
+            if status != "ok":
+                failures.append(f"worker {w} failed to build its replica:\n{reply}")
+        if failures:
+            self.close()
+            raise RuntimeError("\n".join(failures))
+
+    def close(self) -> None:
+        """Shut workers down, discarding their replica state. Idempotent."""
+        for conn in self._conns:
+            try:
+                conn.send(None)
+            except (BrokenPipeError, OSError):  # pragma: no cover - worker died
+                pass
+        for proc in self._workers:
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+                proc.join()
+        for conn in self._conns:
+            conn.close()
+        self._workers, self._conns = [], []
+
+    def __enter__(self) -> "ParallelDispatcher":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def serve_flows(self, flows: list) -> list:
+        """Replay the interleaved trace of many labelled flows, in parallel."""
+        trace, _keys, labels = flows_to_trace(flows)
+        return self.serve_trace(trace, labels=labels)
+
+    def serve_trace(self, trace: Trace, labels: np.ndarray | None = None) -> list:
+        """Shard columnar payloads to the workers; merge decision streams.
+
+        Decisions come back in global trace order, exactly as the serial
+        dispatcher would produce them.
+        """
+        self.start()
+        started = time.perf_counter()
+        n = len(trace.packets)
+        if labels is None:
+            labels = np.full(n, -1, dtype=np.int64)
+        else:
+            labels = np.asarray(labels, dtype=np.int64)
+        cols = trace.packet_columns()
+        key_cols = trace.canonical_key_columns()
+        shard_ids = (shard_hash_columns(key_cols) % np.uint64(self.n_workers)).astype(np.int64)
+        payload = trace.payload_matrix(self.payload_bytes) if self.payload_bytes else None
+
+        members = []
+        for w, conn in enumerate(self._conns):
+            member = np.nonzero(shard_ids == w)[0]
+            members.append(member)
+            shard_cols = {"ts": cols["ts"][member], "length": cols["length"][member]}
+            if payload is not None:
+                shard_cols["payload"] = payload[member]
+            conn.send(
+                {
+                    "cols": shard_cols,
+                    "keys": {name: key_cols[name][member] for name in KEY_COLUMN_NAMES},
+                    "labels": labels[member],
+                }
+            )
+
+        self.shard_seconds = []
+        self.flush_stats = FlushStats()
+        self.cache_stats = CacheStats()
+        seq_parts, label_parts, pred_parts, ts_parts = [], [], [], []
+        failures = []
+        for w, conn in enumerate(self._conns):
+            status, reply = conn.recv()
+            if status != "ok":
+                failures.append(f"worker {w} failed:\n{reply}")
+                continue
+            self.shard_seconds.append(reply["seconds"])
+            self.flush_stats.merge(reply["flush_stats"])
+            if reply["cache_stats"] is not None:
+                self.cache_stats.merge(reply["cache_stats"])
+            seq_parts.append(members[w][reply["seq"]])
+            label_parts.append(reply["flow_label"])
+            pred_parts.append(reply["predicted"])
+            ts_parts.append(reply["ts"])
+        if failures:
+            raise RuntimeError("\n".join(failures))
+
+        seq = np.concatenate(seq_parts)
+        flow_label = np.concatenate(label_parts)
+        predicted = np.concatenate(pred_parts)
+        ts = np.concatenate(ts_parts)
+        decisions = [
+            PacketDecision(
+                flow_label=int(flow_label[i]),
+                predicted=int(predicted[i]),
+                ts=float(ts[i]),
+                seq=int(seq[i]),
+            )
+            for i in np.argsort(seq)
+        ]
+        self.wall_seconds = time.perf_counter() - started
+        return decisions

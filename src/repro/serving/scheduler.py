@@ -7,34 +7,48 @@ the oldest buffered packet has waited ``timeout`` seconds of trace time
 inference servers use. :class:`BatchScheduler` computes those flush points
 for an offline trace replay as half-open index spans.
 
+The scheduler itself is **pure configuration**: every call to :meth:`spans`
+or :meth:`iter_spans` creates a fresh :class:`SpanStream` that owns that
+run's :class:`FlushStats` and (in adaptive mode) the evolving batch size, so
+one scheduler instance can be shared across dispatcher shards and worker
+processes without races or misattributed flush counts.
+
 Usage::
 
     from repro.serving import BatchScheduler
 
     sched = BatchScheduler(batch_size=256, timeout=0.050)
     ts = trace.packet_columns()["ts"]
-    spans = sched.spans(ts)                       # [(0, 256), (256, 311), ...]
+    spans, stats = sched.spans(ts)                # [(0, 256), (256, 311), ...]
     decisions = runtime.process_trace(trace, spans=spans)
 
-Flush points never change *what* is decided — per-flow state evolves the
-same way no matter where the trace is cut (asserted by the serving tests) —
-they only trade batch amortization against decision latency.
+With ``latency_target`` set (wall-clock seconds per batch), consume spans
+lazily through :meth:`iter_spans`: the stream measures how long the consumer
+spent servicing each span and adapts the batch size AIMD-style — halving it
+when a batch overruns the target, doubling it (up to ``max_batch_size``) when
+there is at least 2x headroom. Flush points and batch sizes never change
+*what* is decided — per-flow state evolves the same way no matter where the
+trace is cut (asserted by the serving tests) — they only trade batch
+amortization against decision latency.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass
 
 import numpy as np
 
 
 @dataclass
 class FlushStats:
-    """Why batches were flushed during the last :meth:`BatchScheduler.spans`."""
+    """Why batches were flushed (and resized) during one span stream."""
 
-    full: int = 0        # reached batch_size
+    full: int = 0        # reached the current batch size
     timeout: int = 0     # oldest buffered packet waited `timeout` trace-seconds
     tail: int = 0        # end of trace drained a partial batch
+    grown: int = 0       # adaptive sizing doubled the batch (latency headroom)
+    shrunk: int = 0      # adaptive sizing halved the batch (target overrun)
 
     @property
     def total(self) -> int:
@@ -45,53 +59,124 @@ class FlushStats:
         self.full += other.full
         self.timeout += other.timeout
         self.tail += other.tail
+        self.grown += other.grown
+        self.shrunk += other.shrunk
 
 
-@dataclass
+@dataclass(frozen=True)
 class BatchScheduler:
     """Flush-on-full-or-timeout batch boundaries for trace replay.
 
     ``timeout`` is in *trace time* (seconds between packet timestamps), not
-    wall-clock time; ``None`` disables the timeout so only batch-full and
-    end-of-trace flush.
+    wall-clock time; ``None`` disables it so only batch-full and end-of-trace
+    flush. ``latency_target`` is in *wall-clock* seconds per serviced batch;
+    when set, lazily consumed streams adapt their batch size within
+    ``[min_batch_size, max_batch_size]`` (the latter defaults to
+    ``4 * batch_size``). The instance is frozen — all mutable per-run state
+    lives in the :class:`SpanStream` each call returns.
     """
 
     batch_size: int = 256
     timeout: float | None = None
-    stats: FlushStats = field(default_factory=FlushStats)
+    latency_target: float | None = None
+    min_batch_size: int = 1
+    max_batch_size: int | None = None
 
     def __post_init__(self):
         if self.batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
         if self.timeout is not None and self.timeout < 0:
             raise ValueError(f"timeout must be >= 0, got {self.timeout}")
+        if self.latency_target is not None and self.latency_target < 0:
+            raise ValueError(
+                f"latency_target must be >= 0, got {self.latency_target}")
+        if self.min_batch_size < 1:
+            raise ValueError(
+                f"min_batch_size must be >= 1, got {self.min_batch_size}")
+        if self.max_batch_size is not None and self.max_batch_size < self.batch_size:
+            raise ValueError("max_batch_size must be >= batch_size")
 
-    def spans(self, ts: np.ndarray) -> list[tuple[int, int]]:
-        """Half-open (start, stop) batch spans covering the whole trace.
+    @property
+    def adaptive(self) -> bool:
+        return self.latency_target is not None
 
-        ``ts`` must be the trace's nondecreasing per-packet timestamps.
-        Resets and repopulates ``stats``.
+    @property
+    def effective_max_batch(self) -> int:
+        """Upper bound for adaptive growth (``4 * batch_size`` by default)."""
+        return self.max_batch_size if self.max_batch_size is not None \
+            else 4 * self.batch_size
+
+    def spans(self, ts: np.ndarray) -> tuple[list[tuple[int, int]], FlushStats]:
+        """All (start, stop) spans covering the trace, plus their stats.
+
+        Eager — the whole trace is cut up front, so adaptive sizing sees no
+        service time and only grows; use :meth:`iter_spans` when servicing
+        latency should drive the batch size.
         """
-        ts = np.asarray(ts, dtype=np.float64)
-        n = len(ts)
+        stream = self.iter_spans(ts)
+        return list(stream), stream.stats
+
+    def iter_spans(self, ts: np.ndarray) -> "SpanStream":
+        """A lazy one-shot stream of spans carrying its own stats."""
+        return SpanStream(self, ts)
+
+
+class SpanStream:
+    """One-shot iterator of half-open (start, stop) batch spans.
+
+    Owns the run's :class:`FlushStats` (read ``stream.stats`` after — or
+    during — consumption) and, in adaptive mode, the current batch size: the
+    wall-clock time the consumer spends between successive ``next()`` calls
+    is taken as the previous span's service time and fed to the AIMD
+    controller.
+    """
+
+    def __init__(self, scheduler: BatchScheduler, ts: np.ndarray):
+        self.scheduler = scheduler
         self.stats = FlushStats()
-        out: list[tuple[int, int]] = []
-        i = 0
-        while i < n:
-            stop = min(i + self.batch_size, n)
-            timed_out = False
-            if self.timeout is not None:
-                t_stop = int(np.searchsorted(ts, ts[i] + self.timeout, side="right"))
-                t_stop = max(t_stop, i + 1)
-                if t_stop < stop:
-                    stop = t_stop
-                    timed_out = True
-            if timed_out:
-                self.stats.timeout += 1
-            elif stop - i == self.batch_size:
-                self.stats.full += 1
-            else:
-                self.stats.tail += 1
-            out.append((i, stop))
-            i = stop
-        return out
+        self.batch_size = scheduler.batch_size
+        self._ts = np.asarray(ts, dtype=np.float64)
+        self._n = len(self._ts)
+        self._i = 0
+        self._yielded_at: float | None = None
+
+    def __iter__(self) -> "SpanStream":
+        return self
+
+    def __next__(self) -> tuple[int, int]:
+        sched = self.scheduler
+        if sched.adaptive and self._yielded_at is not None:
+            self._observe(time.perf_counter() - self._yielded_at)
+        if self._i >= self._n:
+            raise StopIteration
+        start = self._i
+        stop = min(start + self.batch_size, self._n)
+        timed_out = False
+        if sched.timeout is not None:
+            t_stop = int(np.searchsorted(
+                self._ts, self._ts[start] + sched.timeout, side="right"))
+            t_stop = max(t_stop, start + 1)
+            if t_stop < stop:
+                stop, timed_out = t_stop, True
+        if timed_out:
+            self.stats.timeout += 1
+        elif stop - start == self.batch_size:
+            self.stats.full += 1
+        else:
+            self.stats.tail += 1
+        self._i = stop
+        if sched.adaptive:
+            self._yielded_at = time.perf_counter()
+        return (start, stop)
+
+    def _observe(self, service_seconds: float) -> None:
+        """AIMD batch resizing from one span's measured service time."""
+        sched = self.scheduler
+        if service_seconds > sched.latency_target:
+            if self.batch_size > sched.min_batch_size:
+                self.batch_size = max(sched.min_batch_size, self.batch_size // 2)
+                self.stats.shrunk += 1
+        elif service_seconds < sched.latency_target / 2:
+            if self.batch_size < sched.effective_max_batch:
+                self.batch_size = min(sched.effective_max_batch, self.batch_size * 2)
+                self.stats.grown += 1

@@ -6,7 +6,7 @@ import pytest
 from repro import nn
 from repro.errors import CompilationError, ShapeError
 from repro.core import (
-    Affine, ElementwiseAffine, MapStep, PrimitiveProgram, SumReduceStep,
+    Affine, MapStep, PrimitiveProgram, SumReduceStep,
     MaterializeConfig, materialize, even_partition, fuse_basic, lower_sequential,
 )
 
@@ -109,7 +109,6 @@ class TestExactTables:
 
 class TestMultiLayer:
     def _two_layer_model(self):
-        rng = np.random.default_rng(7)
         model = nn.Sequential(
             nn.Linear(8, 6, rng=0),
             nn.ReLU(),
@@ -145,4 +144,4 @@ class TestMultiLayer:
         assert compiled.sram_bits() > 0
         assert compiled.tcam_bits() > 0
         assert compiled.bus_bits() > 0
-        assert compiled.num_tables == sum(l.n_lookups for l in compiled.layers)
+        assert compiled.num_tables == sum(layer.n_lookups for layer in compiled.layers)

@@ -4,11 +4,8 @@ import numpy as np
 import pytest
 
 from repro import nn
-from repro.errors import PipelineError, ResourceExceededError
-from repro.core import (
-    PegasusCompiler, CompilerConfig, FuzzyTree, lower_sequential, fuse_basic,
-    materialize, MaterializeConfig,
-)
+from repro.errors import ResourceExceededError
+from repro.core import PegasusCompiler, CompilerConfig, FuzzyTree
 from repro.dataplane import (
     TOFINO2, GENERIC_PISA, TargetConfig, PHVAllocator,
     ternary_entries_for_tree, tcam_lookup, place_model,

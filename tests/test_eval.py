@@ -8,7 +8,7 @@ from repro.eval.metrics import (
     confusion_matrix, macro_f1, macro_precision_recall_f1, roc_curve, auc_score,
 )
 from repro.eval.reporting import render_table
-from repro.eval.runner import prepare_dataset, run_table2, run_table5
+from repro.eval.runner import run_table2, run_table5
 from repro.dataplane.runtime import WindowedClassifierRuntime
 from repro.models import build_model
 from repro.net import make_dataset
@@ -87,6 +87,26 @@ class TestRendering:
         assert lines[0] == "T"
         assert "0.5000" in out
         assert "22" in out
+
+    def test_update_bench_json_merges_sections(self, tmp_path):
+        import json
+
+        from repro.eval.reporting import update_bench_json
+
+        path = tmp_path / "BENCH_serving.json"
+        update_bench_json("batched", {"pps": {256: np.float64(123.5)}},
+                          path=path)
+        update_bench_json("parallel",
+                          {"speedup": np.float64(2.5), "ok": True,
+                           "counts": np.array([1, 2])}, path=path)
+        data = json.loads(path.read_text())
+        assert data["batched"]["pps"]["256"] == 123.5     # str keys, py floats
+        assert data["parallel"] == {"speedup": 2.5, "ok": True,
+                                    "counts": [1, 2]}
+        update_bench_json("batched", {"pps": {}}, path=path)  # overwrite
+        data = json.loads(path.read_text())
+        assert data["batched"] == {"pps": {}}
+        assert data["parallel"]["speedup"] == 2.5         # other section kept
 
 
 class TestWindowedRuntime:

@@ -165,7 +165,6 @@ class TestSyntheticDatasets:
         profiles = dataset_profiles("peerrush")
         p = profiles[0]
         flow = generate_flow(p, rng=0)
-        motif = np.frombuffer(p.motif, dtype=np.uint8)
         found = 0
         for pkt in flow.packets:
             s = pkt.payload.tobytes()

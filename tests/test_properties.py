@@ -9,6 +9,8 @@ These are the load-bearing guarantees of the reproduction:
    entries agree bit-for-bit.
 """
 
+from functools import lru_cache
+
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -90,8 +92,6 @@ class TestMaterializationFidelity:
         ).predict_scores(calib) - want).mean()
         assert err_large <= err_small + 1e-9
 
-
-from functools import lru_cache
 
 
 @lru_cache(maxsize=1)

@@ -1,32 +1,32 @@
-"""Tests for the serving layer: batch scheduling and sharded dispatch."""
+"""Tests for the serving layer: scheduling, sharded dispatch, decision cache."""
 
 import numpy as np
 import pytest
 
 from repro.dataplane.runtime import WindowedClassifierRuntime
+from repro.net.packet import FlowKey, Packet
 from repro.net.traces import Trace
-from repro.serving import BatchScheduler, ShardedDispatcher, shard_hash
+from repro.serving import (BatchScheduler, FlowDecisionCache, ShardedDispatcher,
+                           shard_hash)
 
 
 class TestBatchScheduler:
     def test_spans_partition_trace(self):
         ts = np.linspace(0.0, 1.0, 100)
-        spans = BatchScheduler(batch_size=32).spans(ts)
+        spans, _stats = BatchScheduler(batch_size=32).spans(ts)
         assert spans == [(0, 32), (32, 64), (64, 96), (96, 100)]
 
     def test_flush_on_batch_full(self):
-        sched = BatchScheduler(batch_size=10)
-        sched.spans(np.linspace(0.0, 1.0, 30))
-        assert sched.stats.full == 3
-        assert sched.stats.timeout == 0
+        _spans, stats = BatchScheduler(batch_size=10).spans(np.linspace(0.0, 1.0, 30))
+        assert stats.full == 3
+        assert stats.timeout == 0
 
     def test_flush_on_timeout(self):
         # 0.1 s between packets, 0.25 s timeout: at most 3 packets per batch.
         ts = np.arange(20) * 0.1
-        sched = BatchScheduler(batch_size=256, timeout=0.25)
-        spans = sched.spans(ts)
+        spans, stats = BatchScheduler(batch_size=256, timeout=0.25).spans(ts)
         assert all(stop - start <= 3 for start, stop in spans)
-        assert sched.stats.timeout > 0
+        assert stats.timeout > 0
         # Spans still partition the trace.
         flat = [i for start, stop in spans for i in range(start, stop)]
         assert flat == list(range(20))
@@ -34,14 +34,60 @@ class TestBatchScheduler:
     def test_timeout_always_makes_progress(self):
         # Timeout shorter than any gap: one-packet batches, never stuck.
         ts = np.arange(5) * 1.0
-        spans = BatchScheduler(batch_size=4, timeout=1e-9).spans(ts)
+        spans, _stats = BatchScheduler(batch_size=4, timeout=1e-9).spans(ts)
         assert spans == [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]
+
+    def test_scheduler_is_shareable_config(self):
+        """One scheduler over many streams: stats never cross-contaminate."""
+        sched = BatchScheduler(batch_size=10)
+        _s1, stats1 = sched.spans(np.linspace(0.0, 1.0, 30))
+        _s2, stats2 = sched.spans(np.linspace(0.0, 1.0, 5))
+        assert (stats1.full, stats1.tail) == (3, 0)
+        assert (stats2.full, stats2.tail) == (0, 1)
+        with pytest.raises(AttributeError):
+            sched.batch_size = 11        # frozen: no mutable shared state
+
+    def test_adaptive_grows_to_max_with_headroom(self):
+        # Eager consumption means ~zero measured service time: every span has
+        # 2x headroom, so the batch doubles until max_batch_size.
+        sched = BatchScheduler(batch_size=8, latency_target=10.0,
+                               max_batch_size=32)
+        spans, stats = sched.spans(np.linspace(0.0, 1.0, 200))
+        widths = [stop - start for start, stop in spans]
+        assert widths[0] == 8
+        assert max(widths) == 32
+        assert sorted(widths[:-1]) == widths[:-1]   # non-decreasing growth
+        assert stats.grown == 2 and stats.shrunk == 0
+
+    def test_adaptive_shrinks_to_min_on_overrun(self):
+        # Any positive service time overruns a ~zero latency target: the
+        # batch halves down to min_batch_size.
+        sched = BatchScheduler(batch_size=16, latency_target=1e-15,
+                               min_batch_size=2)
+        stream = sched.iter_spans(np.linspace(0.0, 1.0, 100))
+        widths = [stop - start for start, stop in stream]
+        assert widths[0] == 16
+        assert widths[-2] == 2                       # floor reached and held
+        assert stream.stats.shrunk == 3
+        assert stream.stats.grown == 0
+        assert sum(widths) == 100                    # still a partition
+
+    def test_stream_is_one_shot(self):
+        stream = BatchScheduler(batch_size=50).iter_spans(np.linspace(0, 1, 100))
+        assert list(stream) == [(0, 50), (50, 100)]
+        assert list(stream) == []
 
     def test_invalid_config(self):
         with pytest.raises(ValueError):
             BatchScheduler(batch_size=0)
         with pytest.raises(ValueError):
             BatchScheduler(timeout=-1.0)
+        with pytest.raises(ValueError):
+            BatchScheduler(latency_target=-0.1)
+        with pytest.raises(ValueError):
+            BatchScheduler(min_batch_size=0)
+        with pytest.raises(ValueError):
+            BatchScheduler(batch_size=64, max_batch_size=32)
 
 
 class TestShardedDispatcher:
@@ -67,8 +113,9 @@ class TestShardedDispatcher:
             compiled16, feature_mode="stats").process_flows_scalar(replay_flows)
         disp = self._dispatcher(compiled16, 3, timeout=0.01)
         assert disp.serve_flows(replay_flows) == ref
-        # flush_stats aggregates over all shards, not just the last one.
-        assert disp.flush_stats.total >= disp.scheduler.stats.total > 0
+        # flush_stats aggregates every shard's own span stream.
+        assert disp.flush_stats.total >= 3
+        assert disp.flush_stats.tail >= 3     # each shard drains a tail batch
 
     def test_flows_pinned_to_one_shard(self, compiled16, replay_flows):
         disp = self._dispatcher(compiled16, 4)
@@ -89,7 +136,6 @@ class TestShardedDispatcher:
         assert seqs == sorted(seqs)
 
     def test_shard_hash_deterministic(self):
-        from repro.net.packet import FlowKey
         key = FlowKey(0x0A000001, 0x0A000002, 443, 51234, 6)
         assert shard_hash(key) == shard_hash(FlowKey(*key))
         assert shard_hash(key) != shard_hash(key.reversed())
@@ -97,3 +143,97 @@ class TestShardedDispatcher:
     def test_invalid_shards(self):
         with pytest.raises(ValueError):
             ShardedDispatcher(runtime_factory=lambda: None, n_shards=0)
+
+
+def constant_rate_flow(n_packets=60, length=200, ipd=0.001, port=40000, ts0=0.0):
+    """One flow whose every window repeats: the elephant the cache targets."""
+    key = FlowKey(0x0A000001, 0x0A000002, port, 443, 6)
+    return Trace([Packet(ts=ts0 + i * ipd, length=length, key=key)
+                  for i in range(n_packets)])
+
+
+class TestFlowDecisionCache:
+    def test_lru_eviction_order(self):
+        cache = FlowDecisionCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1      # refreshes "a": "b" is now LRU
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+        assert cache.stats.evictions == 1
+        assert len(cache) == 2
+
+    def test_hit_miss_stats_and_rate(self):
+        cache = FlowDecisionCache(capacity=8)
+        assert cache.stats.hit_rate == 0.0
+        assert cache.get("x") is None
+        cache.put("x", 7)
+        assert cache.get("x") == 7
+        assert (cache.stats.hits, cache.stats.misses) == (1, 1)
+        assert cache.stats.hit_rate == 0.5
+
+    def test_put_existing_refreshes(self):
+        cache = FlowDecisionCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 9)               # refresh, not insert: no eviction
+        cache.put("c", 3)               # evicts "b", the LRU
+        assert cache.get("a") == 9
+        assert cache.get("b") is None
+        assert cache.stats.evictions == 1
+
+    def test_clear_keeps_counters(self):
+        cache = FlowDecisionCache(capacity=4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.hits == 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            FlowDecisionCache(capacity=0)
+
+    def test_cache_never_changes_decisions(self, compiled16, replay_flows):
+        ref = WindowedClassifierRuntime(
+            compiled16, feature_mode="stats").process_flows(replay_flows)
+        cache = FlowDecisionCache(capacity=4096)
+        got = WindowedClassifierRuntime(
+            compiled16, feature_mode="stats",
+            decision_cache=cache).process_flows(replay_flows)
+        assert got == ref
+        assert cache.stats.lookups == len(ref)
+
+    def test_elephant_flow_hits(self, compiled16):
+        """A constant-rate flow repeats its window: all but one lookup hit."""
+        trace = constant_rate_flow(n_packets=60)
+        cache = FlowDecisionCache(capacity=64)
+        runtime = WindowedClassifierRuntime(
+            compiled16, feature_mode="stats", batch_size=16,
+            decision_cache=cache)
+        decisions = runtime.process_trace(trace)
+        assert len(decisions) == 60 - (runtime.window - 1)
+        # Window 8 warms after 7 packets; after that the flow cycles through
+        # a handful of distinct windows (the 64 us timestamp quantization
+        # alternates 15/16-unit IPDs), each missing once — everything else
+        # hits.
+        assert cache.stats.misses <= 10
+        assert cache.stats.hit_rate > 0.8
+
+    def test_scalar_and_batched_share_cache_layout(self, compiled16):
+        """Scalar replay primes the cache; batched replay hits it."""
+        trace = constant_rate_flow(n_packets=40)
+        cache = FlowDecisionCache(capacity=64)
+        scalar_rt = WindowedClassifierRuntime(
+            compiled16, feature_mode="stats", decision_cache=cache)
+        ref = [scalar_rt.process_packet(p, -1) for p in trace.packets]
+        ref = [d for d in ref if d is not None]
+        primed_misses = cache.stats.misses
+        batched_rt = WindowedClassifierRuntime(
+            compiled16, feature_mode="stats", batch_size=16,
+            decision_cache=cache)
+        got = batched_rt.process_trace(trace)
+        assert [(d.predicted, d.ts) for d in got] == \
+            [(d.predicted, d.ts) for d in ref]
+        assert cache.stats.misses == primed_misses   # zero new misses

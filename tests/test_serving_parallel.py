@@ -1,0 +1,285 @@
+"""Serial/parallel serving equivalence and the columnar IPC surfaces.
+
+The contract: :class:`ParallelDispatcher` decisions are bit-identical to
+:class:`ShardedDispatcher` with the same shard count — and, when register
+capacity does not bind, to unsharded per-packet replay — for any worker
+count, with or without the flow-decision cache, including under
+register-eviction churn.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dataplane.runtime import (TwoStageRuntime,
+                                     WindowedClassifierRuntime, flows_to_trace)
+from repro.net.traces import Trace, canonicalize_key_columns, keys_from_columns
+from repro.serving import (BatchScheduler, FlowDecisionCache,
+                           ParallelDispatcher, ShardedDispatcher, shard_hash,
+                           shard_hash_columns)
+from repro.serving.parallel import serve_shard, worker_main
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _factory(compiled16, cached, capacity=1_000_000):
+    def build():
+        cache = FlowDecisionCache(capacity=4096) if cached else None
+        return WindowedClassifierRuntime(
+            compiled16, feature_mode="stats", batch_size=32,
+            capacity=capacity, decision_cache=cache)
+    return build
+
+
+class TestColumnarViews:
+    def test_to_from_columns_round_trip(self, replay_flows):
+        trace = Trace.from_flows(replay_flows)
+        rebuilt = Trace.from_columns(trace.to_columns())
+        assert len(rebuilt) == len(trace)
+        for orig, back in zip(trace.packets, rebuilt.packets):
+            assert (back.ts, back.length, back.key) == \
+                (orig.ts, orig.length, orig.key)
+
+    def test_payload_column_round_trip(self, replay_flows):
+        trace = Trace.from_flows(replay_flows)
+        cols = trace.to_columns(payload_bytes=60)
+        assert cols["payload"].shape == (len(trace), 60)
+        rebuilt = Trace.from_columns(cols)
+        np.testing.assert_array_equal(rebuilt.payload_matrix(60),
+                                      trace.payload_matrix(60))
+
+    def test_canonical_key_columns_match_scalar(self, replay_flows):
+        trace = Trace.from_flows(replay_flows)
+        assert keys_from_columns(trace.canonical_key_columns()) == \
+            trace.canonical_keys()
+
+    def test_canonicalize_swaps_consistently(self):
+        cols = {"src_ip": np.array([9, 1, 5]), "dst_ip": np.array([2, 8, 5]),
+                "src_port": np.array([7, 7, 9]), "dst_port": np.array([3, 3, 4]),
+                "proto": np.array([6, 6, 17])}
+        canon = canonicalize_key_columns(cols)
+        assert canon["src_ip"].tolist() == [2, 1, 5]
+        assert canon["src_port"].tolist() == [3, 7, 4]
+        assert canon["proto"].tolist() == [6, 6, 17]
+
+    def test_shard_hash_columns_bit_identical(self, replay_flows):
+        trace = Trace.from_flows(replay_flows)
+        vec = shard_hash_columns(trace.canonical_key_columns())
+        assert [int(h) for h in vec] == \
+            [shard_hash(k) for k in trace.canonical_keys()]
+
+
+class TestProcessColumns:
+    def test_windowed_columns_match_trace(self, compiled16, replay_flows):
+        trace, keys, labels = flows_to_trace(replay_flows)
+        ref = WindowedClassifierRuntime(
+            compiled16, feature_mode="stats",
+            batch_size=32).process_trace(trace, labels=labels, keys=keys)
+        cols = trace.to_columns()
+        got = WindowedClassifierRuntime(
+            compiled16, feature_mode="stats", batch_size=32).process_columns(
+                {"ts": cols["ts"], "length": cols["length"]}, keys,
+                labels=labels)
+        assert got == ref
+
+    def test_two_stage_columns_match_trace(self, replay_flows):
+        from repro.core.fuzzy import FuzzyTree
+        rng = np.random.default_rng(2)
+        tree = FuzzyTree.fit(rng.uniform(0, 255, size=(300, 60)), n_leaves=16)
+        slot_values = [rng.integers(-50, 50, size=(16, 3)) for _ in range(8)]
+        trace, keys, labels = flows_to_trace(replay_flows)
+        ref = TwoStageRuntime(
+            tree, slot_values, n_classes=3, idx_bits=4,
+            batch_size=32).process_trace(trace, labels=labels, keys=keys)
+        assert ref
+        cols = trace.to_columns(payload_bytes=60)
+        got = TwoStageRuntime(
+            tree, slot_values, n_classes=3, idx_bits=4,
+            batch_size=32).process_columns(
+                {"ts": cols["ts"], "payload": cols["payload"]}, keys,
+                labels=labels)
+        assert got == ref
+
+    def test_missing_columns_rejected(self, compiled16, replay_flows):
+        trace, keys, _labels = flows_to_trace(replay_flows)
+        runtime = WindowedClassifierRuntime(compiled16, feature_mode="stats")
+        with pytest.raises(ValueError, match="missing replay columns"):
+            runtime.process_columns({"ts": trace.packet_columns()["ts"]}, keys)
+        with pytest.raises(ValueError, match="keys for"):
+            runtime.process_columns(trace.to_columns(), keys[:-1])
+
+
+class TestParallelEquivalence:
+    @pytest.mark.parametrize("n_workers", WORKER_COUNTS)
+    @pytest.mark.parametrize("cached", [False, True])
+    def test_bit_identical_to_serial_and_unsharded(self, compiled16,
+                                                   replay_flows, n_workers,
+                                                   cached):
+        scalar_ref = WindowedClassifierRuntime(
+            compiled16, feature_mode="stats").process_flows_scalar(replay_flows)
+        assert scalar_ref
+        serial = ShardedDispatcher(
+            runtime_factory=_factory(compiled16, cached),
+            n_shards=n_workers, scheduler=BatchScheduler(batch_size=32))
+        serial_ref = serial.serve_flows(replay_flows)
+        assert serial_ref == scalar_ref      # ample capacity: sharding exact
+        with ParallelDispatcher(
+                runtime_factory=_factory(compiled16, cached),
+                n_workers=n_workers,
+                scheduler=BatchScheduler(batch_size=32)) as dispatcher:
+            got = dispatcher.serve_flows(replay_flows)
+        assert got == serial_ref
+        if cached:
+            assert dispatcher.cache_stats.lookups == len(scalar_ref)
+            assert dispatcher.cache_stats.lookups == \
+                serial.cache_stats.lookups
+
+    @pytest.mark.parametrize("n_workers", (2, 4))
+    @pytest.mark.parametrize("cached", [False, True])
+    def test_bit_identical_under_eviction_churn(self, compiled16,
+                                                replay_flows, n_workers,
+                                                cached):
+        """Tiny per-replica register capacity: FIFO eviction churns, the
+        parallel decisions still match the serial dispatcher exactly."""
+        serial = ShardedDispatcher(
+            runtime_factory=_factory(compiled16, cached, capacity=4),
+            n_shards=n_workers, scheduler=BatchScheduler(batch_size=32))
+        serial_ref = serial.serve_flows(replay_flows)
+        assert sum(rt.state.evictions for rt in serial.runtimes) > 0
+        with ParallelDispatcher(
+                runtime_factory=_factory(compiled16, cached, capacity=4),
+                n_workers=n_workers,
+                scheduler=BatchScheduler(batch_size=32)) as dispatcher:
+            assert dispatcher.serve_flows(replay_flows) == serial_ref
+
+    @pytest.mark.parametrize("capacity", (4, 1_000_000))
+    def test_cache_never_changes_parallel_decisions(self, compiled16,
+                                                    replay_flows, capacity):
+        def serve(cached):
+            with ParallelDispatcher(
+                    runtime_factory=_factory(compiled16, cached,
+                                             capacity=capacity),
+                    n_workers=2,
+                    scheduler=BatchScheduler(batch_size=32)) as dispatcher:
+                return dispatcher.serve_flows(replay_flows)
+        assert serve(True) == serve(False)
+
+    def test_replica_state_persists_across_serves(self, compiled16,
+                                                  replay_flows):
+        """Workers keep register state between serve calls, exactly like the
+        serial dispatcher's long-lived replicas."""
+        serial = ShardedDispatcher(
+            runtime_factory=_factory(compiled16, False), n_shards=2,
+            scheduler=BatchScheduler(batch_size=32))
+        with ParallelDispatcher(
+                runtime_factory=_factory(compiled16, False), n_workers=2,
+                scheduler=BatchScheduler(batch_size=32)) as dispatcher:
+            first = dispatcher.serve_flows(replay_flows)
+            second = dispatcher.serve_flows(replay_flows)
+        assert first == serial.serve_flows(replay_flows)
+        assert second == serial.serve_flows(replay_flows)
+        # Warm windows decide from the first packet: more decisions.
+        assert len(second) > len(first)
+
+
+class TestParallelDispatcherMechanics:
+    def test_telemetry_populated(self, compiled16, replay_flows):
+        with ParallelDispatcher(
+                runtime_factory=_factory(compiled16, True), n_workers=3,
+                scheduler=BatchScheduler(batch_size=32)) as dispatcher:
+            decisions = dispatcher.serve_flows(replay_flows)
+            assert decisions
+            assert dispatcher.wall_seconds > 0
+            assert len(dispatcher.shard_seconds) == 3
+            assert dispatcher.flush_stats.total >= 3
+            assert dispatcher.cache_stats.lookups == len(decisions)
+
+    def test_serve_trace_without_labels(self, compiled16, replay_flows):
+        with ParallelDispatcher(
+                runtime_factory=_factory(compiled16, False),
+                n_workers=2) as dispatcher:
+            decisions = dispatcher.serve_trace(Trace.from_flows(replay_flows))
+        assert decisions
+        assert all(d.flow_label == -1 for d in decisions)
+        seqs = [d.seq for d in decisions]
+        assert seqs == sorted(seqs)
+
+    def test_close_then_serve_restarts_cold(self, compiled16, replay_flows):
+        dispatcher = ParallelDispatcher(
+            runtime_factory=_factory(compiled16, False), n_workers=2)
+        first = dispatcher.serve_flows(replay_flows)
+        dispatcher.close()
+        assert not dispatcher.started
+        assert dispatcher.serve_flows(replay_flows) == first   # cold again
+        dispatcher.close()
+        dispatcher.close()                                     # idempotent
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            ParallelDispatcher(runtime_factory=lambda: None, n_workers=0)
+
+    def test_serve_shard_in_process(self, compiled16, replay_flows):
+        """The worker-side shard replay, driven without a process."""
+        trace, keys, labels = flows_to_trace(replay_flows)
+        ref = WindowedClassifierRuntime(
+            compiled16, feature_mode="stats",
+            batch_size=32).process_trace(trace, labels=labels, keys=keys)
+        cols = trace.to_columns()
+        shard = {
+            "cols": {"ts": cols["ts"], "length": cols["length"]},
+            "keys": trace.canonical_key_columns(),
+            "labels": labels,
+        }
+        runtime = WindowedClassifierRuntime(
+            compiled16, feature_mode="stats", batch_size=32,
+            decision_cache=FlowDecisionCache(1024))
+        reply = serve_shard(runtime, shard, BatchScheduler(batch_size=32))
+        assert reply["seq"].tolist() == [d.seq for d in ref]
+        assert reply["predicted"].tolist() == [d.predicted for d in ref]
+        assert reply["seconds"] > 0
+        assert reply["flush_stats"].total > 0
+        assert reply["cache_stats"].lookups == len(ref)
+
+    def test_worker_main_in_process(self, compiled16, replay_flows):
+        """The worker loop against a scripted in-process connection."""
+        trace, keys, labels = flows_to_trace(replay_flows)
+        cols = trace.to_columns()
+        good = {
+            "cols": {"ts": cols["ts"], "length": cols["length"]},
+            "keys": trace.canonical_key_columns(),
+            "labels": labels,
+        }
+        bad = {"cols": {"ts": cols["ts"]},    # missing the length column
+               "keys": trace.canonical_key_columns(), "labels": labels}
+
+        class FakeConn:
+            def __init__(self, inbox):
+                self.inbox = list(inbox)
+                self.sent = []
+                self.closed = False
+
+            def recv(self):
+                return self.inbox.pop(0)
+
+            def send(self, msg):
+                self.sent.append(msg)
+
+            def close(self):
+                self.closed = True
+
+        conn = FakeConn([good, bad, None])
+        worker_main(conn, _factory(compiled16, False), None)
+        assert conn.closed
+        (ok, reply), (err, detail) = conn.sent
+        assert ok == "ok" and len(reply["seq"]) > 0
+        assert err == "error" and "missing replay columns" in detail
+
+    def test_worker_failure_surfaces_in_parent(self, compiled16, replay_flows):
+        def broken_factory():
+            raise RuntimeError("replica build exploded")
+        dispatcher = ParallelDispatcher(runtime_factory=broken_factory,
+                                        n_workers=2)
+        try:
+            with pytest.raises(RuntimeError, match="replica build exploded"):
+                dispatcher.serve_flows(replay_flows)
+        finally:
+            dispatcher.close()
