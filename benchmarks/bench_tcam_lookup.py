@@ -1,0 +1,46 @@
+"""TCAM-vs-index lookup throughput: what hardware-faithful emulation costs.
+
+``lookup_backend="tcam"`` answers every fuzzy segment table through the
+vectorized prioritized-TCAM engine — the packed (value, mask, priority)
+entries the switch would actually hold — instead of walking the clustering
+tree. This bench measures both backends at the model level (``forward_int``
+rows/sec on one large batch) and end to end (serving pps on the Figure-8
+mix), asserts the decision streams are bit-identical, and records the
+numbers in the ``tcam`` section of ``BENCH_serving.json`` so the trajectory
+artifact tracks the fidelity path's cost alongside the fast path's wins.
+"""
+
+from repro.eval.reporting import render_table, update_bench_json
+from repro.eval.runner import run_tcam_throughput
+
+
+def _run(scale):
+    return run_tcam_throughput(flows_per_class=scale["flows_per_class"],
+                               seed=scale["seed"])
+
+
+def test_tcam_lookup_throughput(benchmark, bench_scale):
+    res = benchmark.pedantic(_run, args=(bench_scale,), rounds=1, iterations=1)
+    rows = [[backend, res["model_rows_per_s"][backend],
+             res["serving_pps"][backend], res["decisions"]]
+            for backend in ("index", "tcam")]
+    print()
+    print(render_table(
+        ["backend", "model_rows/s", "serving_pps", "decisions"], rows,
+        title=f"TCAM vs index lookups — {res['n_packets']} packets, "
+              f"{res['tcam_tables']} fuzzy tables / "
+              f"{res['tcam_entries_total']} TCAM entries, "
+              f"tcam slowdown {res['serving_slowdown_tcam']:.2f}x"))
+
+    update_bench_json("tcam", {
+        "n_packets": res["n_packets"],
+        "tcam_entries_total": res["tcam_entries_total"],
+        "model_rows_per_s": res["model_rows_per_s"],
+        "serving_pps": res["serving_pps"],
+        "serving_slowdown_tcam": res["serving_slowdown_tcam"],
+        "matches_index": res["matches_index"],
+    })
+
+    # Fidelity is the point: the emulated TCAM may be slower, never different.
+    assert res["matches_index"]
+    assert res["decisions"] > 0

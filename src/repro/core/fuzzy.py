@@ -175,8 +175,13 @@ class FuzzyTree:
     def leaf_boxes(self, lo: float = 0.0, hi: float = 255.0) -> list[list[tuple[float, float]]]:
         """Per-leaf axis-aligned boxes [ (lo, hi) per dim ], inclusive bounds.
 
-        Box of leaf i is the region of input space routed to fuzzy index i,
-        needed to encode the tree as TCAM range rules.
+        Box of leaf i is the region of *integer* input space routed to fuzzy
+        index i, needed to encode the tree as TCAM range rules: an integer
+        key fails ``x <= t`` exactly when ``x >= floor(t) + 1``, so the right
+        child's lower bound is ``floor(t) + 1`` (for the integer thresholds
+        ``fit`` produces this equals ``t + 1``; for non-integer thresholds —
+        trees fitted on float data — ``t + 1`` would leave the integers in
+        ``(t, t + 1)`` covered by no box).
         """
         boxes: list[list[tuple[float, float]] | None] = [None] * self.n_leaves
         start = [(lo, hi)] * self.dim
@@ -189,7 +194,8 @@ class FuzzyTree:
             left_bounds = list(bounds)
             left_bounds[f] = (bounds[f][0], min(bounds[f][1], t))
             right_bounds = list(bounds)
-            right_bounds[f] = (max(bounds[f][0], t + 1), bounds[f][1])
+            right_bounds[f] = (max(bounds[f][0], float(np.floor(t)) + 1),
+                               bounds[f][1])
             walk(node.left, left_bounds)
             walk(node.right, right_bounds)
 

@@ -21,6 +21,22 @@ from repro.core.primitives import MapStep, PrimitiveProgram, SumReduceStep
 from repro.utils.fixed_point import QFormat, choose_qformat
 
 
+# Lookup execution backends of a compiled model. "index" answers every table
+# by exact fancy indexing (exact tables) / tree walk (fuzzy tables); "tcam"
+# answers fuzzy tables through the vectorized prioritized-TCAM emulation in
+# :mod:`repro.dataplane.tcam` — bit-identical by construction, but executing
+# the very (value, mask, priority) entries the hardware would hold. Exact
+# tables are direct-indexed SRAM on the switch too, so both backends index
+# them.
+LOOKUP_BACKENDS = ("index", "tcam")
+
+
+def _check_backend(lookup_backend: str) -> None:
+    if lookup_backend not in LOOKUP_BACKENDS:
+        raise ValueError(f"unknown lookup_backend {lookup_backend!r}; "
+                         f"expected one of {LOOKUP_BACKENDS}")
+
+
 @dataclass
 class MaterializeConfig:
     """Knobs for table construction."""
@@ -43,6 +59,9 @@ class SegmentTable:
     in_signed: bool = False      # signed keys use excess-K TCAM encoding
     tree: FuzzyTree | None = None
     exact_lo: int = 0            # exact tables index by (x - exact_lo)
+    # Lazily compiled TCAM form of a fuzzy table (repro.dataplane.tcam),
+    # cached so serving pays compilation once per table, not per batch.
+    _tcam: object = field(default=None, init=False, repr=False, compare=False)
 
     @property
     def out_dim(self) -> int:
@@ -52,13 +71,31 @@ class SegmentTable:
     def n_entries(self) -> int:
         return self.values_int.shape[0]
 
-    def lookup(self, x_seg: np.ndarray) -> np.ndarray:
+    def lookup(self, x_seg: np.ndarray,
+               lookup_backend: str = "index") -> np.ndarray:
         """Table lookup for a batch of integer segment inputs (N, d)."""
+        _check_backend(lookup_backend)
         if self.kind == "exact":
+            # Direct-indexed SRAM on the hardware under either backend.
             idx = np.clip(x_seg[:, 0] - self.exact_lo, 0, self.n_entries - 1)
             return self.values_int[idx.astype(np.int64)]
         assert self.tree is not None
+        if lookup_backend == "tcam":
+            return self.values_int[self.tcam_indices(x_seg)]
         return self.values_int[self.tree.predict_index(x_seg)]
+
+    def tcam_segment(self):
+        """The cached prioritized-TCAM form of this (fuzzy) table."""
+        if self._tcam is None:
+            # Imported lazily: core stays importable without the dataplane.
+            from repro.dataplane.tcam import compile_segment_table
+            self._tcam = compile_segment_table(self)
+        return self._tcam
+
+    def tcam_indices(self, x_seg: np.ndarray) -> np.ndarray:
+        """Fuzzy indices via masked-compare TCAM emulation (bit-identical
+        to :meth:`fuzzy_indices` for the integer keys the dataplane sees)."""
+        return self.tcam_segment().lookup_indices(x_seg)
 
     def fuzzy_indices(self, x_seg: np.ndarray) -> np.ndarray:
         """The raw fuzzy index (used when per-flow state stores indexes)."""
@@ -104,9 +141,11 @@ class LookupLayer:
     def in_dim(self) -> int:
         return max(t.segment[1] for t in self.tables)
 
-    def forward_int(self, x_int: np.ndarray) -> np.ndarray:
+    def forward_int(self, x_int: np.ndarray,
+                    lookup_backend: str = "index") -> np.ndarray:
         """Integer-domain forward pass (bit-exact with the switch pipeline)."""
-        outs = [t.lookup(x_int[:, t.segment[0]:t.segment[1]]) for t in self.tables]
+        outs = [t.lookup(x_int[:, t.segment[0]:t.segment[1]],
+                         lookup_backend=lookup_backend) for t in self.tables]
         if self.sum_reduce:
             acc = np.zeros_like(outs[0], dtype=np.int64)
             for o in outs:
@@ -142,7 +181,8 @@ class CompiledModel:
     def out_format(self) -> QFormat:
         return self.layers[-1].out_format
 
-    def forward_int(self, x_int: np.ndarray) -> np.ndarray:
+    def forward_int(self, x_int: np.ndarray,
+                    lookup_backend: str = "index") -> np.ndarray:
         """Integer forward pass over a batch of any size.
 
         Every op is a table gather or a saturating integer add, so results
@@ -150,7 +190,15 @@ class CompiledModel:
         to evaluating them one at a time — the property that lets the
         batched runtimes replace per-packet calls with one call per batch.
         The empty batch (0, input_dim) is explicitly supported.
+
+        ``lookup_backend`` selects how fuzzy tables are answered: ``"index"``
+        walks the clustering tree; ``"tcam"`` runs the vectorized
+        prioritized-TCAM emulation (:mod:`repro.dataplane.tcam`) over the
+        packed (value, mask, priority) entries the switch would hold. The
+        two are bit-identical for every integer input (asserted by
+        ``tests/test_dataplane_tcam.py``).
         """
+        _check_backend(lookup_backend)
         x = np.asarray(x_int, dtype=np.int64)
         if x.ndim == 1:
             x = x[None, :]
@@ -162,16 +210,20 @@ class CompiledModel:
             out_dim = self.layers[-1].out_dim if self.layers else self.input_dim
             return np.zeros((0, out_dim), dtype=np.int64)
         for layer in self.layers:
-            x = layer.forward_int(x)
+            x = layer.forward_int(x, lookup_backend=lookup_backend)
         return x
 
-    def predict_scores(self, x_int: np.ndarray) -> np.ndarray:
+    def predict_scores(self, x_int: np.ndarray,
+                       lookup_backend: str = "index") -> np.ndarray:
         """Dequantized final-layer scores."""
-        return self.out_format.dequantize(self.forward_int(x_int))
+        return self.out_format.dequantize(
+            self.forward_int(x_int, lookup_backend=lookup_backend))
 
-    def predict(self, x_int: np.ndarray) -> np.ndarray:
+    def predict(self, x_int: np.ndarray,
+                lookup_backend: str = "index") -> np.ndarray:
         """Argmax class decision, as the switch's final compare tree does."""
-        return np.argmax(self.forward_int(x_int), axis=1)
+        return np.argmax(self.forward_int(x_int, lookup_backend=lookup_backend),
+                         axis=1)
 
     @property
     def num_lookup_rounds(self) -> int:

@@ -11,6 +11,8 @@ number of concurrent flows.
 from repro.dataplane.target import TargetConfig, TOFINO2, GENERIC_PISA
 from repro.dataplane.phv import PHVAllocator, PHVField
 from repro.dataplane.tables import TernaryTableEntry, ternary_entries_for_tree, tcam_lookup
+from repro.dataplane.tcam import (PackedTernaryTable, TcamSegment,
+                                  compile_segment_table, tcam_table_report)
 from repro.dataplane.pipeline import Pipeline, place_model, TablePlacement, StageBudget
 from repro.dataplane.registers import (FlowStateTable, FlowStateLayout,
                                        RegisterField, VectorFlowState)
@@ -28,6 +30,10 @@ __all__ = [
     "TernaryTableEntry",
     "ternary_entries_for_tree",
     "tcam_lookup",
+    "PackedTernaryTable",
+    "TcamSegment",
+    "compile_segment_table",
+    "tcam_table_report",
     "Pipeline",
     "place_model",
     "TablePlacement",

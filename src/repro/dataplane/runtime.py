@@ -63,7 +63,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.fuzzy import FuzzyTree
-from repro.core.mapping import CompiledModel
+from repro.core.mapping import CompiledModel, _check_backend
 from repro.net.features import (length_bucket, ipd_bucket, stats_from_buckets,
                                 length_bucket_array, ipd_bucket_array)
 from repro.net.flow import Flow
@@ -181,6 +181,22 @@ class _BatchedReplayMixin:
     """
 
     required_columns: tuple[str, ...] = ("ts",)
+
+    def set_lookup_backend(self, lookup_backend: str) -> None:
+        """Switch the model-lookup execution backend, with validation.
+
+        The dispatchers use this to propagate their ``lookup_backend`` onto
+        factory-built replicas; it is safe to call between serves (the
+        backends are bit-identical, so flow state carries over unchanged).
+        """
+        _check_backend(lookup_backend)
+        if lookup_backend != "index":
+            self._enable_tcam()
+        self.lookup_backend = lookup_backend
+
+    def _enable_tcam(self) -> None:
+        """Subclass hook: validate the TCAM backend applies and compile its
+        tables eagerly, so the first serve measures lookups, not compilation."""
 
     def process_flows(self, flows: list[Flow], batch_size: int | None = None
                       ) -> list[PacketDecision]:
@@ -316,6 +332,8 @@ class _BatchedReplayMixin:
         bit-identical either way, because the model's decision is a pure
         function of the window.
         """
+        from repro.serving.cache import PENDING
+
         n_ready = len(ready_rows)
         cache = self.decision_cache
         if cache is None:
@@ -324,31 +342,44 @@ class _BatchedReplayMixin:
         preds = np.empty(n_ready, dtype=np.int64)
         row_bytes = windows.shape[1] * windows.dtype.itemsize
         packed = np.ascontiguousarray(windows).tobytes()
+        # The cache is driven in ready-row order, replaying exactly the
+        # get/put sequence the scalar path would issue: a miss immediately
+        # reserves its slot with a PENDING placeholder (the model's one
+        # batched invocation fills the value afterwards), so in-batch window
+        # repeats hit — or, when LRU eviction removed the placeholder within
+        # this very flush, miss — precisely when the scalar replay's would.
+        # Keeps hits + misses == lookups and the whole stat/eviction stream
+        # bit-identical to per-packet replay, not just the decisions.
         miss_rows: dict[tuple, list[int]] = {}
-        for r in range(n_ready):
-            lo = r * row_bytes
-            ck = (keys[int(ready_rows[r])], packed[lo:lo + row_bytes])
-            repeat = miss_rows.get(ck)
-            if repeat is not None:
-                # In-batch duplicate of a missed window (elephants repeat
-                # theirs every packet): the scalar path would hit the entry
-                # the first miss inserts, so count it a hit and fan the one
-                # prediction out instead of re-invoking the model.
-                repeat.append(r)
-                cache.stats.hits += 1
-                continue
-            hit = cache.get(ck)
-            if hit is None:
-                miss_rows[ck] = [r]
-            else:
-                preds[r] = hit
-        if miss_rows:
-            first = np.asarray([rows[0] for rows in miss_rows.values()],
-                               dtype=np.int64)
-            got = np.asarray(predict_rows(first), dtype=np.int64)
-            for k, (ck, rows) in enumerate(miss_rows.items()):
-                preds[rows] = got[k]
-                cache.put(ck, int(got[k]))
+        try:
+            for r in range(n_ready):
+                lo = r * row_bytes
+                ck = (keys[int(ready_rows[r])], packed[lo:lo + row_bytes])
+                got = cache.get(ck)
+                if got is None:
+                    miss_rows.setdefault(ck, []).append(r)
+                    cache.put(ck, PENDING)
+                elif got is PENDING:
+                    # Hit on a window first missed earlier in this flush (an
+                    # elephant repeating its window): stats already counted
+                    # the hit; fan the pending prediction out to this row too.
+                    miss_rows.setdefault(ck, []).append(r)
+                else:
+                    preds[r] = got
+            if miss_rows:
+                first = np.asarray([rows[0] for rows in miss_rows.values()],
+                                   dtype=np.int64)
+                got = np.asarray(predict_rows(first), dtype=np.int64)
+        except BaseException:
+            # A failed model invocation must not strand placeholders: a
+            # stale PENDING would later be handed out as a decision (scalar
+            # path) or mistaken for an in-flush repeat (batched path).
+            for ck in miss_rows:
+                cache.discard_pending(ck)
+            raise
+        for k, (ck, rows) in enumerate(miss_rows.items()):
+            preds[rows] = got[k]
+            cache.fill(ck, int(got[k]))
         return preds
 
 
@@ -363,6 +394,9 @@ class WindowedClassifierRuntime(_BatchedReplayMixin):
     (136 bits/flow at the default window of 8) and eviction behavior.
     ``decision_cache`` (a :class:`repro.serving.FlowDecisionCache`) makes
     repeating windows of already-classified flows skip the model entirely.
+    ``lookup_backend`` selects how a :class:`CompiledModel`'s fuzzy tables
+    are answered — ``"index"`` (tree walk) or ``"tcam"`` (vectorized
+    prioritized-TCAM emulation); both are bit-identical.
     """
 
     model: CompiledModel
@@ -371,6 +405,7 @@ class WindowedClassifierRuntime(_BatchedReplayMixin):
     capacity: int = 1_000_000
     batch_size: int = DEFAULT_BATCH_SIZE
     decision_cache: object = None
+    lookup_backend: str = "index"
     state: VectorFlowState = field(init=False)
 
     required_columns = ("ts", "length")
@@ -378,6 +413,7 @@ class WindowedClassifierRuntime(_BatchedReplayMixin):
     def __post_init__(self):
         if self.feature_mode not in ("seq", "stats"):
             raise ValueError(f"unknown feature mode {self.feature_mode!r}")
+        self.set_lookup_backend(self.lookup_backend)
         hist = self.window - 1
         layout = FlowStateLayout(fields=[
             RegisterField("prev_ts", 16),
@@ -386,6 +422,19 @@ class WindowedClassifierRuntime(_BatchedReplayMixin):
             RegisterField("ipd_hist", 8, count=hist),
         ])
         self.state = VectorFlowState(layout, capacity=self.capacity)
+
+    def _enable_tcam(self) -> None:
+        if not isinstance(self.model, CompiledModel):
+            raise ValueError(
+                "lookup_backend='tcam' requires a CompiledModel; a placed "
+                "Pipeline executes its own table layout")
+        from repro.dataplane.tcam import tcam_table_report
+        tcam_table_report(self.model)   # compile + cache every fuzzy table
+
+    def _model_predict(self, x: np.ndarray) -> np.ndarray:
+        if self.lookup_backend == "index":
+            return self.model.predict(x)
+        return self.model.predict(x, lookup_backend=self.lookup_backend)
 
     @property
     def bits_per_flow(self) -> int:
@@ -440,7 +489,7 @@ class WindowedClassifierRuntime(_BatchedReplayMixin):
                 pred = self.decision_cache.get(ck)
             if pred is None:
                 x = self._features(lens, ipds)[None, :]
-                pred = int(self.model.predict(x)[0])
+                pred = int(self._model_predict(x)[0])
                 if self.decision_cache is not None:
                     self.decision_cache.put(ck, pred)
             decision = PacketDecision(flow_label=flow_label, predicted=int(pred),
@@ -484,7 +533,7 @@ class WindowedClassifierRuntime(_BatchedReplayMixin):
                                      axis=1).astype(np.uint8)
             preds = self._predict_ready(
                 keys, ready_rows, windows,
-                lambda rows: self.model.predict(
+                lambda rows: self._model_predict(
                     self._features_batch(ready_len[rows], ready_ipd[rows])))
             for k, i in enumerate(ready_rows):
                 out.append(PacketDecision(flow_label=int(labels[i]),
@@ -530,13 +579,20 @@ class TwoStageRuntime(_BatchedReplayMixin):
     feature_fn: object = None
     batch_size: int = DEFAULT_BATCH_SIZE
     decision_cache: object = None
+    # "tcam" runs the per-packet extractor tree — the table that *is* TCAM
+    # range rules on the switch — through the vectorized emulation; the
+    # window SumReduce stays SRAM gathers under either backend, as on the
+    # hardware. Requires raw integer byte keys (no refined feature_fn).
+    lookup_backend: str = "index"
     state: VectorFlowState = field(init=False)
+    _extractor_tcam: object = field(init=False, default=None, repr=False)
 
     required_columns = ("ts", "payload")
 
     def __post_init__(self):
         if len(self.slot_values) != self.window:
             raise ValueError("one slot value table per window slot required")
+        self.set_lookup_backend(self.lookup_backend)
         fields = [RegisterField("count", 8),
                   RegisterField("idx_hist", self.idx_bits, count=self.window - 1)]
         if self.needs_ipd:
@@ -553,13 +609,32 @@ class TwoStageRuntime(_BatchedReplayMixin):
         """Narrowest dtype holding one fuzzy index (the cache-key packing)."""
         return np.dtype(np.uint8 if self.idx_bits <= 8 else np.uint16)
 
+    def _enable_tcam(self) -> None:
+        if self.feature_fn is not None:
+            raise ValueError(
+                "lookup_backend='tcam' needs integer raw-byte keys; a "
+                "refined feature_fn produces float features the fixed-width "
+                "TCAM key cannot encode")
+        if self._extractor_tcam is None:
+            from repro.dataplane.tcam import TcamSegment
+            self._extractor_tcam = TcamSegment.from_tree(
+                self.extractor_tree, key_bits=8, signed=False)
+
+    def _tree_indices(self, feats: np.ndarray) -> np.ndarray:
+        """Fuzzy extraction for a (N, raw_bytes) batch, backend-dispatched."""
+        if self.lookup_backend == "tcam":
+            return self._extractor_tcam.lookup_indices(feats)
+        return self.extractor_tree.predict_index(feats)
+
     def _extract_index(self, packet: Packet, ipd_bucket: int | None) -> int:
         vec = np.zeros(self.raw_bytes, dtype=np.float64)
         take = min(packet.payload_len, self.raw_bytes)
         vec[:take] = packet.payload[:take]
         if self.feature_fn is not None:
             vec = np.asarray(self.feature_fn(vec[None, :], ipd_bucket))[0]
-        idx = int(self.extractor_tree.predict_index(vec))
+            idx = int(self.extractor_tree.predict_index(vec))
+        else:
+            idx = int(self._tree_indices(vec[None, :])[0])
         return min(idx, (1 << self.idx_bits) - 1)
 
     def process_packet(self, packet: Packet, flow_label: int) -> PacketDecision | None:
@@ -629,7 +704,10 @@ class TwoStageRuntime(_BatchedReplayMixin):
         feats = cols["payload"]
         if self.feature_fn is not None:
             feats = np.asarray(self.feature_fn(feats, ipd_b))
-        idx = np.asarray(self.extractor_tree.predict_index(feats), dtype=np.int64)
+            idx = np.asarray(self.extractor_tree.predict_index(feats),
+                             dtype=np.int64)
+        else:
+            idx = np.asarray(self._tree_indices(feats), dtype=np.int64)
         idx = np.minimum(idx, (1 << self.idx_bits) - 1)
 
         hist_idx = c["idx_hist"][uniq].astype(np.int64)

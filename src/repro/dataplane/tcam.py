@@ -1,0 +1,369 @@
+"""Vectorized TCAM emulation: prioritized ternary lookup as the switch does it.
+
+The fancy-index path of :class:`repro.core.mapping.SegmentTable` answers a
+fuzzy lookup by walking the clustering tree — numerically right, but not how
+the hardware works. A PISA switch holds the tree as a **prioritized TCAM**:
+packed (value, mask, priority) rows matched associatively, first match (lowest
+priority number) wins. This module compiles a fuzzy segment into exactly that
+shape and answers whole batches with masked-compare + priority reduction, so
+the emulated lookup is bit-identical to both
+:func:`repro.core.crc.lookup_prioritized` (the scalar TCAM reference) and the
+tree walk the SRAM path uses.
+
+Two encodings are materialized, mirroring the two the paper's compiler counts
+(§6.1, :meth:`repro.core.fuzzy.FuzzyTree.tcam_entries`):
+
+- **flat** — every leaf box expands into the cross product of its
+  per-dimension prefix covers: one wide table, one lookup, entry count can
+  blow up for deep trees over wide segments;
+- **levelwise** — the multi-level comparator: each internal tree node becomes
+  a small single-field table whose entries come from
+  :func:`~repro.core.crc.consecutive_range_coding` (``x <= t`` coded as a
+  priority-ordered prefix set over ``[0, t]`` plus a catch-all), and a batch
+  walks the levels with vectorized per-node lookups.
+
+``encoding="auto"`` picks whichever needs fewer entries — the same choice the
+resource accounting makes, so the emulated layout is the accounted layout.
+
+Keys are fixed-width like the hardware's: signed fields use excess-K (offset)
+encoding and every key is clamped into the ``key_bits`` domain before
+matching. For trees fitted on data inside the domain (every tree
+``materialize`` builds) the clamp is exact: thresholds lie strictly inside
+the domain, so out-of-range keys route identically to the tree walk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.crc import PrioritizedEntry, TernaryMatch, consecutive_range_coding
+from repro.core.fuzzy import FuzzyNode, FuzzyTree
+from repro.errors import CompilationError, ShapeError
+from repro.dataplane.tables import ternary_entries_for_tree
+
+TCAM_ENCODINGS = ("auto", "flat", "levelwise")
+
+
+def _domain(key_bits: int, signed: bool) -> tuple[int, int]:
+    lo = -(1 << (key_bits - 1)) if signed else 0
+    return lo, lo + (1 << key_bits) - 1
+
+
+def encode_keys(x: np.ndarray, key_bits: int, signed: bool) -> np.ndarray:
+    """Excess-K encode a (N, d) key batch into the unsigned match domain.
+
+    Keys must be integral (the dataplane only ever sees integers); they are
+    clamped into the ``key_bits`` domain first, exactly as a fixed-width
+    hardware key field truncates its input range.
+    """
+    x = np.asarray(x)
+    if x.dtype.kind == "f":
+        if not np.all(np.floor(x) == x):
+            raise ShapeError("TCAM keys must be integral")
+    x = x.astype(np.int64)
+    lo, hi = _domain(key_bits, signed)
+    return np.clip(x, lo, hi) - lo
+
+
+@dataclass
+class PackedTernaryTable:
+    """Prioritized ternary entries packed into columnar NumPy arrays.
+
+    ``values``/``masks`` are (n_entries, n_fields) in the unsigned (encoded)
+    key domain; ``priorities`` orders first-match-wins resolution (lower
+    wins, ties broken by entry order, exactly like
+    :func:`~repro.core.crc.lookup_prioritized`); ``results`` is what a
+    matching entry reports.
+    """
+
+    values: np.ndarray
+    masks: np.ndarray
+    priorities: np.ndarray
+    results: np.ndarray
+    key_bits: int
+    signed: bool = False
+
+    def __post_init__(self):
+        self.priorities = np.asarray(self.priorities, dtype=np.int64)
+        self.results = np.asarray(self.results, dtype=np.int64)
+        self.values = np.asarray(self.values, dtype=np.int64).reshape(len(self.priorities), -1)
+        self.masks = np.asarray(self.masks, dtype=np.int64).reshape(self.values.shape)
+        # Hardware stores value&mask; normalizing here makes the comparison
+        # below a single equality per field.
+        self.values = self.values & self.masks
+        # Store rows in (priority, insertion order) — a stable sort keeps
+        # lookup_prioritized's tie-break — so first-match resolution is a
+        # plain argmax over the bool match matrix, with no per-lookup
+        # (N, n_entries) int64 priority materialization.
+        order = np.argsort(self.priorities, kind="stable")
+        if not np.array_equal(order, np.arange(len(order))):
+            self.values = self.values[order]
+            self.masks = self.masks[order]
+            self.priorities = self.priorities[order]
+            self.results = self.results[order]
+
+    @property
+    def n_entries(self) -> int:
+        return self.values.shape[0]
+
+    @property
+    def n_fields(self) -> int:
+        return self.values.shape[1]
+
+    @classmethod
+    def from_prioritized(
+        cls, entries: list[PrioritizedEntry], key_bits: int, signed: bool = False
+    ) -> "PackedTernaryTable":
+        """Pack a single-field :class:`PrioritizedEntry` list (CRC output)."""
+        return cls(
+            values=np.asarray([[e.match.value] for e in entries]),
+            masks=np.asarray([[e.match.mask] for e in entries]),
+            priorities=np.asarray([e.priority for e in entries]),
+            results=np.asarray([e.result for e in entries]),
+            key_bits=key_bits,
+            signed=signed,
+        )
+
+    def lookup_encoded(self, keys_u: np.ndarray) -> np.ndarray:
+        """First-match results for already-encoded (N, n_fields) keys."""
+        keys_u = np.asarray(keys_u, dtype=np.int64)
+        if keys_u.ndim == 1:
+            keys_u = keys_u[:, None]
+        if keys_u.shape[1] != self.n_fields:
+            raise ShapeError(f"expected {self.n_fields} key fields, got {keys_u.shape[1]}")
+        matched = np.ones((len(keys_u), self.n_entries), dtype=bool)
+        for f in range(self.n_fields):
+            matched &= (keys_u[:, f, None] & self.masks[None, :, f]) == self.values[None, :, f]
+        # Rows are priority-sorted (see __post_init__): the first matching
+        # row IS the winning entry.
+        pick = matched.argmax(axis=1)
+        if len(keys_u):
+            hit = matched[np.arange(len(keys_u)), pick]
+            if not hit.all():
+                missed = int(np.nonzero(~hit)[0][0])
+                raise LookupError(f"no TCAM entry matches key {keys_u[missed]}")
+        return self.results[pick]
+
+    def lookup(self, x: np.ndarray) -> np.ndarray:
+        """First-match results for a raw-domain (N, n_fields) key batch."""
+        return self.lookup_encoded(encode_keys(x, self.key_bits, self.signed))
+
+    def entries(self) -> list[PrioritizedEntry]:
+        """The scalar view: fields packed into one wide match, MSB first.
+
+        Feeding these to :func:`repro.core.crc.lookup_prioritized` with the
+        correspondingly packed key must reproduce :meth:`lookup` bit for bit
+        — the cross-check the equivalence tests run.
+        """
+        width = self.n_fields * self.key_bits
+        out = []
+        for e in range(self.n_entries):
+            value = mask = 0
+            for f in range(self.n_fields):
+                shift = (self.n_fields - 1 - f) * self.key_bits
+                value |= int(self.values[e, f]) << shift
+                mask |= int(self.masks[e, f]) << shift
+            match = TernaryMatch(value=value, mask=mask, width=width)
+            entry = PrioritizedEntry(
+                match=match, priority=int(self.priorities[e]), result=int(self.results[e])
+            )
+            out.append(entry)
+        return out
+
+    def pack_keys(self, x: np.ndarray) -> list[int]:
+        """Encode + pack raw keys into the scalar ints :meth:`entries` match."""
+        enc = encode_keys(x, self.key_bits, self.signed)
+        shifts = [(self.n_fields - 1 - f) * self.key_bits for f in range(self.n_fields)]
+        return [sum(int(row[f]) << shifts[f] for f in range(self.n_fields)) for row in enc]
+
+
+@dataclass
+class LevelwiseNode:
+    """One internal tree node as a single-field CRC table (0=left, 1=right)."""
+
+    feature: int
+    table: PackedTernaryTable
+    left: "LevelwiseNode | int"
+    right: "LevelwiseNode | int"
+
+
+@dataclass
+class TcamSegment:
+    """One fuzzy segment compiled to its prioritized-TCAM execution form.
+
+    ``lookup_indices`` answers a raw-domain key batch with the fuzzy (leaf)
+    index per row — the drop-in TCAM replacement for
+    :meth:`FuzzyTree.predict_index` that
+    :meth:`repro.core.mapping.SegmentTable.lookup` dispatches to when
+    ``lookup_backend="tcam"``.
+    """
+
+    key_bits: int
+    signed: bool
+    encoding: str
+    n_leaves: int
+    dim: int
+    flat: PackedTernaryTable | None = None
+    root: "LevelwiseNode | int | None" = None
+    _flat_count: int = field(default=0, repr=False)
+    _levelwise_count: int = field(default=0, repr=False)
+
+    @classmethod
+    def from_tree(
+        cls, tree: FuzzyTree, key_bits: int = 8, signed: bool = False, encoding: str = "auto"
+    ) -> "TcamSegment":
+        """Compile a fitted clustering tree into TCAM form.
+
+        ``encoding="auto"`` materializes whichever of flat / levelwise needs
+        fewer entries — the same ``min`` the resource accounting
+        (:meth:`FuzzyTree.tcam_entries`) charges for.
+        """
+        if encoding not in TCAM_ENCODINGS:
+            msg = f"unknown TCAM encoding {encoding!r}; expected one of {TCAM_ENCODINGS}"
+            raise CompilationError(msg)
+        lo, hi = _domain(key_bits, signed)
+        flat_count = tree._tcam_entries_flat(key_bits, signed)
+        levelwise_count = tree._tcam_entries_levelwise(key_bits, signed)
+        if encoding == "auto":
+            encoding = "flat" if flat_count < levelwise_count else "levelwise"
+        seg = cls(
+            key_bits=key_bits,
+            signed=signed,
+            encoding=encoding,
+            n_leaves=tree.n_leaves,
+            dim=tree.dim,
+        )
+        seg._flat_count = flat_count
+        seg._levelwise_count = levelwise_count
+        if encoding == "flat":
+            ternary = ternary_entries_for_tree(tree, key_bits=key_bits, signed=signed)
+            if not ternary:
+                raise CompilationError("flat expansion produced no entries")
+            seg.flat = PackedTernaryTable(
+                values=np.asarray([t.values for t in ternary]),
+                masks=np.asarray([t.masks for t in ternary]),
+                priorities=np.arange(len(ternary)),
+                results=np.asarray([t.result for t in ternary]),
+                key_bits=key_bits,
+                signed=signed,
+            )
+        else:
+            seg.root = cls._compile_levelwise(tree.root, key_bits, signed, lo, hi)
+        return seg
+
+    @staticmethod
+    def _compile_levelwise(
+        node: FuzzyNode | int, key_bits: int, signed: bool, lo: int, hi: int
+    ) -> "LevelwiseNode | int":
+        if isinstance(node, int):
+            return node
+        # Integer keys route left iff key <= floor(threshold); CRC codes
+        # exactly that boundary in the encoded (excess-K) domain.
+        boundary = int(np.clip(np.floor(node.threshold), lo, hi)) - lo
+        table = PackedTernaryTable.from_prioritized(
+            consecutive_range_coding([boundary], key_bits), key_bits, signed=signed
+        )
+        return LevelwiseNode(
+            feature=node.feature,
+            table=table,
+            left=TcamSegment._compile_levelwise(node.left, key_bits, signed, lo, hi),
+            right=TcamSegment._compile_levelwise(node.right, key_bits, signed, lo, hi),
+        )
+
+    @property
+    def n_entries(self) -> int:
+        """Materialized TCAM entry count (what the encoding actually costs)."""
+        if self.encoding == "flat":
+            return self._flat_count
+        return self._levelwise_count
+
+    def lookup_indices(self, x: np.ndarray) -> np.ndarray:
+        """Fuzzy (leaf) indices for a raw-domain key batch (N, dim)."""
+        x = np.asarray(x)
+        if x.ndim == 1:
+            x = x[None, :]
+        if x.shape[1] != self.dim:
+            raise ShapeError(f"expected dim {self.dim}, got {x.shape[1]}")
+        enc = encode_keys(x, self.key_bits, self.signed)
+        if self.encoding == "flat":
+            return self.flat.lookup_encoded(enc)
+        out = np.empty(len(enc), dtype=np.int64)
+        self._walk(self.root, np.arange(len(enc)), enc, out)
+        return out
+
+    def _walk(
+        self, node: "LevelwiseNode | int", rows: np.ndarray, enc: np.ndarray, out: np.ndarray
+    ) -> None:
+        if isinstance(node, int):
+            out[rows] = node
+            return
+        if len(rows) == 0:
+            return
+        side = node.table.lookup_encoded(enc[rows, node.feature])
+        self._walk(node.left, rows[side == 0], enc, out)
+        self._walk(node.right, rows[side == 1], enc, out)
+
+    def node_tables(self) -> list[PackedTernaryTable]:
+        """Every materialized table (one for flat, one per node otherwise)."""
+        if self.encoding == "flat":
+            return [self.flat]
+        tables: list[PackedTernaryTable] = []
+
+        def walk(node):
+            if isinstance(node, LevelwiseNode):
+                tables.append(node.table)
+                walk(node.left)
+                walk(node.right)
+
+        walk(self.root)
+        return tables
+
+
+def compile_segment_table(table, encoding: str = "auto") -> TcamSegment:
+    """Compile a fuzzy :class:`~repro.core.mapping.SegmentTable` for TCAM.
+
+    Duck-typed on purpose (``core.mapping`` must stay import-free of the
+    dataplane): ``table`` needs ``kind``, ``tree``, ``in_bits``,
+    ``in_signed``.
+    """
+    if table.kind != "fuzzy":
+        msg = (
+            "only fuzzy segment tables have a TCAM form; exact segments are "
+            "direct-indexed SRAM on the hardware too"
+        )
+        raise CompilationError(msg)
+    return TcamSegment.from_tree(
+        table.tree, key_bits=table.in_bits, signed=table.in_signed, encoding=encoding
+    )
+
+
+def tcam_table_report(model) -> list[dict]:
+    """Compile (and cache) every fuzzy table of a compiled model; summarize.
+
+    Returns one row per fuzzy segment table with its chosen encoding and
+    entry counts — the shape the equivalence report and the lookup benchmark
+    print. Compiling here also warms the per-table cache, so a subsequent
+    ``forward_int(..., lookup_backend="tcam")`` measures lookups, not
+    compilation.
+    """
+    rows = []
+    for li, layer in enumerate(model.layers):
+        for table in layer.tables:
+            if table.kind != "fuzzy":
+                continue
+            seg = table.tcam_segment()
+            rows.append(
+                {
+                    "layer": li,
+                    "segment": tuple(table.segment),
+                    "encoding": seg.encoding,
+                    "entries": seg.n_entries,
+                    "entries_flat": seg._flat_count,
+                    "entries_levelwise": seg._levelwise_count,
+                    "leaves": seg.n_leaves,
+                    "dim": seg.dim,
+                }
+            )
+    return rows

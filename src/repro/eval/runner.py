@@ -397,6 +397,199 @@ def run_parallel_throughput(flows_per_class: int = 120, seed: int = 0,
     return results
 
 
+def run_tcam_equivalence(flows_per_class: int = 120, seed: int = 0,
+                         worker_counts: tuple[int, ...] = (1, 2, 4),
+                         dataset: str = "peerrush",
+                         attack_flows: int = 30,
+                         elephant_flows: int = 8,
+                         batch_size: int = 256,
+                         cache_capacity: int = 1 << 16,
+                         sample_keys: int = 256) -> dict:
+    """Hardware-fidelity report: emulated TCAM vs index lookups, end to end.
+
+    Three nested equivalence checks on the Figure-8 serving mix (benign test
+    split + unknown attacks + constant-rate elephants), all required to hold
+    bit-exactly:
+
+    1. **entry level** — every fuzzy table's packed (value, mask, priority)
+       rows, fed scalar through :func:`repro.core.crc.lookup_prioritized`,
+       agree with the vectorized masked-compare engine on sampled keys;
+    2. **table level** — TCAM fuzzy indices equal the tree walk on in-domain
+       *and* out-of-domain keys (the fixed-width key clamp);
+    3. **serving level** — the full matrix of workers {1,2,4} x cache on/off
+       x ``ShardedDispatcher``/``ParallelDispatcher`` with
+       ``lookup_backend="tcam"`` reproduces the index-backend reference
+       decision stream exactly.
+
+    Returns per-table encoding/entry rows plus ``all_match`` — the bit the
+    CI equivalence gate (and the README fidelity claim) rests on.
+    """
+    from repro.dataplane.runtime import WindowedClassifierRuntime
+    from repro.dataplane.tcam import tcam_table_report
+    from repro.core.crc import lookup_prioritized
+    from repro.serving import (BatchScheduler, FlowDecisionCache,
+                               ParallelDispatcher, ShardedDispatcher)
+
+    flows, compiled = _serving_mix(dataset, flows_per_class, seed, attack_flows,
+                                   elephant_flows=elephant_flows)
+    rng = np.random.default_rng(seed)
+    tables = tcam_table_report(compiled)
+
+    entry_match = True
+    table_match = True
+    ti = 0
+    for layer in compiled.layers:
+        for table in layer.tables:
+            if table.kind != "fuzzy":
+                continue
+            seg = table.tcam_segment()
+            lo = -(1 << (table.in_bits - 1)) if table.in_signed else 0
+            hi = lo + (1 << table.in_bits) - 1
+            d = table.segment[1] - table.segment[0]
+            keys = rng.integers(lo, hi + 1, size=(sample_keys, d))
+            keys_out = rng.integers(lo - 2 * (hi - lo), hi + 2 * (hi - lo),
+                                    size=(sample_keys // 4, d))
+            want = table.tree.predict_index(keys)
+            got = table.tcam_indices(keys)
+            table_match &= bool(np.array_equal(got, want))
+            table_match &= bool(np.array_equal(
+                table.tcam_indices(keys_out),
+                table.tree.predict_index(np.clip(keys_out, lo, hi))))
+            # Scalar TCAM reference on a sub-sample, per materialized table.
+            for packed in seg.node_tables():
+                sub = rng.integers(lo, hi + 1,
+                                   size=(32, packed.n_fields))
+                entries = packed.entries()
+                scalar = [lookup_prioritized(entries, k)
+                          for k in packed.pack_keys(sub)]
+                entry_match &= bool(
+                    np.array_equal(scalar, packed.lookup(sub)))
+            tables[ti]["table_match"] = bool(np.array_equal(got, want))
+            ti += 1
+
+    scheduler = BatchScheduler(batch_size=batch_size)
+
+    def factory(cached: bool):
+        def build():
+            cache = FlowDecisionCache(cache_capacity) if cached else None
+            return WindowedClassifierRuntime(
+                compiled, feature_mode="stats", batch_size=batch_size,
+                decision_cache=cache)
+        return build
+
+    matrix: dict = {}
+    serving_match = True
+    for n in worker_counts:
+        reference = ShardedDispatcher(
+            runtime_factory=factory(False), n_shards=n,
+            scheduler=scheduler).serve_flows(flows)
+        entry: dict = {"decisions": len(reference)}
+        for cached in (False, True):
+            sharded = ShardedDispatcher(
+                runtime_factory=factory(cached), n_shards=n,
+                scheduler=scheduler, lookup_backend="tcam")
+            sharded_ok = sharded.serve_flows(flows) == reference
+            with ParallelDispatcher(
+                    runtime_factory=factory(cached), n_workers=n,
+                    scheduler=scheduler,
+                    lookup_backend="tcam") as dispatcher:
+                parallel_ok = dispatcher.serve_flows(flows) == reference
+            entry[f"cache_{'on' if cached else 'off'}"] = {
+                "sharded_match": sharded_ok, "parallel_match": parallel_ok}
+            serving_match = serving_match and sharded_ok and parallel_ok
+        matrix[n] = entry
+
+    return {
+        "tables": tables,
+        "tcam_entries_total": int(sum(t["entries"] for t in tables)),
+        "entry_match": bool(entry_match),
+        "table_match": bool(table_match),
+        "serving_match": bool(serving_match),
+        "all_match": bool(entry_match and table_match and serving_match),
+        "matrix": matrix,
+    }
+
+
+def run_tcam_throughput(flows_per_class: int = 120, seed: int = 0,
+                        dataset: str = "peerrush",
+                        attack_flows: int = 30,
+                        elephant_flows: int = 8,
+                        batch_size: int = 256,
+                        repeats: int = 2,
+                        model_batch: int = 4096) -> dict:
+    """Packets/sec of the two lookup backends (TCAM-vs-index bench).
+
+    Two measurements per backend, best of ``repeats`` runs each:
+
+    - **model level** — ``forward_int`` rows/sec on one large random batch,
+      isolating pure lookup-engine cost (tree walk vs masked-compare +
+      priority reduction over the packed entries);
+    - **serving level** — end-to-end :class:`WindowedClassifierRuntime`
+      replay pps on the Figure-8 serving mix, the number that tells you what
+      hardware-faithful emulation costs in the serving path.
+
+    Decisions are asserted identical across backends (``matches_index``);
+    TCAM compilation is warmed up-front so timings exclude it.
+    """
+    import time
+
+    from repro.dataplane.runtime import WindowedClassifierRuntime
+    from repro.dataplane.tcam import tcam_table_report
+
+    flows, compiled = _serving_mix(dataset, flows_per_class, seed, attack_flows,
+                                   elephant_flows=elephant_flows)
+    n_packets = sum(len(f) for f in flows)
+    tables = tcam_table_report(compiled)    # compile + warm every fuzzy table
+
+    rng = np.random.default_rng(seed)
+    x = rng.integers(0, 1 << compiled.input_bits,
+                     size=(model_batch, compiled.input_dim))
+    results: dict = {
+        "n_packets": n_packets,
+        "model_batch": model_batch,
+        "tcam_entries_total": int(sum(t["entries"] for t in tables)),
+        "tcam_tables": len(tables),
+        "model_rows_per_s": {},
+        "serving_pps": {},
+    }
+    matches = True
+    reference = None
+    ref_forward = None
+    for backend in ("index", "tcam"):
+        compiled.forward_int(x[:64], lookup_backend=backend)    # warm-up
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            out = compiled.forward_int(x, lookup_backend=backend)
+            best = min(best, time.perf_counter() - start)
+        if ref_forward is None:
+            ref_forward = out
+        else:
+            matches = matches and bool(np.array_equal(out, ref_forward))
+        results["model_rows_per_s"][backend] = model_batch / max(best, 1e-9)
+
+        best = float("inf")
+        decisions = None
+        for _ in range(repeats):
+            runtime = WindowedClassifierRuntime(
+                compiled, feature_mode="stats", batch_size=batch_size,
+                lookup_backend=backend)
+            start = time.perf_counter()
+            decisions = runtime.process_flows(flows)
+            best = min(best, time.perf_counter() - start)
+        if reference is None:
+            reference = decisions
+        else:
+            matches = matches and decisions == reference
+        results["serving_pps"][backend] = n_packets / max(best, 1e-9)
+
+    results["decisions"] = len(reference)
+    results["matches_index"] = bool(matches)
+    results["serving_slowdown_tcam"] = \
+        results["serving_pps"]["index"] / max(results["serving_pps"]["tcam"], 1e-9)
+    return results
+
+
 def _cpu_throughput(model, views) -> float:
     """Measured full-precision inference throughput on this host."""
     import time

@@ -24,6 +24,11 @@ pipeline replicas** — serially simulated or genuinely concurrent:
   model invocation for already-classified elephant flows whose windows
   repeat, without changing a single decision.
 
+Both dispatchers also take ``lookup_backend="tcam"`` to serve the
+hardware-faithful prioritized-TCAM lookup path
+(:mod:`repro.dataplane.tcam`) instead of fancy indexing — propagated onto
+every factory-built replica, bit-identical decisions either way.
+
 End-to-end example (train → compile → serve)::
 
     from repro.dataplane import WindowedClassifierRuntime

@@ -32,6 +32,15 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass
 
+# Placeholder a batched replay inserts at the cache position where the scalar
+# path would have inserted the real decision, before the batch's single model
+# invocation has produced it. Reserving the slot in row order keeps the LRU
+# recency/eviction sequence — and therefore every subsequent hit/miss count —
+# bit-identical to per-packet replay; ``fill`` swaps in the real decision
+# afterwards without touching recency. Identity-compared, never equal to a
+# real (integer) decision.
+PENDING = object()
+
 
 @dataclass
 class CacheStats:
@@ -77,8 +86,8 @@ class FlowDecisionCache:
     def __len__(self) -> int:
         return len(self._entries)
 
-    def get(self, key) -> int | None:
-        """The cached decision for ``key``, or None on a miss."""
+    def get(self, key):
+        """The cached decision for ``key`` (or :data:`PENDING`), None on miss."""
         decision = self._entries.get(key)
         if decision is None:
             self.stats.misses += 1
@@ -97,6 +106,28 @@ class FlowDecisionCache:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
         self._entries[key] = decision
+
+    def discard_pending(self, key) -> None:
+        """Drop a :data:`PENDING` placeholder, leaving real entries alone.
+
+        Exception-path cleanup: if the model invocation that was meant to
+        :meth:`fill` a reserved slot fails, the placeholder must not outlive
+        the flush (a later lookup would hand the sentinel out as a
+        decision). No stat counting.
+        """
+        if self._entries.get(key) is PENDING:
+            del self._entries[key]
+
+    def fill(self, key, decision: int) -> None:
+        """Resolve a :data:`PENDING` placeholder in place, if still cached.
+
+        No stat counting, no recency refresh: the lookup/insert already
+        happened (in row order) when the placeholder went in; this only
+        supplies the decision value. A placeholder evicted in the meantime
+        stays evicted — exactly what the scalar path's entry would have done.
+        """
+        if key in self._entries:
+            self._entries[key] = decision
 
     def clear(self) -> None:
         """Drop all entries; counters keep accumulating."""

@@ -96,12 +96,17 @@ class ShardedDispatcher:
     real concurrent workers and *measures* that wall clock instead.
     ``flush_stats`` aggregates per-shard span-stream flush counts over the
     last serve (the scheduler itself is immutable configuration, so sharing
-    one across shards — or dispatchers — is safe).
+    one across shards — or dispatchers — is safe). ``lookup_backend``
+    (``"index"`` | ``"tcam"``), when set, is propagated onto every
+    factory-built replica via ``set_lookup_backend`` — the one dispatcher
+    knob that switches the whole fleet between fancy-index and emulated-TCAM
+    model lookups (bit-identical decisions either way).
     """
 
     runtime_factory: Callable[[], Any]
     n_shards: int = 1
     scheduler: BatchScheduler | None = None
+    lookup_backend: str | None = None
     runtimes: list[Any] = field(init=False)
     shard_seconds: list[float] = field(init=False, default_factory=list)
     flush_stats: FlushStats = field(init=False, default_factory=FlushStats)
@@ -110,6 +115,9 @@ class ShardedDispatcher:
         if self.n_shards < 1:
             raise ValueError(f"n_shards must be >= 1, got {self.n_shards}")
         self.runtimes = [self.runtime_factory() for _ in range(self.n_shards)]
+        if self.lookup_backend is not None:
+            for runtime in self.runtimes:
+                runtime.set_lookup_backend(self.lookup_backend)
 
     def shard_of(self, key: FlowKey) -> int:
         """The replica index serving this flow."""

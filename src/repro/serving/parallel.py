@@ -52,6 +52,7 @@ from typing import Any, Callable
 
 import numpy as np
 
+from repro.core.mapping import _check_backend
 from repro.dataplane.runtime import PacketDecision, flows_to_trace
 from repro.net.traces import KEY_COLUMN_NAMES, Trace, keys_from_columns
 from repro.serving.cache import CacheStats
@@ -89,12 +90,14 @@ def serve_shard(runtime, shard: dict, scheduler: BatchScheduler | None) -> dict:
     }
 
 
-def worker_main(conn, runtime_factory, scheduler) -> None:
+def worker_main(conn, runtime_factory, scheduler, lookup_backend=None) -> None:
     """Persistent worker loop: build one replica, serve shards until EOF.
 
     The replica is built on the first request so construction cost lands in
     the worker, and it persists across requests — flow registers and the
     decision cache keep their state exactly like a long-lived replica would.
+    ``lookup_backend``, when set, is applied to the freshly built replica
+    (so TCAM compilation also happens worker-side, behind the warm-up ping).
     """
     runtime = None
     try:
@@ -105,6 +108,8 @@ def worker_main(conn, runtime_factory, scheduler) -> None:
             try:
                 if runtime is None:
                     runtime = runtime_factory()
+                    if lookup_backend is not None:
+                        runtime.set_lookup_backend(lookup_backend)
                 if shard.get("warm"):
                     conn.send(("ok", None))
                     continue
@@ -127,7 +132,10 @@ class ParallelDispatcher:
     ``wall_seconds`` is *measured* concurrent wall clock. ``runtime_factory``
     runs inside each worker; ``scheduler`` is immutable config shared by
     value; ``payload_bytes`` (for :class:`TwoStageRuntime` replicas) ships
-    each shard's first payload bytes as one matrix.
+    each shard's first payload bytes as one matrix; ``lookup_backend``
+    (``"index"`` | ``"tcam"``), when set, is applied to every worker-built
+    replica via ``set_lookup_backend`` — serving the hardware-faithful
+    emulated-TCAM lookup path with bit-identical decisions.
 
     Per-serve telemetry: ``wall_seconds``, per-worker ``shard_seconds``
     (replay time only, excluding IPC), merged ``flush_stats``, and — when
@@ -137,6 +145,7 @@ class ParallelDispatcher:
     runtime_factory: Callable[[], Any]
     n_workers: int = 1
     scheduler: BatchScheduler | None = None
+    lookup_backend: str | None = None
     payload_bytes: int | None = None
     start_method: str | None = None
     shard_seconds: list[float] = field(init=False, default_factory=list)
@@ -147,6 +156,10 @@ class ParallelDispatcher:
     def __post_init__(self):
         if self.n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {self.n_workers}")
+        if self.lookup_backend is not None:
+            # Fail fast on a typo'd backend, before any worker is forked
+            # (replica-specific rejections still surface from the warm ping).
+            _check_backend(self.lookup_backend)
         if self.start_method is None:
             methods = multiprocessing.get_all_start_methods()
             self.start_method = "fork" if "fork" in methods else "spawn"
@@ -171,7 +184,7 @@ class ParallelDispatcher:
             parent_conn, child_conn = self._ctx.Pipe()
             proc = self._ctx.Process(
                 target=worker_main,
-                args=(child_conn, self.runtime_factory, self.scheduler),
+                args=(child_conn, self.runtime_factory, self.scheduler, self.lookup_backend),
                 daemon=True,
             )
             proc.start()

@@ -93,6 +93,11 @@ class BatchScheduler:
         if self.min_batch_size < 1:
             raise ValueError(
                 f"min_batch_size must be >= 1, got {self.min_batch_size}")
+        if self.min_batch_size > self.batch_size:
+            raise ValueError(
+                f"min_batch_size ({self.min_batch_size}) must be <= "
+                f"batch_size ({self.batch_size}); an adaptive stream could "
+                "otherwise start outside its own clamp window")
         if self.max_batch_size is not None and self.max_batch_size < self.batch_size:
             raise ValueError("max_batch_size must be >= batch_size")
 
@@ -170,7 +175,13 @@ class SpanStream:
         return (start, stop)
 
     def _observe(self, service_seconds: float) -> None:
-        """AIMD batch resizing from one span's measured service time."""
+        """AIMD batch resizing from one span's measured service time.
+
+        The result is always re-clamped into
+        ``[min_batch_size, effective_max_batch]`` (and >= 1), so no latency
+        sequence — however pathological — can drive the batch size to 0 or
+        past the configured maximum.
+        """
         sched = self.scheduler
         if service_seconds > sched.latency_target:
             if self.batch_size > sched.min_batch_size:
@@ -180,3 +191,5 @@ class SpanStream:
             if self.batch_size < sched.effective_max_batch:
                 self.batch_size = min(sched.effective_max_batch, self.batch_size * 2)
                 self.stats.grown += 1
+        self.batch_size = min(max(self.batch_size, sched.min_batch_size, 1),
+                              sched.effective_max_batch)

@@ -107,3 +107,75 @@ class TestConsecutiveRangeCoding:
         boundaries = [100, 200]
         assert len(consecutive_range_coding(boundaries, 8)) < \
             naive_partition_entries(boundaries, 8)
+
+
+def _brute_force_covers(prefixes, width):
+    """The exact key set a prefix list matches, by enumeration."""
+    return {v for v in range(1 << width)
+            if any(p.matches(v) for p in prefixes)}
+
+
+class TestDomainBoundaries:
+    """Brute-force audits of the conversion at the edges of the key domain:
+    the empty range, the full domain, single-point ranges, and boundaries
+    touching either end of the space."""
+
+    @given(st.integers(1, 8))
+    def test_empty_range_is_rejected_not_miscovered(self, width):
+        # There is no prefix encoding of an empty range; the contract is a
+        # ValueError, never a bogus cover.
+        with pytest.raises(ValueError):
+            range_to_prefixes(1, 0, width)
+        with pytest.raises(ValueError):
+            range_to_prefixes(-1, 0, width)
+
+    @given(st.integers(1, 10))
+    def test_full_domain_is_single_wildcard(self, width):
+        prefixes = range_to_prefixes(0, (1 << width) - 1, width)
+        assert len(prefixes) == 1
+        assert prefixes[0].mask == 0
+
+    @given(st.integers(1, 8), st.data())
+    def test_single_point_range_matches_exactly_one_key(self, width, data):
+        point = data.draw(st.integers(0, (1 << width) - 1))
+        prefixes = range_to_prefixes(point, point, width)
+        assert _brute_force_covers(prefixes, width) == {point}
+        assert len(prefixes) == 1
+        assert prefixes[0].mask == (1 << width) - 1
+
+    @given(st.integers(1, 8), st.data())
+    def test_cover_is_exact_at_domain_edges(self, width, data):
+        space_max = (1 << width) - 1
+        # Bias sampling to the edges, where off-by-ones live.
+        lo = data.draw(st.sampled_from(
+            [0, 1, space_max - 1, space_max]
+            + list(range(min(8, space_max + 1)))))
+        hi = data.draw(st.integers(lo, space_max))
+        covered = _brute_force_covers(range_to_prefixes(lo, hi, width), width)
+        assert covered == set(range(lo, hi + 1))
+
+    @given(st.integers(1, 8))
+    def test_boundary_at_domain_max_keeps_partition_exact(self, width):
+        # A boundary at 2^w - 1 makes the final region empty: every key must
+        # still resolve to region 0 and the catch-all stays unreachable.
+        space_max = (1 << width) - 1
+        entries = consecutive_range_coding([space_max], width)
+        for key in range(space_max + 1):
+            assert lookup_prioritized(entries, key) == 0
+
+    @given(st.integers(2, 8), st.data())
+    def test_partition_brute_force_at_edges(self, width, data):
+        space_max = (1 << width) - 1
+        pool = sorted({0, 1, space_max - 1, space_max}
+                      | set(data.draw(st.sets(st.integers(0, space_max),
+                                              max_size=3))))
+        entries = consecutive_range_coding(pool, width)
+        for key in range(space_max + 1):
+            want = next((i for i, b in enumerate(pool) if key <= b), len(pool))
+            assert lookup_prioritized(entries, key) == want
+
+    def test_boundary_zero_single_point_region(self):
+        # boundaries=[0]: region 0 is the single point {0}.
+        entries = consecutive_range_coding([0], 8)
+        assert lookup_prioritized(entries, 0) == 0
+        assert all(lookup_prioritized(entries, k) == 1 for k in (1, 128, 255))

@@ -136,6 +136,20 @@ class TestFuzzyTree:
         assert ((idx >= 0) & (idx < tree.n_leaves)).all()
 
 
+def _all_thresholds(tree):
+    acc = []
+
+    def walk(node):
+        if isinstance(node, int):
+            return
+        acc.append(node.threshold)
+        walk(node.left)
+        walk(node.right)
+
+    walk(tree.root)
+    return acc
+
+
 class TestLeafBoxes:
     def test_boxes_partition_space(self):
         rng = np.random.default_rng(9)
@@ -159,6 +173,34 @@ class TestLeafBoxes:
                 hits = sum(1 for box in boxes
                            if box[0][0] <= v0 <= box[0][1] and box[1][0] <= v1 <= box[1][1])
                 assert hits == 1
+
+    def test_float_threshold_boxes_cover_every_integer_key(self):
+        """Regression: trees fitted on float data carry non-integer
+        thresholds; the right-child bound must be floor(t) + 1, or the
+        integer keys in (t, t + 1) fall into no box — 'no TCAM entry
+        matches' holes in the expanded table."""
+        from repro.dataplane.tables import (encode_key,
+                                            ternary_entries_for_tree,
+                                            tcam_lookup)
+        rng = np.random.default_rng(7)
+        x = rng.uniform(0, 255, size=(200, 2))      # NOT floored: float thresholds
+        tree = FuzzyTree.fit(x, n_leaves=8)
+        assert any(float(t) != int(t)
+                   for t in _all_thresholds(tree))  # premise: float thresholds
+        boxes = tree.leaf_boxes(lo=0, hi=255)
+        for v0 in range(0, 256, 3):
+            for v1 in range(0, 256, 3):
+                hits = sum(1 for box in boxes
+                           if box[0][0] <= v0 <= box[0][1]
+                           and box[1][0] <= v1 <= box[1][1])
+                assert hits == 1
+        entries = ternary_entries_for_tree(tree, key_bits=8)
+        for v0 in range(0, 256, 7):
+            for v1 in range(0, 256, 7):
+                want = int(tree.predict_index(
+                    np.array([v0, v1], dtype=np.float64)))
+                assert tcam_lookup(entries, encode_key((v0, v1), 8, False)) \
+                    == want
 
     def test_tcam_entries_positive_and_scales_with_leaves(self):
         rng = np.random.default_rng(11)

@@ -107,6 +107,49 @@ class TestExactTables:
         assert all(t.kind == "fuzzy" for t in model.layers[0].tables)
 
 
+class TestFuzzyIndices:
+    def _fuzzy_table(self):
+        program, _w, _b = _simple_matmul_program()
+        model = materialize(program, _uint8_calib(),
+                            MaterializeConfig(fuzzy_leaves=8))
+        for layer in model.layers:
+            for table in layer.tables:
+                if table.kind == "fuzzy":
+                    return table
+        raise AssertionError("expected at least one fuzzy table")
+
+    def test_out_of_calibration_range_agrees_with_tree(self):
+        """Inputs below 0 / above 255 (outside the uint8 calibration range)
+        must route exactly where the tree walk routes them — fuzzy_indices
+        is a thin view of predict_index, with no hidden clipping."""
+        table = self._fuzzy_table()
+        d = table.segment[1] - table.segment[0]
+        rng = np.random.default_rng(3)
+        x = np.concatenate([
+            rng.integers(-500, 0, size=(100, d)),        # below range
+            rng.integers(256, 1000, size=(100, d)),      # above range
+            rng.integers(-50, 300, size=(100, d)),       # straddling
+        ])
+        np.testing.assert_array_equal(table.fuzzy_indices(x),
+                                      table.tree.predict_index(x))
+        # Domain corners and just-outside singles.
+        for v in (-1, 0, 255, 256, 10_000, -10_000):
+            row = np.full((1, d), v)
+            assert table.fuzzy_indices(row)[0] == \
+                int(table.tree.predict_index(row.astype(np.float64))[0])
+        # Indices stay valid rows of the value table even out of range.
+        assert int(table.fuzzy_indices(x).max()) < table.n_entries
+
+    def test_exact_table_rejects_fuzzy_indices(self):
+        program, _w, _b = _simple_matmul_program(seg=1)
+        model = materialize(program, _uint8_calib(),
+                            MaterializeConfig())
+        table = model.layers[0].tables[0]
+        assert table.kind == "exact"
+        with pytest.raises(CompilationError):
+            table.fuzzy_indices(np.zeros((1, 1)))
+
+
 class TestMultiLayer:
     def _two_layer_model(self):
         model = nn.Sequential(

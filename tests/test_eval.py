@@ -159,3 +159,20 @@ class TestRunnerQuick:
         assert table2["N3IC"]["input_scale_ratio"] == pytest.approx(3840 / 128)
         # CNN-L (full precision, raw bytes) beats the binary MLP.
         assert table2["N3IC"]["accuracy_gain"] > 0
+
+    def test_tcam_equivalence_quick(self):
+        from repro.eval.runner import run_tcam_equivalence
+        report = run_tcam_equivalence(flows_per_class=12, seed=0,
+                                      worker_counts=(1, 2, 4), attack_flows=4,
+                                      elephant_flows=2, batch_size=64,
+                                      sample_keys=64)
+        assert set(report["matrix"]) == {1, 2, 4}
+        assert report["all_match"]
+        assert report["entry_match"] and report["table_match"] \
+            and report["serving_match"]
+        assert report["tables"] and report["tcam_entries_total"] > 0
+        for entry in report["matrix"].values():
+            assert entry["decisions"] > 0
+            for cached in ("cache_off", "cache_on"):
+                assert entry[cached]["sharded_match"]
+                assert entry[cached]["parallel_match"]

@@ -237,3 +237,128 @@ class TestFlowDecisionCache:
         assert [(d.predicted, d.ts) for d in got] == \
             [(d.predicted, d.ts) for d in ref]
         assert cache.stats.misses == primed_misses   # zero new misses
+
+    def test_failed_model_invocation_leaves_no_pending(self, compiled16):
+        """A mid-flush model failure must not strand PENDING placeholders:
+        the cache stays clean and keeps producing correct decisions."""
+        from repro.serving.cache import PENDING
+
+        class FlakyModel:
+            def __init__(self, inner):
+                self.inner = inner
+                self.fail_next = True
+
+            def predict(self, x, **kw):
+                if self.fail_next:
+                    self.fail_next = False
+                    raise RuntimeError("transient model failure")
+                return self.inner.predict(x, **kw)
+
+        trace = constant_rate_flow(n_packets=40)
+        cache = FlowDecisionCache(capacity=64)
+        flaky = WindowedClassifierRuntime(
+            FlakyModel(compiled16), feature_mode="stats", batch_size=16,
+            decision_cache=cache)
+        with pytest.raises(RuntimeError, match="transient"):
+            flaky.process_trace(trace)
+        assert not any(v is PENDING for v in cache._entries.values())
+        # The same (now-clean) cache serves a fresh replica correctly, on
+        # both the batched and the scalar path.
+        ref = WindowedClassifierRuntime(
+            compiled16, feature_mode="stats",
+            batch_size=16).process_trace(trace)
+        got = WindowedClassifierRuntime(
+            compiled16, feature_mode="stats", batch_size=16,
+            decision_cache=cache).process_trace(trace)
+        assert [(d.predicted, d.ts) for d in got] == \
+            [(d.predicted, d.ts) for d in ref]
+        scalar_rt = WindowedClassifierRuntime(
+            compiled16, feature_mode="stats", decision_cache=cache)
+        scal = [d for d in (scalar_rt.process_packet(p, -1)
+                            for p in trace.packets) if d is not None]
+        assert [(d.predicted, d.ts) for d in scal] == \
+            [(d.predicted, d.ts) for d in ref]
+
+    def test_fill_resolves_only_live_entries(self):
+        from repro.serving.cache import PENDING
+        cache = FlowDecisionCache(capacity=1)
+        cache.put("a", PENDING)
+        cache.put("b", PENDING)          # evicts the pending "a"
+        cache.fill("a", 7)               # evicted: stays evicted, no insert
+        cache.fill("b", 9)
+        assert cache.get("a") is None
+        assert cache.get("b") == 9
+        # fill is value-only bookkeeping: no stat, no recency change.
+        assert (cache.stats.hits, cache.stats.misses) == (1, 1)
+
+    @pytest.mark.parametrize("capacity", (2, 3, 64))
+    @pytest.mark.parametrize("batch_size", (16, 64))
+    def test_stats_scalar_faithful_under_dedup_and_eviction(
+            self, compiled16, capacity, batch_size):
+        """In-batch window dedup and LRU eviction in the same flush must not
+        drift the counters: hits + misses == lookups, and the whole
+        hit/miss/evict stream equals per-packet replay's exactly."""
+        packets = []
+        for port, ipd in ((40000, 0.001), (40001, 0.00064), (40002, 0.0017)):
+            packets.extend(constant_rate_flow(n_packets=50, port=port,
+                                              ipd=ipd).packets)
+        packets.sort(key=lambda p: p.ts)
+        trace = Trace(packets)
+
+        scalar_cache = FlowDecisionCache(capacity=capacity)
+        scalar_rt = WindowedClassifierRuntime(
+            compiled16, feature_mode="stats", decision_cache=scalar_cache)
+        ref = [d for d in (scalar_rt.process_packet(p, -1)
+                           for p in trace.packets) if d is not None]
+
+        batched_cache = FlowDecisionCache(capacity=capacity)
+        batched_rt = WindowedClassifierRuntime(
+            compiled16, feature_mode="stats", batch_size=batch_size,
+            decision_cache=batched_cache)
+        got = batched_rt.process_trace(trace)
+
+        assert [(d.predicted, d.ts) for d in got] == \
+            [(d.predicted, d.ts) for d in ref]
+        assert batched_cache.stats.hits + batched_cache.stats.misses \
+            == batched_cache.stats.lookups == len(got)
+        assert (batched_cache.stats.hits, batched_cache.stats.misses,
+                batched_cache.stats.evictions) == \
+            (scalar_cache.stats.hits, scalar_cache.stats.misses,
+             scalar_cache.stats.evictions)
+        if capacity < 64:
+            assert batched_cache.stats.evictions > 0    # churn actually hit
+        assert batched_cache.stats.hits > 0             # dedup actually hit
+
+
+class TestAdaptiveClamp:
+    def _drive(self, stream, service_seconds):
+        for s in service_seconds:
+            stream._observe(s)
+            sched = stream.scheduler
+            assert 1 <= stream.batch_size <= sched.effective_max_batch
+            assert stream.batch_size >= sched.min_batch_size
+
+    def test_pathological_latency_sequence_stays_clamped(self):
+        sched = BatchScheduler(batch_size=8, latency_target=0.010,
+                               min_batch_size=2, max_batch_size=64)
+        stream = sched.iter_spans(np.arange(1000, dtype=np.float64))
+        # 100 consecutive overruns: must floor at min_batch_size, never 0.
+        self._drive(stream, [1.0] * 100)
+        assert stream.batch_size == 2
+        # 100 consecutive underruns: must cap at max_batch_size.
+        self._drive(stream, [0.0] * 100)
+        assert stream.batch_size == 64
+        # Alternating thrash stays inside the clamp window throughout.
+        self._drive(stream, [1.0, 0.0] * 200)
+
+    def test_zero_latency_target_floors_at_one(self):
+        sched = BatchScheduler(batch_size=4, latency_target=0.0)
+        stream = sched.iter_spans(np.arange(100, dtype=np.float64))
+        self._drive(stream, [0.5] * 50)
+        assert stream.batch_size == 1
+        spans = list(stream)
+        assert spans[0] == (0, 1)       # batch_size 1 still makes progress
+
+    def test_min_above_batch_size_rejected(self):
+        with pytest.raises(ValueError, match="min_batch_size"):
+            BatchScheduler(batch_size=4, min_batch_size=8)
