@@ -1,9 +1,11 @@
 """Parallel serving: measured concurrent wall clock across worker processes.
 
-The serial ``ShardedDispatcher`` *models* parallel wall clock as
-``max(shard_seconds)``; ``ParallelDispatcher`` measures it, fanning the
-Figure-8 serving mix out to persistent multiprocessing workers over columnar
-shard payloads, with and without the per-replica flow-decision cache.
+The ``sharded`` engine topology *models* parallel wall clock as
+``max(shard_seconds)``; the ``parallel`` topology measures it. Every stack
+here is built by ``PegasusEngine`` from one ``EngineConfig`` (see
+``run_parallel_throughput``), fanning the Figure-8 serving mix out to
+persistent multiprocessing workers over columnar shard payloads, with and
+without the per-replica flow-decision cache.
 
 Asserted here: every parallel configuration's decisions are **bit-identical**
 to the serial dispatcher's, and — on hosts with >= 4 usable cores (CI's

@@ -5,7 +5,8 @@ vectorized prioritized-TCAM engine — the packed (value, mask, priority)
 entries the switch would actually hold — instead of walking the clustering
 tree. This bench measures both backends at the model level (``forward_int``
 rows/sec on one large batch) and end to end (serving pps on the Figure-8
-mix), asserts the decision streams are bit-identical, and records the
+mix through a ``PegasusEngine`` with ``lookup_backend`` as the one switched
+knob), asserts the decision streams are bit-identical, and records the
 numbers in the ``tcam`` section of ``BENCH_serving.json`` so the trajectory
 artifact tracks the fidelity path's cost alongside the fast path's wins.
 """

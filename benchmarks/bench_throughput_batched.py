@@ -4,7 +4,8 @@ The batched runtime groups trace packets into NumPy batches, keeps flow
 state in preallocated slot-indexed register arrays, and calls the compiled
 model once per batch; this bench measures the packets/sec that buys on the
 Figure-8 serving workload (benign traffic + unknown attacks) at batch sizes
-{1, 32, 256, 1024} and shard counts {1, 4}. The tentpole target — >= 5x
+{1, 32, 256, 1024} and shard counts {1, 4}, every stack built by
+``PegasusEngine`` from one ``EngineConfig``. The tentpole target — >= 5x
 pps at batch 256 over batch 1 — is asserted, as is decision-count
 invariance across every configuration (batching must never change what the
 switch decides). Results land in the ``batched`` section of

@@ -7,24 +7,31 @@ Walks the whole Pegasus pipeline in ~30 seconds:
 3. compile it — lower to Partition/Map/SumReduce, fuse, fuzzy-match,
    quantize, refine,
 4. place it on a simulated Tofino-2 pipeline and verify bit-exactness,
-5. classify a replayed packet trace with per-flow switch state.
+5. serve a replayed packet trace through the `PegasusEngine` facade —
+   one `EngineConfig`, one `ServingReport`.
 
 Run:  python examples/quickstart.py
+(`QUICKSTART_FLOWS_PER_CLASS` shrinks the dataset, e.g. for CI smoke runs.)
 """
+
+import os
 
 import numpy as np
 
+from repro import EngineConfig, PegasusEngine
 from repro.core import PegasusCompiler, CompilerConfig
-from repro.dataplane import TOFINO2, place_model, WindowedClassifierRuntime
+from repro.dataplane import TOFINO2, place_model
 from repro.eval.metrics import macro_f1
 from repro.models import build_model
 from repro.net import make_dataset
 from repro.net.features import dataset_views
 
+FLOWS_PER_CLASS = int(os.environ.get("QUICKSTART_FLOWS_PER_CLASS", "80"))
+
 
 def main():
     print("=== 1. synthetic traffic ===")
-    dataset = make_dataset("peerrush", flows_per_class=80, seed=0)
+    dataset = make_dataset("peerrush", flows_per_class=FLOWS_PER_CLASS, seed=0)
     train_flows, _val, test_flows = dataset.split(rng=0)
     train_views = dataset_views(train_flows)
     test_views = dataset_views(test_flows)
@@ -59,12 +66,16 @@ def main():
           f"TCAM: {compiled.tcam_bits() / TOFINO2.total_tcam_bits:.2%}")
     print("pipeline execution is bit-exact with the compiled model")
 
-    print("\n=== 5. classify a live packet trace ===")
-    runtime = WindowedClassifierRuntime(compiled, feature_mode="stats")
-    decisions = runtime.process_flows(test_flows)
-    acc = np.mean([d.predicted == d.flow_label for d in decisions])
-    print(f"{len(decisions)} per-packet decisions, accuracy {acc:.3f}; "
-          f"per-flow state: {runtime.bits_per_flow} bits")
+    print("\n=== 5. serve a live packet trace through the engine ===")
+    config = EngineConfig(feature_mode="stats", batch_size=256,
+                          decision_cache=True, topology="sharded", n_workers=2)
+    with PegasusEngine.from_compiled(compiled, config) as engine:
+        report = engine.serve_flows(test_flows)
+    print(f"{report.n_decisions} per-packet decisions over "
+          f"{report.n_packets} packets, accuracy {report.accuracy:.3f}")
+    print(f"{report.pps:,.0f} pps serial / {report.pps_parallel:,.0f} pps at "
+          f"the critical path ({config.n_workers} shards); "
+          f"cache hit rate {report.cache_stats.hit_rate:.1%}")
 
 
 if __name__ == "__main__":

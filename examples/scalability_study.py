@@ -12,20 +12,16 @@ Run:  PYTHONPATH=src python examples/scalability_study.py
 Expected runtime: ~2 minutes (documented in README.md).
 """
 
-import time
-
 import numpy as np
 
+from repro import EngineConfig, PegasusEngine
 from repro.core import PegasusCompiler, CompilerConfig
 from repro.dataplane import place_model, TOFINO2
-from repro.dataplane.runtime import WindowedClassifierRuntime
 from repro.eval.metrics import macro_f1
 from repro.models import build_model
 from repro.models.cnn import CNNL
 from repro.net import make_dataset
 from repro.net.features import dataset_views
-from repro.serving import (BatchScheduler, FlowDecisionCache,
-                           ParallelDispatcher, ShardedDispatcher)
 
 
 def main():
@@ -71,48 +67,40 @@ def main():
     print("\n=== 4. batched serving throughput (batch size x shards) ===")
     mlp = PegasusCompiler(CompilerConfig(fuzzy_leaves=256)) \
         .compile_sequential(model.net, calib).compiled
-    n_packets = sum(len(f) for f in test_flows)
     print(f"{'config':>12s} {'pps':>12s} {'decisions':>10s}")
     for batch_size in (1, 32, 256, 1024):
-        runtime = WindowedClassifierRuntime(mlp, feature_mode="stats",
-                                            batch_size=batch_size)
-        start = time.perf_counter()
-        decisions = runtime.process_flows(test_flows)
-        pps = n_packets / max(time.perf_counter() - start, 1e-9)
-        print(f"{'batch=' + str(batch_size):>12s} {pps:12.0f} {len(decisions):10d}")
+        report = PegasusEngine.from_compiled(
+            mlp, EngineConfig(feature_mode="stats", batch_size=batch_size)
+        ).serve_flows(test_flows)
+        print(f"{'batch=' + str(batch_size):>12s} {report.pps:12.0f} "
+              f"{report.n_decisions:10d}")
     # Throughput sweep: flush on batch-full only. A trace-time `timeout`
     # would trade decision latency for batch amortization (the synthetic
     # traces are slow enough that 50 ms holds only a handful of packets).
     for shards in (1, 4):
-        dispatcher = ShardedDispatcher(
-            runtime_factory=lambda: WindowedClassifierRuntime(
-                mlp, feature_mode="stats", batch_size=256),
-            n_shards=shards,
-            scheduler=BatchScheduler(batch_size=256))
-        decisions = dispatcher.serve_flows(test_flows)
-        # Replicas replay serially here: model the parallel wall clock as
-        # the slowest shard's replay time (section 5 measures the real one).
-        pps = n_packets / max(max(dispatcher.shard_seconds), 1e-9)
-        print(f"{'shards=' + str(shards):>12s} {pps:12.0f} {len(decisions):10d}")
+        report = PegasusEngine.from_compiled(
+            mlp, EngineConfig(feature_mode="stats", batch_size=256,
+                              topology="sharded", n_workers=shards)
+        ).serve_flows(test_flows)
+        # Sharded replicas replay serially: pps_parallel models the parallel
+        # wall clock as the slowest shard (section 5 measures the real one).
+        print(f"{'shards=' + str(shards):>12s} {report.pps_parallel:12.0f} "
+              f"{report.n_decisions:10d}")
 
     print("\n=== 5. parallel serving: measured wall clock + decision cache ===")
     print(f"{'config':>22s} {'pps':>12s} {'hit rate':>9s} {'decisions':>10s}")
     for workers in (1, 2, 4):
         for cached in (False, True):
-            def factory(cached=cached):
-                cache = FlowDecisionCache(65536) if cached else None
-                return WindowedClassifierRuntime(
-                    mlp, feature_mode="stats", batch_size=256,
-                    decision_cache=cache)
-            with ParallelDispatcher(
-                    runtime_factory=factory, n_workers=workers,
-                    scheduler=BatchScheduler(batch_size=256)) as dispatcher:
-                decisions = dispatcher.serve_flows(test_flows)
-                pps = n_packets / max(dispatcher.wall_seconds, 1e-9)
-                hit = (f"{dispatcher.cache_stats.hit_rate:9.2%}"
-                       if cached else f"{'-':>9s}")
-                label = f"workers={workers}{'+cache' if cached else ''}"
-                print(f"{label:>22s} {pps:12.0f} {hit} {len(decisions):10d}")
+            config = EngineConfig(feature_mode="stats", batch_size=256,
+                                  decision_cache=cached,
+                                  topology="parallel", n_workers=workers)
+            with PegasusEngine.from_compiled(mlp, config) as engine:
+                report = engine.serve_flows(test_flows)
+            hit = (f"{report.cache_stats.hit_rate:9.2%}"
+                   if cached else f"{'-':>9s}")
+            label = f"workers={workers}{'+cache' if cached else ''}"
+            print(f"{label:>22s} {report.pps:12.0f} {hit} "
+                  f"{report.n_decisions:10d}")
 
 
 if __name__ == "__main__":

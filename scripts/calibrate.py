@@ -2,20 +2,17 @@
 
 For each synthetic dataset this trains a small float MLP on the statistical
 features, compiles it to mapping tables, and replays the test flows through
-the **batched** `WindowedClassifierRuntime` — so the number reported is the
+a **batched** local `PegasusEngine` — so the number reported is the
 packet-level accuracy the software dataplane actually serves, not just the
 offline window accuracy. Expected runtime: ~1 minute for all three
 datasets (documented in README.md).
 
 Run:  PYTHONPATH=src python scripts/calibrate.py
 """
-import time
-
 import numpy as np
 
-from repro import nn
+from repro import EngineConfig, PegasusEngine, nn
 from repro.core import PegasusCompiler, CompilerConfig
-from repro.dataplane.runtime import WindowedClassifierRuntime
 from repro.net import make_dataset
 from repro.net.features import dataset_views
 
@@ -33,18 +30,14 @@ def check(name, seed=0):
     float_acc = (pred == vte["y"]).mean()
 
     # Compile to mapping tables and replay the test trace through the
-    # batched runtime: the per-packet accuracy the dataplane actually serves.
+    # serving engine: the per-packet accuracy the dataplane actually serves.
     model.eval_mode()
     compiled = PegasusCompiler(CompilerConfig(refine=False)).compile_sequential(
         model, vtr["stats"].astype(np.int64)).compiled
-    runtime = WindowedClassifierRuntime(compiled, feature_mode="stats", batch_size=256)
-    start = time.perf_counter()
-    decisions = runtime.process_flows(te)
-    elapsed = time.perf_counter() - start
-    replay_acc = float(np.mean([d.predicted == d.flow_label for d in decisions])) \
-        if decisions else 0.0
-    n_packets = sum(len(f) for f in te)
-    return float_acc, replay_acc, n_packets / max(elapsed, 1e-9)
+    engine = PegasusEngine.from_compiled(
+        compiled, EngineConfig(feature_mode="stats", batch_size=256))
+    report = engine.serve_flows(te)
+    return float_acc, report.accuracy or 0.0, report.pps
 
 
 if __name__ == "__main__":

@@ -15,10 +15,15 @@ This package reproduces the SIGCOMM 2025 Pegasus system end to end:
 - :mod:`repro.baselines` — N3IC, BoS and Leo reimplementations.
 - :mod:`repro.eval` — metrics and the experiment harness behind every table
   and figure in the paper's evaluation.
+- :mod:`repro.serving` — the production serving layer: batch scheduling,
+  sharded/parallel dispatch, flow-decision caching, and the
+  :class:`PegasusEngine` facade that builds the whole stack from one
+  :class:`EngineConfig`.
 """
 
 from repro.errors import (
     PegasusError,
+    ConfigError,
     ShapeError,
     QuantizationError,
     CompilationError,
@@ -28,11 +33,26 @@ from repro.errors import (
     TrainingError,
 )
 
-__version__ = "1.1.0"
+# The public serving API: one engine, one config, one report. The dispatcher
+# and runtime names are the deprecated direct entry points (still working,
+# warning on construction) so users never need internal module paths.
+from repro.serving import (
+    BatchScheduler,
+    EngineConfig,
+    FlowDecisionCache,
+    ParallelDispatcher,
+    PegasusEngine,
+    ServingReport,
+    ShardedDispatcher,
+)
+from repro.dataplane import TwoStageRuntime, WindowedClassifierRuntime
+
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
     "PegasusError",
+    "ConfigError",
     "ShapeError",
     "QuantizationError",
     "CompilationError",
@@ -40,4 +60,13 @@ __all__ = [
     "PipelineError",
     "TraceFormatError",
     "TrainingError",
+    "BatchScheduler",
+    "EngineConfig",
+    "FlowDecisionCache",
+    "ParallelDispatcher",
+    "PegasusEngine",
+    "ServingReport",
+    "ShardedDispatcher",
+    "TwoStageRuntime",
+    "WindowedClassifierRuntime",
 ]

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import CompilationError, ShapeError
+from repro.errors import CompilationError, ConfigError, ShapeError
 from repro.core.fuzzy import FuzzyTree
 from repro.core.primitives import MapStep, PrimitiveProgram, SumReduceStep
 from repro.utils.fixed_point import QFormat, choose_qformat
@@ -33,8 +33,8 @@ LOOKUP_BACKENDS = ("index", "tcam")
 
 def _check_backend(lookup_backend: str) -> None:
     if lookup_backend not in LOOKUP_BACKENDS:
-        raise ValueError(f"unknown lookup_backend {lookup_backend!r}; "
-                         f"expected one of {LOOKUP_BACKENDS}")
+        raise ConfigError("lookup_backend", lookup_backend,
+                          allowed=LOOKUP_BACKENDS)
 
 
 @dataclass

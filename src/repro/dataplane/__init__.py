@@ -17,8 +17,11 @@ from repro.dataplane.pipeline import Pipeline, place_model, TablePlacement, Stag
 from repro.dataplane.registers import (FlowStateTable, FlowStateLayout,
                                        RegisterField, VectorFlowState)
 from repro.dataplane.resources import ResourceReport, summarize_resources
-from repro.dataplane.runtime import (WindowedClassifierRuntime, TwoStageRuntime,
-                                     PacketDecision, DEFAULT_BATCH_SIZE)
+from repro.dataplane.runtime import PacketDecision, DEFAULT_BATCH_SIZE
+# Package-level runtime names are deprecation shims: direct construction
+# still works but warns, pointing at repro.serving.PegasusEngine. Internal
+# callers import the real classes from repro.dataplane.runtime.
+from repro.dataplane.compat import WindowedClassifierRuntime, TwoStageRuntime
 from repro.dataplane.throughput import line_rate_pps, measure_model_throughput
 
 __all__ = [

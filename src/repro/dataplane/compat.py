@@ -1,0 +1,41 @@
+"""Deprecation shims: direct runtime construction via the package namespace.
+
+``repro.dataplane`` keeps exporting :class:`WindowedClassifierRuntime` and
+:class:`TwoStageRuntime` under their old names, but constructing them that
+way now emits a :class:`DeprecationWarning` pointing at
+:class:`repro.serving.PegasusEngine` — the one build path that wires the
+scheduler, cache, lookup backend, and topology consistently. Internal code
+(the engine's runtime-kind builders, ``CNNL.make_runtime``, the tests'
+reference stacks) constructs the real classes in
+:mod:`repro.dataplane.runtime` and never warns.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from repro.dataplane import runtime as _runtime
+
+
+def _warn(old: str, hint: str) -> None:
+    warnings.warn(
+        f"constructing {old} directly is deprecated; use "
+        f"repro.serving.PegasusEngine.{hint} instead",
+        # _warn -> __post_init__ -> dataclass-generated __init__ -> caller
+        DeprecationWarning, stacklevel=4)
+
+
+class WindowedClassifierRuntime(_runtime.WindowedClassifierRuntime):
+    """Deprecated alias — see :class:`repro.serving.PegasusEngine`."""
+
+    def __post_init__(self):
+        _warn("WindowedClassifierRuntime", "from_compiled(compiled, ...)")
+        super().__post_init__()
+
+
+class TwoStageRuntime(_runtime.TwoStageRuntime):
+    """Deprecated alias — see :class:`repro.serving.PegasusEngine`."""
+
+    def __post_init__(self):
+        _warn("TwoStageRuntime", "from_model(model, runtime='two_stage')")
+        super().__post_init__()

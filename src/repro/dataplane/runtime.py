@@ -64,6 +64,7 @@ import numpy as np
 
 from repro.core.fuzzy import FuzzyTree
 from repro.core.mapping import CompiledModel, _check_backend
+from repro.errors import ConfigError
 from repro.net.features import (length_bucket, ipd_bucket, stats_from_buckets,
                                 length_bucket_array, ipd_bucket_array)
 from repro.net.flow import Flow
@@ -181,6 +182,10 @@ class _BatchedReplayMixin:
     """
 
     required_columns: tuple[str, ...] = ("ts",)
+    # FlushStats of the last replay's span stream (None when the replay ran
+    # on precomputed spans or fixed batch cuts) — read by the serving engine
+    # so a scheduler-driven replay needs no second timestamp pass.
+    last_flush_stats = None
 
     def set_lookup_backend(self, lookup_backend: str) -> None:
         """Switch the model-lookup execution backend, with validation.
@@ -262,7 +267,7 @@ class _BatchedReplayMixin:
         if spans is None:
             b = int(self.batch_size if batch_size is None else batch_size)
             if b < 1:
-                raise ValueError(f"batch_size must be >= 1, got {b}")
+                raise ConfigError("batch_size", b, allowed=">= 1")
             spans = [(i, min(i + b, n)) for i in range(0, n, b)]
         decisions: list[PacketDecision] = []
         for start, stop, slots in self._slot_batches(keys, spans):
@@ -271,6 +276,7 @@ class _BatchedReplayMixin:
             self._process_batch(slots, keys[start:stop],
                                 batch_columns(start, stop),
                                 labels[start:stop], start, decisions)
+        self.last_flush_stats = getattr(spans, "stats", None)
         return decisions
 
     def _batch_columns(self, cols: dict[str, np.ndarray], trace: Trace,
@@ -412,7 +418,8 @@ class WindowedClassifierRuntime(_BatchedReplayMixin):
 
     def __post_init__(self):
         if self.feature_mode not in ("seq", "stats"):
-            raise ValueError(f"unknown feature mode {self.feature_mode!r}")
+            raise ConfigError("feature_mode", self.feature_mode,
+                              allowed=("seq", "stats"))
         self.set_lookup_backend(self.lookup_backend)
         hist = self.window - 1
         layout = FlowStateLayout(fields=[
@@ -425,9 +432,10 @@ class WindowedClassifierRuntime(_BatchedReplayMixin):
 
     def _enable_tcam(self) -> None:
         if not isinstance(self.model, CompiledModel):
-            raise ValueError(
-                "lookup_backend='tcam' requires a CompiledModel; a placed "
-                "Pipeline executes its own table layout")
+            raise ConfigError(
+                "lookup_backend", "tcam",
+                reason="requires a CompiledModel; a placed Pipeline executes "
+                       "its own table layout")
         from repro.dataplane.tcam import tcam_table_report
         tcam_table_report(self.model)   # compile + cache every fuzzy table
 
@@ -591,7 +599,9 @@ class TwoStageRuntime(_BatchedReplayMixin):
 
     def __post_init__(self):
         if len(self.slot_values) != self.window:
-            raise ValueError("one slot value table per window slot required")
+            raise ConfigError(
+                "slot_values", len(self.slot_values),
+                allowed=f"{self.window} tables (one per window slot)")
         self.set_lookup_backend(self.lookup_backend)
         fields = [RegisterField("count", 8),
                   RegisterField("idx_hist", self.idx_bits, count=self.window - 1)]
@@ -611,10 +621,11 @@ class TwoStageRuntime(_BatchedReplayMixin):
 
     def _enable_tcam(self) -> None:
         if self.feature_fn is not None:
-            raise ValueError(
-                "lookup_backend='tcam' needs integer raw-byte keys; a "
-                "refined feature_fn produces float features the fixed-width "
-                "TCAM key cannot encode")
+            raise ConfigError(
+                "lookup_backend", "tcam",
+                reason="needs integer raw-byte keys; a refined feature_fn "
+                       "produces float features the fixed-width TCAM key "
+                       "cannot encode")
         if self._extractor_tcam is None:
             from repro.dataplane.tcam import TcamSegment
             self._extractor_tcam = TcamSegment.from_tree(

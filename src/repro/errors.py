@@ -11,6 +11,40 @@ class PegasusError(Exception):
     """Base class for every error raised by this library."""
 
 
+class ConfigError(PegasusError, ValueError):
+    """A configuration field holds a value the library cannot serve.
+
+    Raised by every configuration surface — :class:`repro.serving.EngineConfig`,
+    the batch scheduler, the dispatchers, the lookup-backend check — so callers
+    can catch one typed error at the API boundary. Also a :class:`ValueError`
+    subclass, because these were historically bare ``ValueError`` s.
+
+    ``field`` names the offending knob, ``value`` is what was passed, and
+    ``allowed`` (a sequence of choices or a descriptive string like ``">= 1"``)
+    says what would have been accepted.
+    """
+
+    def __init__(self, field: str, value, allowed=None, reason: str | None = None):
+        self.field = field
+        self.value = value
+        self.allowed = allowed
+        self.reason = reason
+        msg = f"invalid {field}={value!r}"
+        if reason:
+            msg += f": {reason}"
+        if allowed is not None:
+            shown = allowed if isinstance(allowed, str) else tuple(allowed)
+            msg += f" (allowed: {shown})"
+        super().__init__(msg)
+
+    def __reduce__(self):
+        # Exception.__reduce__ would replay __init__ with args=(msg,), which
+        # does not match this signature — rebuild from the real fields so the
+        # error survives pickling across worker process boundaries.
+        return (type(self), (self.field, self.value, self.allowed,
+                             self.reason))
+
+
 class ShapeError(PegasusError):
     """An array or vector had an incompatible shape."""
 

@@ -253,50 +253,40 @@ def run_batched_throughput(flows_per_class: int = 120, seed: int = 0,
     """Software-dataplane packets/sec of the batched runtime (serving study).
 
     Replays the Figure-8 serving mix — the benign test split plus every
-    unknown-attack flow set — through :class:`WindowedClassifierRuntime`
-    at several batch sizes, then through a
-    :class:`~repro.serving.ShardedDispatcher` at several shard counts
-    (batch 256, flush on batch-full; a trace-time timeout would trade
-    latency for amortization). Each measurement rebuilds a fresh runtime so
-    flow state starts cold; best of ``repeats`` runs.
-    Returns per-config pps plus ``speedup_256_vs_1``, the tentpole's
-    batching win.
+    unknown-attack flow set — through a ``local``-topology
+    :class:`~repro.serving.PegasusEngine` at several batch sizes, then
+    through the ``sharded`` topology at several shard counts (batch 256,
+    flush on batch-full; a trace-time timeout would trade latency for
+    amortization). Each measurement rebuilds a fresh engine so flow state
+    starts cold; best of ``repeats`` runs. Returns per-config pps plus
+    ``speedup_256_vs_1``, the tentpole's batching win.
     """
-    import time
-
-    from repro.dataplane.runtime import WindowedClassifierRuntime
-    from repro.serving import BatchScheduler, ShardedDispatcher
+    from repro.serving import EngineConfig, PegasusEngine
 
     flows, compiled = _serving_mix(dataset, flows_per_class, seed, attack_flows)
     n_packets = sum(len(f) for f in flows)
 
-    def best_of(run) -> tuple[float, int]:
-        best, n_decisions = float("inf"), 0
-        for _ in range(repeats):
-            start = time.perf_counter()
-            decisions = run()
-            best = min(best, time.perf_counter() - start)
-            n_decisions = len(decisions)
-        return n_packets / max(best, 1e-9), n_decisions
-
     results: dict = {"n_packets": n_packets, "batch": {}, "shards": {}}
     for b in batch_sizes:
-        pps, n_dec = best_of(lambda b=b: WindowedClassifierRuntime(
-            compiled, feature_mode="stats", batch_size=b).process_flows(flows))
-        results["batch"][b] = {"pps": pps, "decisions": n_dec}
+        best, n_dec = float("inf"), 0
+        for _ in range(repeats):
+            report = PegasusEngine.from_compiled(
+                compiled, EngineConfig(feature_mode="stats", batch_size=b)
+            ).serve_flows(flows)
+            best = min(best, report.wall_seconds)
+            n_dec = report.n_decisions
+        results["batch"][b] = {"pps": n_packets / max(best, 1e-9),
+                               "decisions": n_dec}
     for s in shard_counts:
         best_wall, best_critical, n_dec = float("inf"), float("inf"), 0
         for _ in range(repeats):
-            dispatcher = ShardedDispatcher(
-                runtime_factory=lambda: WindowedClassifierRuntime(
-                    compiled, feature_mode="stats", batch_size=256),
-                n_shards=s,
-                scheduler=BatchScheduler(batch_size=256))
-            start = time.perf_counter()
-            decisions = dispatcher.serve_flows(flows)
-            best_wall = min(best_wall, time.perf_counter() - start)
-            best_critical = min(best_critical, max(dispatcher.shard_seconds))
-            n_dec = len(decisions)
+            report = PegasusEngine.from_compiled(
+                compiled, EngineConfig(feature_mode="stats", batch_size=256,
+                                       topology="sharded", n_workers=s)
+            ).serve_flows(flows)
+            best_wall = min(best_wall, report.wall_seconds)
+            best_critical = min(best_critical, report.critical_seconds)
+            n_dec = report.n_decisions
         results["shards"][s] = {
             "pps": n_packets / max(best_wall, 1e-9),
             # Replicas run concurrently in a real deployment: wall clock is
@@ -321,36 +311,27 @@ def run_parallel_throughput(flows_per_class: int = 120, seed: int = 0,
 
     Replays the Figure-8 serving mix — plus ``elephant_flows`` constant-rate
     heavy hitters, the flood/stream-shaped traffic whose repeating windows
-    the decision cache short-circuits — through a
-    :class:`~repro.serving.ParallelDispatcher` at several worker counts,
-    with and without the per-replica flow-decision cache, and through a
-    :class:`~repro.serving.ShardedDispatcher` with the same shard count as
-    the serial reference. Every parallel run is checked **bit-identical**
-    to its serial reference (``all_match_serial``). Each measurement
-    rebuilds fresh dispatchers so flow state starts cold; workers are
-    started before timing so ``wall_seconds`` is pure serve time; best of
-    ``repeats`` runs. ``speedup_4_vs_1`` compares measured wall clock at 4
-    workers vs 1 — real concurrency, not the serial dispatcher's
-    ``max(shard_seconds)`` model (expect ~1x on a single-core host).
+    the decision cache short-circuits — through a ``parallel``-topology
+    :class:`~repro.serving.PegasusEngine` at several worker counts, with and
+    without the per-replica flow-decision cache, and through the ``sharded``
+    topology with the same shard count as the serial reference. Every
+    parallel run is checked **bit-identical** to its serial reference
+    (``all_match_serial``). Each measurement rebuilds a fresh engine so flow
+    state starts cold; workers are started before timing so ``wall_seconds``
+    is pure serve time; best of ``repeats`` runs. ``speedup_4_vs_1``
+    compares measured wall clock at 4 workers vs 1 — real concurrency, not
+    the sharded topology's ``max(shard_seconds)`` model (expect ~1x on a
+    single-core host).
     """
-    import time
+    from dataclasses import replace
 
-    from repro.dataplane.runtime import WindowedClassifierRuntime
-    from repro.serving import (BatchScheduler, FlowDecisionCache,
-                               ParallelDispatcher, ShardedDispatcher)
+    from repro.serving import EngineConfig, PegasusEngine
 
     flows, compiled = _serving_mix(dataset, flows_per_class, seed, attack_flows,
                                    elephant_flows=elephant_flows)
     n_packets = sum(len(f) for f in flows)
-    scheduler = BatchScheduler(batch_size=batch_size)
-
-    def factory(cached: bool):
-        def build():
-            cache = FlowDecisionCache(cache_capacity) if cached else None
-            return WindowedClassifierRuntime(
-                compiled, feature_mode="stats", batch_size=batch_size,
-                decision_cache=cache)
-        return build
+    base = EngineConfig(feature_mode="stats", batch_size=batch_size,
+                        cache_capacity=cache_capacity)
 
     results: dict = {"n_packets": n_packets, "workers": {}}
     all_match = True
@@ -358,11 +339,11 @@ def run_parallel_throughput(flows_per_class: int = 120, seed: int = 0,
         serial_wall = float("inf")
         reference = None
         for _ in range(repeats):
-            serial = ShardedDispatcher(runtime_factory=factory(False),
-                                       n_shards=n, scheduler=scheduler)
-            start = time.perf_counter()
-            reference = serial.serve_flows(flows)
-            serial_wall = min(serial_wall, time.perf_counter() - start)
+            report = PegasusEngine.from_compiled(
+                compiled, replace(base, topology="sharded", n_workers=n)
+            ).serve_flows(flows)
+            reference = report.decisions
+            serial_wall = min(serial_wall, report.wall_seconds)
         entry: dict = {
             "serial_pps": n_packets / max(serial_wall, 1e-9),
             "decisions": len(reference),
@@ -370,12 +351,14 @@ def run_parallel_throughput(flows_per_class: int = 120, seed: int = 0,
         for label, cached in (("parallel", False), ("parallel_cached", True)):
             best_wall, decisions, hit_rate = float("inf"), None, 0.0
             for _ in range(repeats):
-                with ParallelDispatcher(runtime_factory=factory(cached),
-                                        n_workers=n,
-                                        scheduler=scheduler) as dispatcher:
-                    decisions = dispatcher.serve_flows(flows)
-                    best_wall = min(best_wall, dispatcher.wall_seconds)
-                    hit_rate = dispatcher.cache_stats.hit_rate
+                with PegasusEngine.from_compiled(
+                        compiled, replace(base, topology="parallel",
+                                          n_workers=n, decision_cache=cached)
+                ) as engine:
+                    report = engine.serve_flows(flows)
+                    decisions = report.decisions
+                    best_wall = min(best_wall, report.wall_seconds)
+                    hit_rate = report.cache_stats.hit_rate
             matches = decisions == reference
             all_match = all_match and matches
             entry[label] = {
@@ -417,18 +400,18 @@ def run_tcam_equivalence(flows_per_class: int = 120, seed: int = 0,
     2. **table level** — TCAM fuzzy indices equal the tree walk on in-domain
        *and* out-of-domain keys (the fixed-width key clamp);
     3. **serving level** — the full matrix of workers {1,2,4} x cache on/off
-       x ``ShardedDispatcher``/``ParallelDispatcher`` with
-       ``lookup_backend="tcam"`` reproduces the index-backend reference
-       decision stream exactly.
+       x ``sharded``/``parallel`` :class:`~repro.serving.PegasusEngine`
+       topologies with ``lookup_backend="tcam"`` reproduces the
+       index-backend reference decision stream exactly.
 
     Returns per-table encoding/entry rows plus ``all_match`` — the bit the
     CI equivalence gate (and the README fidelity claim) rests on.
     """
-    from repro.dataplane.runtime import WindowedClassifierRuntime
+    from dataclasses import replace
+
     from repro.dataplane.tcam import tcam_table_report
     from repro.core.crc import lookup_prioritized
-    from repro.serving import (BatchScheduler, FlowDecisionCache,
-                               ParallelDispatcher, ShardedDispatcher)
+    from repro.serving import EngineConfig, PegasusEngine
 
     flows, compiled = _serving_mix(dataset, flows_per_class, seed, attack_flows,
                                    elephant_flows=elephant_flows)
@@ -467,33 +450,26 @@ def run_tcam_equivalence(flows_per_class: int = 120, seed: int = 0,
             tables[ti]["table_match"] = bool(np.array_equal(got, want))
             ti += 1
 
-    scheduler = BatchScheduler(batch_size=batch_size)
-
-    def factory(cached: bool):
-        def build():
-            cache = FlowDecisionCache(cache_capacity) if cached else None
-            return WindowedClassifierRuntime(
-                compiled, feature_mode="stats", batch_size=batch_size,
-                decision_cache=cache)
-        return build
+    base = EngineConfig(feature_mode="stats", batch_size=batch_size,
+                        cache_capacity=cache_capacity)
 
     matrix: dict = {}
     serving_match = True
     for n in worker_counts:
-        reference = ShardedDispatcher(
-            runtime_factory=factory(False), n_shards=n,
-            scheduler=scheduler).serve_flows(flows)
+        reference = PegasusEngine.from_compiled(
+            compiled, replace(base, topology="sharded", n_workers=n)
+        ).serve_flows(flows).decisions
         entry: dict = {"decisions": len(reference)}
         for cached in (False, True):
-            sharded = ShardedDispatcher(
-                runtime_factory=factory(cached), n_shards=n,
-                scheduler=scheduler, lookup_backend="tcam")
-            sharded_ok = sharded.serve_flows(flows) == reference
-            with ParallelDispatcher(
-                    runtime_factory=factory(cached), n_workers=n,
-                    scheduler=scheduler,
-                    lookup_backend="tcam") as dispatcher:
-                parallel_ok = dispatcher.serve_flows(flows) == reference
+            def tcam(topology):
+                return replace(base, lookup_backend="tcam", n_workers=n,
+                               decision_cache=cached, topology=topology)
+            sharded_ok = PegasusEngine.from_compiled(
+                compiled, tcam("sharded")
+            ).serve_flows(flows).decisions == reference
+            with PegasusEngine.from_compiled(
+                    compiled, tcam("parallel")) as engine:
+                parallel_ok = engine.serve_flows(flows).decisions == reference
             entry[f"cache_{'on' if cached else 'off'}"] = {
                 "sharded_match": sharded_ok, "parallel_match": parallel_ok}
             serving_match = serving_match and sharded_ok and parallel_ok
@@ -524,17 +500,18 @@ def run_tcam_throughput(flows_per_class: int = 120, seed: int = 0,
     - **model level** — ``forward_int`` rows/sec on one large random batch,
       isolating pure lookup-engine cost (tree walk vs masked-compare +
       priority reduction over the packed entries);
-    - **serving level** — end-to-end :class:`WindowedClassifierRuntime`
-      replay pps on the Figure-8 serving mix, the number that tells you what
-      hardware-faithful emulation costs in the serving path.
+    - **serving level** — end-to-end ``local``-topology
+      :class:`~repro.serving.PegasusEngine` replay pps on the Figure-8
+      serving mix, the number that tells you what hardware-faithful
+      emulation costs in the serving path.
 
     Decisions are asserted identical across backends (``matches_index``);
     TCAM compilation is warmed up-front so timings exclude it.
     """
     import time
 
-    from repro.dataplane.runtime import WindowedClassifierRuntime
     from repro.dataplane.tcam import tcam_table_report
+    from repro.serving import EngineConfig, PegasusEngine
 
     flows, compiled = _serving_mix(dataset, flows_per_class, seed, attack_flows,
                                    elephant_flows=elephant_flows)
@@ -571,12 +548,13 @@ def run_tcam_throughput(flows_per_class: int = 120, seed: int = 0,
         best = float("inf")
         decisions = None
         for _ in range(repeats):
-            runtime = WindowedClassifierRuntime(
-                compiled, feature_mode="stats", batch_size=batch_size,
-                lookup_backend=backend)
-            start = time.perf_counter()
-            decisions = runtime.process_flows(flows)
-            best = min(best, time.perf_counter() - start)
+            report = PegasusEngine.from_compiled(
+                compiled, EngineConfig(feature_mode="stats",
+                                       batch_size=batch_size,
+                                       lookup_backend=backend)
+            ).serve_flows(flows)
+            decisions = report.decisions
+            best = min(best, report.wall_seconds)
         if reference is None:
             reference = decisions
         else:

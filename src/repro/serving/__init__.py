@@ -3,7 +3,13 @@
 The dataplane runtimes in :mod:`repro.dataplane.runtime` decide one packet
 at a time when driven through ``process_packet``; this package is the
 throughput path that drives them in **NumPy batches** across **multiple
-pipeline replicas** — serially simulated or genuinely concurrent:
+pipeline replicas** — serially simulated or genuinely concurrent.
+
+The front door is :class:`PegasusEngine` (:mod:`repro.serving.engine`): one
+frozen :class:`EngineConfig` names the runtime kind, lookup backend,
+scheduler, cache, and topology; the engine builds and owns the whole stack
+and every serve returns one merged :class:`ServingReport`. The pieces it
+assembles (all still importable for reference stacks and tests):
 
 - :class:`BatchScheduler` — immutable batch-cutting config: flush when full
   (``batch_size``) or when the oldest buffered packet has waited ``timeout``
@@ -31,11 +37,10 @@ every factory-built replica, bit-identical decisions either way.
 
 End-to-end example (train → compile → serve)::
 
-    from repro.dataplane import WindowedClassifierRuntime
     from repro.models import build_model
     from repro.net import make_dataset
     from repro.net.features import dataset_views
-    from repro.serving import BatchScheduler, ShardedDispatcher
+    from repro.serving import EngineConfig, PegasusEngine
 
     ds = make_dataset("peerrush", flows_per_class=60, seed=0)
     train, _val, test = ds.split(rng=0)
@@ -44,12 +49,14 @@ End-to-end example (train → compile → serve)::
     model.train(views)
     model.compile_dataplane(views)
 
-    dispatcher = ShardedDispatcher(
-        runtime_factory=lambda: WindowedClassifierRuntime(
-            model.compiled, feature_mode="stats", batch_size=256),
-        n_shards=4,
-        scheduler=BatchScheduler(batch_size=256, timeout=0.050))
-    decisions = dispatcher.serve_flows(test)   # global trace order
+    config = EngineConfig(feature_mode="stats", batch_size=256,
+                          timeout=0.050, topology="sharded", n_workers=4)
+    with PegasusEngine.from_model(model, config) as engine:
+        report = engine.serve_flows(test)      # ServingReport
+    decisions = report.decisions               # global trace order
+
+Direct dispatcher/runtime construction still works but is deprecated
+(:mod:`repro.serving.compat`); the engine is the supported build path.
 
 Sharded + batched + parallel + cached replay is bit-identical to per-packet
 replay (same decisions, same order) whenever register capacity does not
@@ -59,18 +66,30 @@ bind — the regression tests in ``tests/test_dataplane_batched.py``,
 
 from repro.serving.scheduler import BatchScheduler, FlushStats, SpanStream
 from repro.serving.cache import CacheStats, FlowDecisionCache
-from repro.serving.dispatcher import (ShardedDispatcher, shard_hash,
-                                      shard_hash_columns)
-from repro.serving.parallel import ParallelDispatcher
+from repro.serving.dispatcher import shard_hash, shard_hash_columns
+from repro.serving.engine import (EngineConfig, PegasusEngine, ServingReport,
+                                  register_lookup_backend,
+                                  register_runtime_kind, register_topology)
+# The package-level dispatcher names are deprecation shims: direct
+# construction still works but warns, pointing at PegasusEngine. The engine
+# (and anything else that wants the un-deprecated classes) imports from
+# repro.serving.dispatcher / repro.serving.parallel directly.
+from repro.serving.compat import ParallelDispatcher, ShardedDispatcher
 
 __all__ = [
     "BatchScheduler",
     "CacheStats",
+    "EngineConfig",
     "FlowDecisionCache",
     "FlushStats",
     "ParallelDispatcher",
+    "PegasusEngine",
+    "ServingReport",
     "ShardedDispatcher",
     "SpanStream",
+    "register_lookup_backend",
+    "register_runtime_kind",
+    "register_topology",
     "shard_hash",
     "shard_hash_columns",
 ]

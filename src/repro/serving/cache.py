@@ -32,6 +32,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass
 
+from repro.errors import ConfigError
+
 # Placeholder a batched replay inserts at the cache position where the scalar
 # path would have inserted the real decision, before the batch's single model
 # invocation has produced it. Reserving the slot in row order keeps the LRU
@@ -78,7 +80,8 @@ class FlowDecisionCache:
 
     def __init__(self, capacity: int = 65536):
         if capacity < 1:
-            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+            raise ConfigError("capacity", capacity, allowed=">= 1",
+                              reason="cache capacity")
         self.capacity = capacity
         self.stats = CacheStats()
         self._entries: OrderedDict = OrderedDict()

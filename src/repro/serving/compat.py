@@ -1,0 +1,40 @@
+"""Deprecation shims: the pre-engine serving entry points, still working.
+
+:class:`repro.serving.PegasusEngine` is the supported way to build a serving
+stack; the directly-constructed dispatchers remain available under their old
+names so existing callers keep working, but emit a :class:`DeprecationWarning`
+pointing at the engine. The engine itself constructs the underlying classes
+(:mod:`repro.serving.dispatcher`, :mod:`repro.serving.parallel`) directly, so
+engine-built stacks never warn.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from repro.serving import dispatcher as _dispatcher
+from repro.serving import parallel as _parallel
+
+
+def _warn(old: str, hint: str) -> None:
+    warnings.warn(
+        f"constructing {old} directly is deprecated; use "
+        f"repro.serving.PegasusEngine with EngineConfig({hint}) instead",
+        # _warn -> __post_init__ -> dataclass-generated __init__ -> caller
+        DeprecationWarning, stacklevel=4)
+
+
+class ShardedDispatcher(_dispatcher.ShardedDispatcher):
+    """Deprecated alias — see :class:`repro.serving.PegasusEngine`."""
+
+    def __post_init__(self):
+        _warn("ShardedDispatcher", "topology='sharded', n_workers=...")
+        super().__post_init__()
+
+
+class ParallelDispatcher(_parallel.ParallelDispatcher):
+    """Deprecated alias — see :class:`repro.serving.PegasusEngine`."""
+
+    def __post_init__(self):
+        _warn("ParallelDispatcher", "topology='parallel', n_workers=...")
+        super().__post_init__()

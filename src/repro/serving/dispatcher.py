@@ -35,6 +35,7 @@ from typing import Any, Callable
 import numpy as np
 
 from repro.dataplane.runtime import flows_to_trace
+from repro.errors import ConfigError
 from repro.net.packet import FlowKey
 from repro.net.traces import KEY_COLUMN_NAMES, Trace
 from repro.serving.cache import CacheStats
@@ -113,7 +114,7 @@ class ShardedDispatcher:
 
     def __post_init__(self):
         if self.n_shards < 1:
-            raise ValueError(f"n_shards must be >= 1, got {self.n_shards}")
+            raise ConfigError("n_shards", self.n_shards, allowed=">= 1")
         self.runtimes = [self.runtime_factory() for _ in range(self.n_shards)]
         if self.lookup_backend is not None:
             for runtime in self.runtimes:

@@ -1,0 +1,762 @@
+"""`PegasusEngine`: one config, one build path, pluggable runtimes/topologies.
+
+Before this facade every consumer hand-wired its own serving stack —
+compiler output -> runtime -> :class:`BatchScheduler` -> cache -> one of the
+dispatchers — with the cross-cutting knobs (``lookup_backend``,
+``decision_cache``, ``batch_size``, ``n_workers``) validated in five
+different places. The engine replaces that with a single declarative
+deployment surface, the shape production dataplane-serving systems expose
+over heterogeneous fast paths:
+
+- :class:`EngineConfig` — one frozen dataclass naming the runtime kind,
+  feature mode, lookup backend, scheduler/AIMD settings, cache settings, and
+  topology (``local | sharded | parallel`` with ``n_workers``); validated
+  once at construction with typed :class:`~repro.errors.ConfigError` s.
+- :class:`PegasusEngine` — owns the full lifecycle: ``from_model(...)`` /
+  ``from_compiled(...)`` builders, context-manager ``start()/close()``, and
+  the uniform ``serve_flows() / serve_trace() / serve_columns()`` entry
+  points.
+- :class:`ServingReport` — one merged result per serve: decisions, wall
+  clock, per-shard breakdown, flush stats, cache stats, derived pps and
+  accuracy — replacing the old ad-hoc tuples and attribute-poking.
+
+Internally three small registries back the facade, so a new runtime kind,
+lookup backend, or dispatcher topology plugs in with **one registration**
+instead of edits to both dispatchers and both runtimes::
+
+    from repro.serving import engine
+
+    engine.register_lookup_backend("index-v2", apply=my_apply_fn)
+    engine.register_topology("ring", build=my_driver_factory)
+    engine.register_runtime_kind("my-kind", build=my_replica_builder)
+
+End-to-end usage::
+
+    from repro.serving import EngineConfig, PegasusEngine
+
+    config = EngineConfig(feature_mode="stats", batch_size=256,
+                          decision_cache=True, lookup_backend="tcam",
+                          topology="parallel", n_workers=4)
+    with PegasusEngine.from_compiled(compiled, config) as eng:
+        report = eng.serve_flows(test_flows)
+        print(report.pps, report.cache_stats.hit_rate)
+
+Every supported configuration is **bit-identical** to the equivalent
+hand-wired dispatcher/runtime stack (asserted across the full
+topology x cache x backend x runtime-kind matrix by
+``tests/test_serving_engine.py``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.dataplane.runtime import (TwoStageRuntime,
+                                     WindowedClassifierRuntime,
+                                     flows_to_trace)
+from repro.errors import ConfigError
+from repro.net.traces import (KEY_COLUMN_NAMES, Trace,
+                              canonicalize_key_columns, keys_from_columns)
+from repro.serving.cache import CacheStats, FlowDecisionCache
+from repro.serving.dispatcher import ShardedDispatcher
+from repro.serving.parallel import ParallelDispatcher
+from repro.serving.scheduler import BatchScheduler, FlushStats
+
+DEFAULT_PAYLOAD_BYTES = 60     # TwoStageRuntime's raw_bytes default
+
+
+# ---------------------------------------------------------------------------
+# Registries
+# ---------------------------------------------------------------------------
+
+class Registry:
+    """Name -> entry map with typed lookup errors.
+
+    ``config_field`` names the :class:`EngineConfig` field a failed lookup
+    reports, so a typo'd ``topology="paralel"`` raises a
+    :class:`~repro.errors.ConfigError` listing the registered choices.
+    """
+
+    def __init__(self, config_field: str):
+        self.config_field = config_field
+        self._entries: dict[str, Any] = {}
+
+    def register(self, name: str, entry, *, overwrite: bool = False):
+        if not overwrite and name in self._entries:
+            raise ConfigError(self.config_field, name,
+                              reason="already registered "
+                                     "(pass overwrite=True to replace)")
+        self._entries[name] = entry
+        return entry
+
+    def unregister(self, name: str) -> None:
+        self._entries.pop(name, None)
+
+    def get(self, name: str):
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise ConfigError(self.config_field, name,
+                              allowed=self.names()) from None
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._entries))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+
+@dataclass(frozen=True)
+class RuntimeKind:
+    """One pluggable runtime family: ``build(source, config) -> replica``."""
+
+    name: str
+    build: Callable[[Any, "EngineConfig"], Any]
+
+
+@dataclass(frozen=True)
+class LookupBackend:
+    """One pluggable model-lookup backend.
+
+    ``apply(replica)`` configures a freshly built replica to serve this
+    backend — the built-ins call ``replica.set_lookup_backend(name)``; a
+    custom backend can do anything that leaves decisions bit-identical.
+    """
+
+    name: str
+    apply: Callable[[Any], None]
+
+
+runtime_kinds = Registry("runtime")
+lookup_backends = Registry("lookup_backend")
+topologies = Registry("topology")
+
+
+def register_runtime_kind(name: str, build, *, overwrite: bool = False):
+    """Register a runtime family under ``EngineConfig(runtime=name)``."""
+    return runtime_kinds.register(name, RuntimeKind(name, build),
+                                  overwrite=overwrite)
+
+
+def register_lookup_backend(name: str, apply=None, *, overwrite: bool = False):
+    """Register a lookup backend under ``EngineConfig(lookup_backend=name)``.
+
+    Without ``apply`` the replica's own ``set_lookup_backend(name)`` is used,
+    which only accepts the core backends — so a genuinely new backend passes
+    an ``apply`` that wires its execution path into the replica.
+    """
+    if apply is None:
+        def apply(replica, _name=name):
+            replica.set_lookup_backend(_name)
+    return lookup_backends.register(name, LookupBackend(name, apply),
+                                    overwrite=overwrite)
+
+
+def register_topology(name: str, build, *, overwrite: bool = False):
+    """Register a dispatch topology under ``EngineConfig(topology=name)``.
+
+    ``build(replica_factory, config, payload_bytes)`` returns a driver with
+    ``start() / close() / serve(trace, labels, keys) -> decisions`` and the
+    telemetry attributes ``shard_seconds`` / ``flush_stats`` /
+    ``cache_stats`` (see the built-in drivers below).
+    """
+    return topologies.register(name, build, overwrite=overwrite)
+
+
+# ---------------------------------------------------------------------------
+# Config
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Everything a :class:`PegasusEngine` deployment is, in one place.
+
+    Grouped knobs (each previously validated somewhere different):
+
+    - **runtime** — ``runtime`` kind (registry), ``feature_mode``,
+      ``window``, per-replica register ``capacity``;
+    - **lookup** — ``lookup_backend`` (registry; ``"index"`` | ``"tcam"``
+      built in, bit-identical);
+    - **scheduler** — ``batch_size``, trace-time ``timeout``, AIMD
+      ``latency_target`` with ``min_batch_size`` / ``max_batch_size``;
+    - **cache** — ``decision_cache`` on/off + per-replica
+      ``cache_capacity``;
+    - **topology** — ``local`` (one replica, in-process), ``sharded``
+      (N replicas replayed serially, modeled parallel wall clock) or
+      ``parallel`` (N persistent worker processes, measured wall clock),
+      with ``n_workers`` replicas, worker ``start_method``, and
+      ``payload_bytes`` shipped per packet to two-stage replicas.
+
+    Frozen and validated once here — every downstream constructor then
+    receives values it can trust. All validation errors are
+    :class:`~repro.errors.ConfigError` s naming the field and its allowed
+    values.
+    """
+
+    runtime: str = "windowed"
+    feature_mode: str = "stats"
+    window: int = 8
+    capacity: int = 1_000_000
+    lookup_backend: str = "index"
+    batch_size: int = 256
+    timeout: float | None = None
+    latency_target: float | None = None
+    min_batch_size: int = 1
+    max_batch_size: int | None = None
+    decision_cache: bool = False
+    cache_capacity: int = 65536
+    topology: str = "local"
+    n_workers: int = 1
+    payload_bytes: int | None = None
+    start_method: str | None = None
+
+    def __post_init__(self):
+        runtime_kinds.get(self.runtime)
+        lookup_backends.get(self.lookup_backend)
+        topologies.get(self.topology)
+        if self.feature_mode not in ("seq", "stats"):
+            raise ConfigError("feature_mode", self.feature_mode,
+                              allowed=("seq", "stats"))
+        for name, lo in (("window", 2), ("capacity", 1), ("n_workers", 1),
+                         ("cache_capacity", 1)):
+            if getattr(self, name) < lo:
+                raise ConfigError(name, getattr(self, name), allowed=f">= {lo}")
+        if self.topology == "local" and self.n_workers != 1:
+            raise ConfigError("n_workers", self.n_workers, allowed="1",
+                              reason="topology='local' runs exactly one "
+                                     "replica; use 'sharded' or 'parallel' "
+                                     "to scale out")
+        if self.payload_bytes is not None and self.payload_bytes < 1:
+            raise ConfigError("payload_bytes", self.payload_bytes,
+                              allowed=">= 1 or None")
+        self.scheduler()   # delegate batch/timeout/AIMD validation
+
+    def scheduler(self) -> BatchScheduler:
+        """The (immutable) batch scheduler this config describes."""
+        return BatchScheduler(batch_size=self.batch_size,
+                              timeout=self.timeout,
+                              latency_target=self.latency_target,
+                              min_batch_size=self.min_batch_size,
+                              max_batch_size=self.max_batch_size)
+
+    def make_cache(self) -> FlowDecisionCache | None:
+        """A fresh per-replica decision cache (None when disabled)."""
+        return (FlowDecisionCache(self.cache_capacity)
+                if self.decision_cache else None)
+
+
+def _resolve_config(config: EngineConfig | None, overrides: dict
+                    ) -> EngineConfig:
+    """``(config, **overrides)`` -> one validated EngineConfig."""
+    if config is None:
+        return EngineConfig(**overrides)
+    if not isinstance(config, EngineConfig):
+        raise ConfigError("config", type(config).__name__,
+                          allowed="an EngineConfig (or None + keyword "
+                                  "overrides)")
+    return replace(config, **overrides) if overrides else config
+
+
+# ---------------------------------------------------------------------------
+# Built-in runtime kinds
+# ---------------------------------------------------------------------------
+
+def _build_windowed(source, config: EngineConfig):
+    return WindowedClassifierRuntime(
+        source, feature_mode=config.feature_mode, window=config.window,
+        capacity=config.capacity, batch_size=config.batch_size,
+        decision_cache=config.make_cache())
+
+
+# Replica knobs the engine owns: they come from EngineConfig, never from a
+# two-stage source mapping (a duplicate would otherwise collide at build).
+_ENGINE_OWNED_FIELDS = ("window", "capacity", "batch_size", "decision_cache")
+
+
+def _two_stage_spec(source) -> dict:
+    try:
+        spec = dict(source)
+    except TypeError:
+        raise ConfigError(
+            "runtime", "two_stage",
+            reason=f"source must be a mapping of TwoStageRuntime fields "
+                   f"(extractor_tree, slot_values, n_classes, ...), got "
+                   f"{type(source).__name__}") from None
+    overlap = sorted(set(spec) & set(_ENGINE_OWNED_FIELDS))
+    if overlap:
+        raise ConfigError(
+            "runtime", "two_stage",
+            reason=f"source field(s) {overlap} are EngineConfig knobs — "
+                   "set them on the config instead")
+    return spec
+
+
+def _build_two_stage(source, config: EngineConfig):
+    spec = _two_stage_spec(source)
+    return TwoStageRuntime(
+        window=config.window, capacity=config.capacity,
+        batch_size=config.batch_size, decision_cache=config.make_cache(),
+        **spec)
+
+
+register_runtime_kind("windowed", _build_windowed)
+register_runtime_kind("two_stage", _build_two_stage)
+register_lookup_backend("index")
+register_lookup_backend("tcam")
+
+
+# ---------------------------------------------------------------------------
+# Built-in topology drivers
+# ---------------------------------------------------------------------------
+
+class _LocalDriver:
+    """One in-process replica — the no-dispatcher fast path."""
+
+    def __init__(self, replica_factory, config: EngineConfig,
+                 payload_bytes: int | None):
+        self._factory = replica_factory
+        self._scheduler = config.scheduler()
+        self.runtime = None
+        self.shard_seconds: list[float] = []
+        self.flush_stats = FlushStats()
+
+    def start(self) -> None:
+        if self.runtime is None:
+            self.runtime = self._factory()
+
+    def close(self) -> None:
+        self.runtime = None     # discard replica state, like worker shutdown
+
+    def serve(self, trace: Trace, labels, keys) -> list:
+        return self._run(lambda: self.runtime.process_trace(
+            trace, labels=labels, scheduler=self._scheduler, keys=keys))
+
+    def serve_columns(self, cols, keys, labels) -> list:
+        return self._run(lambda: self.runtime.process_columns(
+            cols, keys, labels=labels, scheduler=self._scheduler))
+
+    def _run(self, replay) -> list:
+        # The replay cuts its own span stream from the timestamp column it
+        # extracts anyway (no second per-packet pass) and records the
+        # stream's stats as ``last_flush_stats``.
+        self.start()
+        started = time.perf_counter()
+        decisions = replay()
+        self.shard_seconds = [time.perf_counter() - started]
+        self.flush_stats = getattr(self.runtime, "last_flush_stats", None) \
+            or FlushStats()
+        return decisions
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        # A snapshot, not the live counters: a ServingReport must not mutate
+        # retroactively when the replica serves again.
+        total = CacheStats()
+        cache = getattr(self.runtime, "decision_cache", None)
+        if cache is not None:
+            total.merge(cache.stats)
+        return total
+
+
+class _ShardedDriver:
+    """N replicas replayed serially (modeled parallel wall clock)."""
+
+    def __init__(self, replica_factory, config: EngineConfig,
+                 payload_bytes: int | None):
+        self._factory = replica_factory
+        self._config = config
+        self._dispatcher: ShardedDispatcher | None = None
+
+    def start(self) -> None:
+        if self._dispatcher is None:
+            self._dispatcher = ShardedDispatcher(
+                runtime_factory=self._factory,
+                n_shards=self._config.n_workers,
+                scheduler=self._config.scheduler())
+
+    def close(self) -> None:
+        self._dispatcher = None
+
+    def serve(self, trace: Trace, labels, keys) -> list:
+        self.start()
+        return self._dispatcher.serve_trace(trace, labels=labels, keys=keys)
+
+    @property
+    def shard_seconds(self) -> list[float]:
+        return self._dispatcher.shard_seconds if self._dispatcher else []
+
+    @property
+    def flush_stats(self) -> FlushStats:
+        return self._dispatcher.flush_stats if self._dispatcher else FlushStats()
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        return self._dispatcher.cache_stats if self._dispatcher else CacheStats()
+
+
+class _ParallelDriver:
+    """N persistent worker processes (measured concurrent wall clock)."""
+
+    def __init__(self, replica_factory, config: EngineConfig,
+                 payload_bytes: int | None):
+        self._dispatcher = ParallelDispatcher(
+            runtime_factory=replica_factory,
+            n_workers=config.n_workers,
+            scheduler=config.scheduler(),
+            payload_bytes=payload_bytes,
+            start_method=config.start_method)
+
+    def start(self) -> None:
+        self._dispatcher.start()
+
+    def close(self) -> None:
+        self._dispatcher.close()
+
+    def serve(self, trace: Trace, labels, keys) -> list:
+        return self._dispatcher.serve_trace(trace, labels=labels)
+
+    @property
+    def shard_seconds(self) -> list[float]:
+        return self._dispatcher.shard_seconds
+
+    @property
+    def flush_stats(self) -> FlushStats:
+        return self._dispatcher.flush_stats
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        return self._dispatcher.cache_stats
+
+
+register_topology("local", _LocalDriver)
+register_topology("sharded", _ShardedDriver)
+register_topology("parallel", _ParallelDriver)
+
+
+# ---------------------------------------------------------------------------
+# Replica factories (picklable, for spawn-started workers)
+# ---------------------------------------------------------------------------
+
+class _KindFactory:
+    """Build one replica from (runtime kind, source, config), by kind name.
+
+    A class rather than a closure so an engine-built factory can cross a
+    ``spawn`` process boundary whenever its source pickles: the kind is
+    re-resolved from the registry inside the worker.
+    """
+
+    def __init__(self, kind_name: str, source, config: "EngineConfig"):
+        self.kind_name = kind_name
+        self.source = source
+        self.config = config
+
+    def __call__(self):
+        return runtime_kinds.get(self.kind_name).build(self.source,
+                                                       self.config)
+
+
+class _ModelRuntimeFactory:
+    """Build a replica through ``model.make_runtime``, config applied on top.
+
+    A class rather than a closure so ``from_model(runtime="two_stage")``
+    engines stay spawn-compatible whenever the model itself pickles.
+    """
+
+    def __init__(self, model, config: "EngineConfig"):
+        self.model = model
+        self.config = config
+
+    def __call__(self):
+        rt = self.model.make_runtime(capacity=self.config.capacity)
+        rt.batch_size = self.config.batch_size
+        rt.decision_cache = self.config.make_cache()
+        return rt
+
+
+class _ReplicaFactory:
+    """Apply the configured lookup backend to each freshly built replica.
+
+    The backend is resolved by name at call time (worker-side for process
+    topologies), so this wrapper pickles whenever ``base`` does — custom
+    backends registered via :func:`register_lookup_backend` must then also
+    be registered in the worker's interpreter (automatic under ``fork``).
+    """
+
+    def __init__(self, base: Callable[[], Any], backend_name: str):
+        self.base = base
+        self.backend_name = backend_name
+
+    def __call__(self):
+        rt = self.base()
+        lookup_backends.get(self.backend_name).apply(rt)
+        return rt
+
+
+# ---------------------------------------------------------------------------
+# Report
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ServingReport:
+    """Everything one serve produced, merged into a single result.
+
+    ``wall_seconds`` is the measured wall clock of the serve call (workers
+    are started beforehand, so it measures serving, not setup);
+    ``shard_seconds`` is the per-replica replay breakdown (one entry for
+    ``local``, one per shard/worker otherwise — replay only, excluding IPC).
+    ``flush_stats`` merges every replica's span-stream counters for this
+    serve; ``cache_stats`` aggregates the replicas' *lifetime* decision-cache
+    counters.
+    """
+
+    decisions: list
+    n_packets: int
+    wall_seconds: float
+    topology: str
+    n_workers: int
+    runtime: str
+    lookup_backend: str
+    shard_seconds: list = field(default_factory=list)
+    flush_stats: FlushStats = field(default_factory=FlushStats)
+    cache_stats: CacheStats = field(default_factory=CacheStats)
+
+    @property
+    def n_decisions(self) -> int:
+        return len(self.decisions)
+
+    @property
+    def pps(self) -> float:
+        """Measured packets/sec of this serve."""
+        return self.n_packets / max(self.wall_seconds, 1e-9)
+
+    @property
+    def critical_seconds(self) -> float:
+        """Slowest replica's replay time — the modeled concurrent wall clock
+        (equals the measured wall for single-replica topologies)."""
+        return max(self.shard_seconds) if self.shard_seconds \
+            else self.wall_seconds
+
+    @property
+    def pps_parallel(self) -> float:
+        """Packets/sec if replicas ran concurrently (pps at the critical
+        path) — what ``sharded`` models and ``parallel`` measures."""
+        return self.n_packets / max(self.critical_seconds, 1e-9)
+
+    @property
+    def accuracy(self) -> float | None:
+        """Fraction of labelled decisions that were correct (None when the
+        serve carried no ground-truth labels)."""
+        labelled = [d for d in self.decisions if d.flow_label >= 0]
+        if not labelled:
+            return None
+        return float(np.mean([d.predicted == d.flow_label for d in labelled]))
+
+    def summary(self) -> dict:
+        """Scalar view for logs / bench JSON (decisions elided)."""
+        return {
+            "topology": self.topology, "n_workers": self.n_workers,
+            "runtime": self.runtime, "lookup_backend": self.lookup_backend,
+            "n_packets": self.n_packets, "n_decisions": self.n_decisions,
+            "wall_seconds": self.wall_seconds, "pps": self.pps,
+            "pps_parallel": self.pps_parallel,
+            "accuracy": self.accuracy,
+            "cache_hit_rate": self.cache_stats.hit_rate,
+            "flushes": self.flush_stats.total,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Engine
+# ---------------------------------------------------------------------------
+
+class PegasusEngine:
+    """The serving facade: one validated config, one build path.
+
+    Construct from a compiled artifact (:meth:`from_compiled`), a trained
+    :class:`~repro.models.base.TrafficModel` (:meth:`from_model`), a
+    two-stage spec mapping (``PegasusEngine(source={...},
+    runtime="two_stage")``), or an arbitrary replica factory
+    (:meth:`from_factory`). The engine resolves the configured runtime kind,
+    lookup backend, and topology through the module registries, owns the
+    driver's lifecycle (``start()``/``close()``/context manager — safe to
+    call unconditionally), and serves through three uniform entry points
+    that all return a :class:`ServingReport`:
+
+    - :meth:`serve_flows` — a list of labelled :class:`~repro.net.flow.Flow` s;
+    - :meth:`serve_trace` — a time-ordered :class:`~repro.net.traces.Trace`;
+    - :meth:`serve_columns` — ``Trace.to_columns()``-style per-packet arrays
+      (the zero-object path shard payloads already travel as).
+
+    ``close()`` discards replica state (registers, caches); the next serve
+    starts cold, exactly like the dispatchers it wraps.
+    """
+
+    def __init__(self, source=None, config: EngineConfig | None = None, *,
+                 runtime_factory: Callable[[], Any] | None = None,
+                 **overrides):
+        if (source is None) == (runtime_factory is None):
+            raise ConfigError(
+                "source", source,
+                reason="exactly one of source / runtime_factory is required")
+        # _resolve_config runs EngineConfig.__post_init__, which already
+        # validates runtime/lookup_backend/topology against the registries.
+        self.config = _resolve_config(config, overrides)
+        base = runtime_factory if runtime_factory is not None \
+            else _KindFactory(self.config.runtime, source, self.config)
+        self._replica_factory = _ReplicaFactory(
+            base, self.config.lookup_backend)
+        payload = self.config.payload_bytes
+        if payload is None and self.config.runtime == "two_stage":
+            payload = (_two_stage_spec(source).get("raw_bytes",
+                                                   DEFAULT_PAYLOAD_BYTES)
+                       if source is not None else DEFAULT_PAYLOAD_BYTES)
+        self.payload_bytes = payload
+        self._driver = topologies.get(self.config.topology)(
+            self._replica_factory, self.config, payload)
+
+    # -- builders ------------------------------------------------------------
+
+    @classmethod
+    def from_compiled(cls, compiled, config: EngineConfig | None = None,
+                      **overrides) -> "PegasusEngine":
+        """Serve a compiled artifact (a
+        :class:`~repro.core.mapping.CompiledModel` or placed
+        :class:`~repro.dataplane.Pipeline`) through the configured runtime
+        kind."""
+        return cls(source=compiled, config=config, **overrides)
+
+    @classmethod
+    def from_model(cls, model, config: EngineConfig | None = None,
+                   **overrides) -> "PegasusEngine":
+        """Serve a trained-and-compiled :class:`TrafficModel`.
+
+        ``runtime="windowed"`` (default) serves ``model.compiled``;
+        ``runtime="two_stage"`` builds each replica through the model's own
+        ``make_runtime`` (the CNN-L flow-scalability deployment), with the
+        config's batch/cache/backend settings applied on top.
+        """
+        config = _resolve_config(config, overrides)
+        compiled = getattr(model, "compiled", None)
+        if compiled is None:
+            raise ConfigError(
+                "source", type(model).__name__,
+                reason="model must be trained and compiled "
+                       "(compile_dataplane) before serving")
+        if config.runtime == "two_stage":
+            if not hasattr(model, "make_runtime"):
+                raise ConfigError(
+                    "runtime", "two_stage",
+                    reason=f"{type(model).__name__} does not expose "
+                           "make_runtime; use runtime='windowed'")
+            # A tiny probe replica validates eagerly what the model's own
+            # make_runtime fixes (the config must agree, not silently lose)
+            # and supplies the payload width the parallel topology ships.
+            probe = model.make_runtime(capacity=1)
+            window = getattr(probe, "window", config.window)
+            if window != config.window:
+                raise ConfigError(
+                    "window", config.window,
+                    allowed=str(window),
+                    reason=f"{type(model).__name__}.make_runtime builds "
+                           f"window-{window} replicas")
+            if config.payload_bytes is None:
+                config = replace(config, payload_bytes=getattr(
+                    probe, "raw_bytes", DEFAULT_PAYLOAD_BYTES))
+            return cls(runtime_factory=_ModelRuntimeFactory(model, config),
+                       config=config)
+        return cls(source=compiled, config=config)
+
+    @classmethod
+    def from_factory(cls, runtime_factory: Callable[[], Any],
+                     config: EngineConfig | None = None,
+                     **overrides) -> "PegasusEngine":
+        """Serve replicas from an arbitrary zero-arg factory (escape hatch;
+        the config's lookup backend is still applied to each replica)."""
+        return cls(runtime_factory=runtime_factory, config=config, **overrides)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Build replicas (forking workers for ``parallel``); idempotent."""
+        self._driver.start()
+
+    def close(self) -> None:
+        """Tear replicas down, discarding their state; always safe."""
+        self._driver.close()
+
+    def __enter__(self) -> "PegasusEngine":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- serving -------------------------------------------------------------
+
+    def serve_flows(self, flows: list) -> ServingReport:
+        """Replay the interleaved trace of many labelled flows."""
+        trace, keys, labels = flows_to_trace(flows)
+        return self._serve(len(trace.packets),
+                           lambda: self._driver.serve(trace, labels, keys))
+
+    def serve_trace(self, trace: Trace, labels: np.ndarray | None = None
+                    ) -> ServingReport:
+        """Replay one time-ordered trace (per-packet ``labels`` optional)."""
+        return self._serve(len(trace.packets),
+                           lambda: self._driver.serve(trace, labels, None))
+
+    def serve_columns(self, cols: dict[str, np.ndarray],
+                      labels: np.ndarray | None = None) -> ServingReport:
+        """Replay ``Trace.to_columns()``-style per-packet arrays.
+
+        ``cols`` must hold ``ts`` plus the 5-tuple key columns (and whatever
+        per-packet columns the runtime kind consumes — ``length`` for
+        windowed, ``payload`` for two-stage). The ``local`` topology replays
+        the columns directly; dispatch topologies rebuild the trace once and
+        shard it columnar again.
+        """
+        missing = [c for c in ("ts", *KEY_COLUMN_NAMES) if c not in cols]
+        if missing:
+            raise ValueError(f"missing serve columns: {missing}")
+        if hasattr(self._driver, "serve_columns"):
+            keys = keys_from_columns(canonicalize_key_columns(
+                {name: cols[name] for name in KEY_COLUMN_NAMES}))
+            return self._serve(
+                len(cols["ts"]),
+                lambda: self._driver.serve_columns(cols, keys, labels))
+        trace = Trace.from_columns(cols)
+        return self.serve_trace(trace, labels=labels)
+
+    def _serve(self, n_packets: int, run: Callable[[], list]) -> ServingReport:
+        self.start()    # replica build / worker fork lands outside the clock
+        started = time.perf_counter()
+        decisions = run()
+        wall = time.perf_counter() - started
+        d = self._driver
+        return ServingReport(
+            decisions=decisions, n_packets=n_packets, wall_seconds=wall,
+            topology=self.config.topology, n_workers=self.config.n_workers,
+            runtime=self.config.runtime,
+            lookup_backend=self.config.lookup_backend,
+            shard_seconds=list(d.shard_seconds),
+            flush_stats=d.flush_stats, cache_stats=d.cache_stats)
+
+
+__all__ = [
+    "EngineConfig",
+    "LookupBackend",
+    "PegasusEngine",
+    "Registry",
+    "RuntimeKind",
+    "ServingReport",
+    "lookup_backends",
+    "register_lookup_backend",
+    "register_runtime_kind",
+    "register_topology",
+    "runtime_kinds",
+    "topologies",
+]

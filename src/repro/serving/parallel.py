@@ -54,6 +54,7 @@ import numpy as np
 
 from repro.core.mapping import _check_backend
 from repro.dataplane.runtime import PacketDecision, flows_to_trace
+from repro.errors import ConfigError
 from repro.net.traces import KEY_COLUMN_NAMES, Trace, keys_from_columns
 from repro.serving.cache import CacheStats
 from repro.serving.dispatcher import shard_hash_columns
@@ -155,7 +156,7 @@ class ParallelDispatcher:
 
     def __post_init__(self):
         if self.n_workers < 1:
-            raise ValueError(f"n_workers must be >= 1, got {self.n_workers}")
+            raise ConfigError("n_workers", self.n_workers, allowed=">= 1")
         if self.lookup_backend is not None:
             # Fail fast on a typo'd backend, before any worker is forked
             # (replica-specific rejections still surface from the warm ping).
@@ -180,43 +181,66 @@ class ParallelDispatcher:
         """
         if self._workers:
             return
-        for _ in range(self.n_workers):
-            parent_conn, child_conn = self._ctx.Pipe()
-            proc = self._ctx.Process(
-                target=worker_main,
-                args=(child_conn, self.runtime_factory, self.scheduler, self.lookup_backend),
-                daemon=True,
-            )
-            proc.start()
-            child_conn.close()
-            self._workers.append(proc)
-            self._conns.append(parent_conn)
-        for conn in self._conns:
-            conn.send({"warm": True})
-        failures = []
-        for w, conn in enumerate(self._conns):
-            status, reply = conn.recv()
-            if status != "ok":
-                failures.append(f"worker {w} failed to build its replica:\n{reply}")
-        if failures:
+        try:
+            for _ in range(self.n_workers):
+                parent_conn, child_conn = self._ctx.Pipe()
+                proc = self._ctx.Process(
+                    target=worker_main,
+                    args=(child_conn, self.runtime_factory, self.scheduler,
+                          self.lookup_backend),
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                self._workers.append(proc)
+                self._conns.append(parent_conn)
+            for conn in self._conns:
+                conn.send({"warm": True})
+            failures = []
+            for w, conn in enumerate(self._conns):
+                status, reply = conn.recv()
+                if status != "ok":
+                    failures.append(
+                        f"worker {w} failed to build its replica:\n{reply}")
+            if failures:
+                raise RuntimeError("\n".join(failures))
+        except BaseException:
+            # A partially started fleet (spawn error, failed warm ping,
+            # interrupt) must never leak processes or pipes: tear down
+            # whatever came up, then surface the original error.
             self.close()
-            raise RuntimeError("\n".join(failures))
+            raise
 
     def close(self) -> None:
-        """Shut workers down, discarding their replica state. Idempotent."""
-        for conn in self._conns:
+        """Shut workers down, discarding their replica state.
+
+        Idempotent and exception-safe: callable any number of times, after a
+        failed :meth:`start`, and from ``__exit__`` while a serve error is
+        propagating — dead workers and broken pipes are tolerated, and the
+        dispatcher is always left restartable (a later serve forks a fresh
+        cold fleet). The engine's lifecycle relies on being able to call
+        this unconditionally.
+        """
+        workers, conns = self._workers, self._conns
+        self._workers, self._conns = [], []
+        for conn in conns:
             try:
                 conn.send(None)
-            except (BrokenPipeError, OSError):  # pragma: no cover - worker died
+            except (BrokenPipeError, OSError):  # worker already gone
                 pass
-        for proc in self._workers:
-            proc.join(timeout=10)
-            if proc.is_alive():  # pragma: no cover - hung worker
-                proc.terminate()
-                proc.join()
-        for conn in self._conns:
-            conn.close()
-        self._workers, self._conns = [], []
+        for proc in workers:
+            try:
+                proc.join(timeout=10)
+                if proc.is_alive():  # pragma: no cover - hung worker
+                    proc.terminate()
+                    proc.join()
+            except (AssertionError, ValueError, OSError):  # pragma: no cover
+                pass                 # never-started / already-reaped process
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
 
     def __enter__(self) -> "ParallelDispatcher":
         self.start()

@@ -39,6 +39,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.errors import ConfigError
+
 
 @dataclass
 class FlushStats:
@@ -84,22 +86,24 @@ class BatchScheduler:
 
     def __post_init__(self):
         if self.batch_size < 1:
-            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+            raise ConfigError("batch_size", self.batch_size, allowed=">= 1")
         if self.timeout is not None and self.timeout < 0:
-            raise ValueError(f"timeout must be >= 0, got {self.timeout}")
+            raise ConfigError("timeout", self.timeout, allowed=">= 0 or None")
         if self.latency_target is not None and self.latency_target < 0:
-            raise ValueError(
-                f"latency_target must be >= 0, got {self.latency_target}")
+            raise ConfigError("latency_target", self.latency_target,
+                              allowed=">= 0 or None")
         if self.min_batch_size < 1:
-            raise ValueError(
-                f"min_batch_size must be >= 1, got {self.min_batch_size}")
+            raise ConfigError("min_batch_size", self.min_batch_size,
+                              allowed=">= 1")
         if self.min_batch_size > self.batch_size:
-            raise ValueError(
-                f"min_batch_size ({self.min_batch_size}) must be <= "
-                f"batch_size ({self.batch_size}); an adaptive stream could "
-                "otherwise start outside its own clamp window")
+            raise ConfigError(
+                "min_batch_size", self.min_batch_size,
+                allowed=f"<= batch_size ({self.batch_size})",
+                reason="an adaptive stream could otherwise start outside "
+                       "its own clamp window")
         if self.max_batch_size is not None and self.max_batch_size < self.batch_size:
-            raise ValueError("max_batch_size must be >= batch_size")
+            raise ConfigError("max_batch_size", self.max_batch_size,
+                              allowed=f">= batch_size ({self.batch_size})")
 
     @property
     def adaptive(self) -> bool:

@@ -14,7 +14,8 @@ from repro.dataplane.tcam import (PackedTernaryTable, TcamSegment,
                                   compile_segment_table, encode_keys,
                                   tcam_table_report)
 from repro.errors import CompilationError, ShapeError
-from repro.serving import BatchScheduler, FlowDecisionCache, ShardedDispatcher
+from repro.serving import BatchScheduler, FlowDecisionCache
+from repro.serving.dispatcher import ShardedDispatcher   # un-deprecated core
 
 ENCODINGS = ("flat", "levelwise")
 
@@ -287,7 +288,7 @@ class TestDispatcherBackend:
         assert ref
 
     def test_parallel_tcam_matches_index(self, compiled16, replay_flows):
-        from repro.serving import ParallelDispatcher
+        from repro.serving.parallel import ParallelDispatcher
         def factory():
             return WindowedClassifierRuntime(
                 compiled16, feature_mode="stats", batch_size=32,
@@ -303,7 +304,7 @@ class TestDispatcherBackend:
         assert got == ref
 
     def test_bad_backend_fails_before_fork(self, compiled16):
-        from repro.serving import ParallelDispatcher
+        from repro.serving.parallel import ParallelDispatcher
         with pytest.raises(ValueError, match="lookup_backend"):
             ParallelDispatcher(
                 runtime_factory=lambda: WindowedClassifierRuntime(
@@ -313,7 +314,7 @@ class TestDispatcherBackend:
     def test_unsupported_replica_fails_worker_start(self):
         """A backend the replica can't serve (valid name, wrong model) still
         surfaces from the warm-up ping with the worker's traceback."""
-        from repro.serving import ParallelDispatcher
+        from repro.serving.parallel import ParallelDispatcher
         dispatcher = ParallelDispatcher(
             runtime_factory=lambda: WindowedClassifierRuntime(
                 object(), feature_mode="stats"),

@@ -6,8 +6,8 @@ import pytest
 from repro.dataplane.runtime import WindowedClassifierRuntime
 from repro.net.packet import FlowKey, Packet
 from repro.net.traces import Trace
-from repro.serving import (BatchScheduler, FlowDecisionCache, ShardedDispatcher,
-                           shard_hash)
+from repro.serving import BatchScheduler, FlowDecisionCache, shard_hash
+from repro.serving.dispatcher import ShardedDispatcher   # un-deprecated core
 
 
 class TestBatchScheduler:

@@ -13,10 +13,13 @@ import pytest
 from repro.dataplane.runtime import (TwoStageRuntime,
                                      WindowedClassifierRuntime, flows_to_trace)
 from repro.net.traces import Trace, canonicalize_key_columns, keys_from_columns
-from repro.serving import (BatchScheduler, FlowDecisionCache,
-                           ParallelDispatcher, ShardedDispatcher, shard_hash,
+from repro.serving import (BatchScheduler, FlowDecisionCache, shard_hash,
                            shard_hash_columns)
-from repro.serving.parallel import serve_shard, worker_main
+# The un-deprecated internals: these tests exercise the dispatchers
+# themselves, not the deprecated package-level construction path.
+from repro.serving.dispatcher import ShardedDispatcher
+from repro.serving.parallel import (ParallelDispatcher, serve_shard,
+                                    worker_main)
 
 WORKER_COUNTS = (1, 2, 4)
 
@@ -283,3 +286,57 @@ class TestParallelDispatcherMechanics:
                 dispatcher.serve_flows(replay_flows)
         finally:
             dispatcher.close()
+
+
+class TestCloseLifecycle:
+    """close() must be callable unconditionally — the engine relies on it."""
+
+    def test_double_close_without_start(self, compiled16):
+        dispatcher = ParallelDispatcher(
+            runtime_factory=_factory(compiled16, False), n_workers=2)
+        dispatcher.close()
+        dispatcher.close()
+        assert not dispatcher.started
+
+    def test_close_after_failed_start(self):
+        def broken_factory():
+            raise RuntimeError("replica build exploded")
+        dispatcher = ParallelDispatcher(runtime_factory=broken_factory,
+                                        n_workers=2)
+        with pytest.raises(RuntimeError, match="replica build exploded"):
+            dispatcher.start()
+        # start() already tore the fleet down; close stays a safe no-op.
+        assert not dispatcher.started
+        dispatcher.close()
+        dispatcher.close()
+
+    def test_exit_during_in_flight_error(self, replay_flows):
+        """__exit__'s close runs while a serve error is propagating.
+
+        ``object()`` builds fine (so the warm ping — and therefore
+        ``__enter__`` — succeeds; the match below excludes the warm-ping
+        wording to prove it) but cannot replay a shard, so the failure
+        happens inside the ``with`` body and close() runs from ``__exit__``
+        with the RuntimeError in flight.
+        """
+        dispatcher = ParallelDispatcher(runtime_factory=lambda: object(),
+                                        n_workers=2)
+        with pytest.raises(RuntimeError, match=r"worker 0 failed:(?!.*build)"):
+            with dispatcher:
+                assert dispatcher.started             # __enter__ succeeded
+                dispatcher.serve_flows(replay_flows)  # replica can't serve
+        assert not dispatcher.started
+        dispatcher.close()
+
+    def test_close_with_dead_worker(self, compiled16, replay_flows):
+        """A worker killed out from under us must not break close()."""
+        dispatcher = ParallelDispatcher(
+            runtime_factory=_factory(compiled16, False), n_workers=2)
+        dispatcher.start()
+        dispatcher._workers[0].terminate()
+        dispatcher._workers[0].join()
+        dispatcher.close()
+        assert not dispatcher.started
+        # And the dispatcher is still restartable with a cold fleet.
+        assert dispatcher.serve_flows(replay_flows)
+        dispatcher.close()
