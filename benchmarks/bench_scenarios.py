@@ -1,0 +1,63 @@
+"""Scenario serving suite: per-phase accuracy/pps/cache across all families.
+
+Replays every registered scenario family (time-varying load, microbursts,
+attack floods, heavy-hitter skew, flow churn, concept drift) through the
+engine via ``run_scenario_suite`` and prints one per-phase table per
+scenario — the attack flood's accuracy cliff and the heavy-hitter phase's
+cache hit-rate spike are the rows to eyeball. The quick differential matrix
+also replays the fixed seed (bit-identity across topology x cache x backend
+x runtime kind), asserted as a hard correctness bit and exported to the
+``scenarios`` section of ``BENCH_serving.json``.
+"""
+
+from repro.eval.reporting import render_scenario_table, update_bench_json
+from repro.eval.runner import run_scenario_suite
+
+
+def _run(scale):
+    return run_scenario_suite(flows_per_class=scale["flows_per_class"],
+                              seed=scale["seed"], flows_scale=0.5)
+
+
+def test_scenario_suite(benchmark, bench_scale):
+    res = benchmark.pedantic(_run, args=(bench_scale,), rounds=1, iterations=1)
+    print()
+    for summary in res["scenarios"].values():
+        print(render_scenario_table(summary))
+        print()
+
+    # The differential matrix is a hard gate: a fast wrong answer is not a
+    # trade-off (mirrors the parallel bench's matches_serial bit).
+    assert res["differential_ok"]
+
+    scenarios = res["scenarios"]
+    assert len(scenarios) >= 6
+
+    # The flood phase injects label-100+ attack traffic the benign-trained
+    # classifier cannot name: accuracy must crater relative to baseline.
+    flood = scenarios["attack_flood"]["phases"]
+    assert flood["flood"]["accuracy"] < flood["baseline"]["accuracy"] - 0.2
+
+    # The Zipf elephants repeat their windows: the skewed phase dominates
+    # the scenario's cache hits.
+    hitters = scenarios["heavy_hitters"]["phases"]
+    assert hitters["skewed"]["cache_hit_rate"] > 0.3
+    assert hitters["skewed"]["cache_hit_rate"] > \
+        hitters["warmup"]["cache_hit_rate"] + 0.2
+
+    update_bench_json("scenarios", {
+        "differential_ok": res["differential_ok"],
+        "differential_trials": res["differential_trials"],
+        "model_f1": res["model_f1"],
+        "per_scenario": {
+            name: {
+                "pps": s["overall"]["pps"],
+                "accuracy": s["overall"]["accuracy"],
+                "cache_hit_rate": s["overall"]["cache_hit_rate"],
+                "phase_accuracy": {p: v["accuracy"]
+                                   for p, v in s["phases"].items()},
+                "phase_cache_hit_rate": {p: v["cache_hit_rate"]
+                                         for p, v in s["phases"].items()},
+            } for name, s in scenarios.items()
+        },
+    })

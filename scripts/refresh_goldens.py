@@ -1,0 +1,76 @@
+"""Regenerate the golden-replay fixtures under ``tests/fixtures/``.
+
+The goldens pin three tiny seeded scenario workloads byte-for-byte — the
+SPCAP1 trace files plus SHA-256 digests of the traces, the label columns,
+and the reference decision streams of both runtime kinds. The ``golden``
+-marked tests (``tests/test_golden_replay.py``) regenerate each workload
+and fail on any drift in the generators *or* the serving stack.
+
+Run this only when a change is **meant** to move the goldens (a generator
+change, a new reference model), then commit the refreshed fixtures together
+with the change::
+
+    PYTHONPATH=src python scripts/refresh_goldens.py
+
+The fixture set is defined here, in one place; the test reads the manifest.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.eval.differential import (labels_digest, replay_digests,  # noqa: E402
+                                     trace_digest)
+from repro.net import build_scenario, write_trace  # noqa: E402
+
+FIXTURES = Path(__file__).resolve().parent.parent / "tests" / "fixtures"
+MANIFEST = FIXTURES / "scenario_goldens.json"
+
+# (scenario family, generation seed, flows_scale): tiny but phase-complete.
+GOLDEN_SET = [
+    ("diurnal", 0, 0.15),
+    ("attack_flood", 1, 0.15),
+    ("heavy_hitters", 2, 0.2),
+]
+
+
+def main() -> int:
+    FIXTURES.mkdir(parents=True, exist_ok=True)
+    goldens: dict[str, dict] = {}
+    for name, seed, scale in GOLDEN_SET:
+        workload = build_scenario(name).generate(seed=seed, flows_scale=scale)
+        trace_file = f"scenario_{name}_s{seed}.spcap"
+        write_trace(workload.trace, FIXTURES / trace_file)
+        goldens[f"{name}-s{seed}"] = {
+            "scenario": name,
+            "seed": seed,
+            "flows_scale": scale,
+            "trace": trace_file,
+            "n_packets": workload.n_packets,
+            "phases": [s.name for s in workload.phases],
+            "trace_sha256": trace_digest(workload.trace),
+            "labels_sha256": labels_digest(workload.labels),
+            "decisions": replay_digests(workload),
+        }
+        print(f"{name:>14s} seed={seed} packets={workload.n_packets:5d} "
+              f"-> {trace_file}")
+    MANIFEST.write_text(json.dumps({
+        "_note": [
+            "Golden-replay regression fixtures. Regenerate intentionally with",
+            "PYTHONPATH=src python scripts/refresh_goldens.py and commit the",
+            "result; tests/test_golden_replay.py fails on any unintended",
+            "drift in the scenario generators or the serving stack.",
+            "Decision digests use repro.eval.differential.default_sources(0).",
+        ],
+        "goldens": goldens,
+    }, indent=2, sort_keys=True) + "\n")
+    print(f"manifest -> {MANIFEST}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

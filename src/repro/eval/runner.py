@@ -568,6 +568,54 @@ def run_tcam_throughput(flows_per_class: int = 120, seed: int = 0,
     return results
 
 
+def run_scenario_suite(flows_per_class: int = 120, seed: int = 0,
+                       dataset: str = "peerrush",
+                       scenarios: tuple[str, ...] | None = None,
+                       flows_scale: float = 1.0,
+                       batch_size: int = 256,
+                       decision_cache: bool = True,
+                       differential_seeds: int = 0,
+                       differential_budget: float = 300.0) -> dict:
+    """Serve every registered scenario family, reported per phase.
+
+    Trains + compiles the serving MLP-B once, then replays each scenario
+    through a ``local``-topology :class:`~repro.serving.PegasusEngine` via
+    :meth:`~repro.serving.PegasusEngine.serve_scenario`, collecting the
+    per-phase accuracy/pps/cache breakdown (an attack flood shows up as an
+    accuracy cliff in its own phase, a heavy-hitter phase as a cache
+    hit-rate spike). With ``differential_seeds >= 0`` the quick differential
+    matrix (see :mod:`repro.eval.differential`) also replays the fixed seed
+    plus that many random seeds, contributing the suite's
+    ``differential_ok`` correctness bit.
+    """
+    from repro.eval.differential import fuzz_differential
+    from repro.net import build_scenario, scenario_names
+    from repro.serving import EngineConfig, PegasusEngine
+
+    row = train_and_eval_model("MLP-B", dataset, flows_per_class, seed)
+    compiled = row["_model"].compiled
+    config = EngineConfig(feature_mode="stats", batch_size=batch_size,
+                          decision_cache=decision_cache)
+    names = scenarios if scenarios is not None else scenario_names()
+
+    results: dict = {"dataset": dataset, "model_f1": row["F1"],
+                     "scenarios": {}}
+    for name in names:
+        with PegasusEngine.from_compiled(compiled, config) as engine:
+            report = engine.serve_scenario(build_scenario(name), seed=seed,
+                                           flows_scale=flows_scale)
+        results["scenarios"][name] = report.summary()
+    # The differential pass honors the same narrowing knobs as the serving
+    # loop, so a restricted suite stays proportionally quick.
+    fuzz = fuzz_differential(n_seeds=differential_seeds, base_seed=seed,
+                             scenarios=tuple(names),
+                             flows_scale=min(flows_scale, 0.5),
+                             budget_seconds=differential_budget)
+    results["differential_ok"] = fuzz.ok
+    results["differential_trials"] = len(fuzz.trials)
+    return results
+
+
 def _cpu_throughput(model, views) -> float:
     """Measured full-precision inference throughput on this host."""
     import time

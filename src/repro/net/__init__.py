@@ -10,7 +10,7 @@ datasets plus malware and DoS attack traffic.
 
 from repro.net.packet import Packet, FlowKey
 from repro.net.flow import Flow, assemble_flows, flow_windows
-from repro.net.traces import Trace, write_trace, read_trace
+from repro.net.traces import Trace, trace_to_bytes, write_trace, read_trace
 from repro.net.features import (
     length_bucket,
     ipd_bucket,
@@ -31,6 +31,16 @@ from repro.net.synth import (
     DATASET_NAMES,
     ATTACK_NAMES,
 )
+from repro.net.scenarios import (
+    PhaseDef,
+    PhaseSpan,
+    Scenario,
+    ScenarioTrace,
+    TrafficBand,
+    build_scenario,
+    register_scenario,
+    scenario_names,
+)
 
 __all__ = [
     "Packet",
@@ -39,6 +49,7 @@ __all__ = [
     "assemble_flows",
     "flow_windows",
     "Trace",
+    "trace_to_bytes",
     "write_trace",
     "read_trace",
     "length_bucket",
@@ -57,4 +68,12 @@ __all__ = [
     "make_attack_flows",
     "DATASET_NAMES",
     "ATTACK_NAMES",
+    "PhaseDef",
+    "PhaseSpan",
+    "Scenario",
+    "ScenarioTrace",
+    "TrafficBand",
+    "build_scenario",
+    "register_scenario",
+    "scenario_names",
 ]

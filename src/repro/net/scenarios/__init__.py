@@ -1,0 +1,35 @@
+"""Declarative time-varying workload scenarios (see :mod:`.base`).
+
+Importing the package registers the built-in families
+(:mod:`repro.net.scenarios.families`): ``diurnal``, ``microburst``,
+``attack_flood``, ``heavy_hitters``, ``flow_churn``, ``concept_drift``.
+"""
+
+from repro.net.scenarios.base import (
+    ARRIVAL_RAMPS,
+    PhaseDef,
+    PhaseSpan,
+    Scenario,
+    ScenarioTrace,
+    TrafficBand,
+    build_scenario,
+    lerp_profile,
+    register_scenario,
+    scenario_names,
+    unregister_scenario,
+)
+import repro.net.scenarios.families  # noqa: F401  (registers the built-ins)
+
+__all__ = [
+    "ARRIVAL_RAMPS",
+    "PhaseDef",
+    "PhaseSpan",
+    "Scenario",
+    "ScenarioTrace",
+    "TrafficBand",
+    "build_scenario",
+    "lerp_profile",
+    "register_scenario",
+    "scenario_names",
+    "unregister_scenario",
+]

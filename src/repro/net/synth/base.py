@@ -52,7 +52,12 @@ class ClassProfile:
         return rng.normal(mean, std)
 
 
-def _random_key(rng: np.random.Generator) -> FlowKey:
+def random_flow_key(rng: np.random.Generator) -> FlowKey:
+    """One random (directional) flow 5-tuple from the generator's key space.
+
+    Public so scenario workloads can pre-draw heavy-hitter key pools and
+    pin many flowlets onto the same canonical key.
+    """
     return FlowKey(
         src_ip=int(rng.integers(0x0A000000, 0x0AFFFFFF)),
         dst_ip=int(rng.integers(0xC0A80000, 0xC0A8FFFF)),
@@ -60,6 +65,9 @@ def _random_key(rng: np.random.Generator) -> FlowKey:
         dst_port=int(rng.choice([80, 443, 53, 4662, 6881, 1900, 5060])),
         proto=int(rng.choice([6, 17])),
     )
+
+
+_random_key = random_flow_key     # internal alias, kept for call sites below
 
 
 def _make_payload(profile: ClassProfile, rng: np.random.Generator, size: int) -> np.ndarray:
@@ -82,10 +90,16 @@ def _make_payload(profile: ClassProfile, rng: np.random.Generator, size: int) ->
 
 
 def generate_flow(profile: ClassProfile, rng: np.random.Generator | int | None = None,
-                  start_ts: float = 0.0) -> Flow:
-    """Generate one flow following a class profile."""
+                  start_ts: float = 0.0, key: FlowKey | None = None) -> Flow:
+    """Generate one flow following a class profile.
+
+    ``key`` overrides the randomly drawn 5-tuple (the same number of RNG
+    draws is consumed either way, so keyed and unkeyed flows generated from
+    the same stream position carry identical packet sequences).
+    """
     rng = new_rng(rng)
-    key = _random_key(rng)
+    drawn = _random_key(rng)
+    key = drawn if key is None else key
     n = int(rng.integers(profile.min_packets, profile.max_packets + 1))
     flow = Flow(key=key.canonical(), label=profile.label, class_name=profile.name)
 

@@ -18,11 +18,13 @@ SSDP reflection flood as distributional shifts from all benign classes.
 
 from __future__ import annotations
 
+import zlib
+
 import numpy as np
 
 from repro.net.flow import Flow
 from repro.net.synth.base import ClassProfile, TrafficDataset, generate_flow
-from repro.utils.rng import new_rng, spawn_rngs
+from repro.utils.rng import spawn_rngs
 
 DATASET_NAMES = ("peerrush", "ciciot", "iscxvpn")
 ATTACK_NAMES = ("Htbot", "Flood", "Cridex", "Virut", "Neris", "Geodo")
@@ -126,6 +128,16 @@ _PROFILE_FACTORIES = {
 }
 
 
+def _name_seed(name: str) -> int:
+    """Stable default seed for a named generator.
+
+    ``zlib.crc32``, not ``hash()``: string hashing is salted per interpreter
+    run, which would silently break the "same call, same flows" contract
+    for seedless callers.
+    """
+    return zlib.crc32(name.encode())
+
+
 def dataset_profiles(name: str) -> list[ClassProfile]:
     """The class profiles of one named dataset."""
     try:
@@ -138,7 +150,8 @@ def make_dataset(name: str, flows_per_class: int = 150,
                  seed: int | np.random.Generator | None = None) -> TrafficDataset:
     """Generate a full labelled dataset."""
     profiles = dataset_profiles(name)
-    rngs = spawn_rngs(seed if seed is not None else hash(name) % (2**31), len(profiles))
+    rngs = spawn_rngs(seed if seed is not None else _name_seed(name),
+                      len(profiles))
     flows: list[Flow] = []
     for profile, rng in zip(profiles, rngs):
         t0 = 0.0
@@ -196,9 +209,17 @@ def attack_profile(name: str) -> ClassProfile:
 
 def make_attack_flows(name: str, n_flows: int = 60,
                       seed: int | np.random.Generator | None = None) -> list[Flow]:
-    """Generate flows for one attack family."""
+    """Generate flows for one attack family.
+
+    Like :func:`make_dataset`, the generator draws from a ``spawn_rngs``
+    *child* stream, never from the caller's stream directly: passing a
+    shared parent generator consumes exactly one spawn draw regardless of
+    ``n_flows`` or flow content, so interleaving attack generation with
+    benign generation (as scenario workloads do) cannot reshuffle either
+    side's packets.
+    """
     profile = attack_profile(name)
-    rng = new_rng(seed)
+    rng = spawn_rngs(seed if seed is not None else _name_seed(name), 1)[0]
     flows = []
     t0 = 0.0
     for _ in range(n_flows):

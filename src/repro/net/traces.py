@@ -153,19 +153,27 @@ class Trace:
         return out
 
 
+def trace_to_bytes(trace: Trace) -> bytes:
+    """The SPCAP1 serialization of a trace, as one bytes object.
+
+    The canonical byte form: :func:`write_trace` writes exactly this, and
+    golden-replay fixtures digest it (equal bytes <=> equal traces, payloads
+    included).
+    """
+    chunks = [_MAGIC]
+    for pkt in trace.packets:
+        chunks.append(_REC_HEADER.pack(
+            pkt.ts, pkt.length, pkt.payload_len,
+            pkt.key.src_ip, pkt.key.dst_ip,
+            pkt.key.src_port, pkt.key.dst_port, pkt.key.proto,
+        ))
+        chunks.append(pkt.payload.tobytes())
+    return b"".join(chunks)
+
+
 def write_trace(trace: Trace, path: str | Path) -> None:
     """Serialize a trace to the SPCAP1 binary format."""
-    path = Path(path)
-    with path.open("wb") as fh:
-        fh.write(_MAGIC)
-        for pkt in trace.packets:
-            header = _REC_HEADER.pack(
-                pkt.ts, pkt.length, pkt.payload_len,
-                pkt.key.src_ip, pkt.key.dst_ip,
-                pkt.key.src_port, pkt.key.dst_port, pkt.key.proto,
-            )
-            fh.write(header)
-            fh.write(pkt.payload.tobytes())
+    Path(path).write_bytes(trace_to_bytes(trace))
 
 
 def read_trace(path: str | Path) -> Trace:

@@ -67,7 +67,8 @@ bind — the regression tests in ``tests/test_dataplane_batched.py``,
 from repro.serving.scheduler import BatchScheduler, FlushStats, SpanStream
 from repro.serving.cache import CacheStats, FlowDecisionCache
 from repro.serving.dispatcher import shard_hash, shard_hash_columns
-from repro.serving.engine import (EngineConfig, PegasusEngine, ServingReport,
+from repro.serving.engine import (EngineConfig, PegasusEngine,
+                                  ScenarioServingReport, ServingReport,
                                   register_lookup_backend,
                                   register_runtime_kind, register_topology)
 # The package-level dispatcher names are deprecation shims: direct
@@ -84,6 +85,7 @@ __all__ = [
     "FlushStats",
     "ParallelDispatcher",
     "PegasusEngine",
+    "ScenarioServingReport",
     "ServingReport",
     "ShardedDispatcher",
     "SpanStream",

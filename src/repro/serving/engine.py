@@ -569,9 +569,63 @@ class ServingReport:
         }
 
 
+@dataclass
+class ScenarioServingReport:
+    """One scenario serve, broken down by ground-truth phase.
+
+    ``overall`` merges the whole replay (decisions in global trace order);
+    ``phases`` pairs each :class:`~repro.net.scenarios.PhaseSpan` with that
+    phase's own :class:`ServingReport` — accuracy, pps, flush stats, and the
+    *per-phase delta* of the replicas' decision-cache counters (so an
+    attack-flood phase shows its own hit rate, not the run's lifetime
+    average).
+    """
+
+    scenario: str
+    seed: int | None
+    overall: ServingReport
+    phases: list = field(default_factory=list)   # [(PhaseSpan, ServingReport)]
+
+    def phase(self, name: str) -> ServingReport:
+        """The report of one phase, by phase name."""
+        for span, report in self.phases:
+            if span.name == name:
+                return report
+        raise KeyError(f"scenario {self.scenario!r} has no phase {name!r}; "
+                       f"phases: {[s.name for s, _ in self.phases]}")
+
+    def summary(self) -> dict:
+        """Scalar view for logs / bench JSON, one row per phase."""
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "overall": self.overall.summary(),
+            "phases": {
+                span.name: {
+                    "t_start": span.t_start, "t_end": span.t_end,
+                    **report.summary(),
+                } for span, report in self.phases
+            },
+        }
+
+
 # ---------------------------------------------------------------------------
 # Engine
 # ---------------------------------------------------------------------------
+
+def _cache_snapshot(driver) -> CacheStats:
+    """A detached copy of the driver's aggregate cache counters right now."""
+    live = driver.cache_stats
+    return CacheStats(hits=live.hits, misses=live.misses,
+                      evictions=live.evictions)
+
+
+def _cache_delta(after: CacheStats, before: CacheStats) -> CacheStats:
+    """Counter growth between two snapshots (one phase's own activity)."""
+    return CacheStats(hits=after.hits - before.hits,
+                      misses=after.misses - before.misses,
+                      evictions=after.evictions - before.evictions)
+
 
 class PegasusEngine:
     """The serving facade: one validated config, one build path.
@@ -731,6 +785,65 @@ class PegasusEngine:
         trace = Trace.from_columns(cols)
         return self.serve_trace(trace, labels=labels)
 
+    def serve_scenario(self, scenario, seed: int | None = None,
+                       flows_scale: float = 1.0) -> ScenarioServingReport:
+        """Replay a time-varying scenario, reported per ground-truth phase.
+
+        ``scenario`` is a :class:`~repro.net.scenarios.Scenario` (materialized
+        here with ``seed`` / ``flows_scale``) or an already materialized
+        :class:`~repro.net.scenarios.ScenarioTrace`. Each phase is served as
+        its own call against the *same* replicas — flow registers and caches
+        carry across phase boundaries exactly as they would in one
+        continuous replay, and batch boundaries never change decisions — so
+        the concatenated decision stream is bit-identical to a single
+        ``serve_trace`` of the whole workload (asserted by the differential
+        harness) while every phase still gets its own accuracy/pps/cache
+        breakdown.
+        """
+        workload = scenario
+        if hasattr(scenario, "generate"):
+            workload = scenario.generate(seed=seed, flows_scale=flows_scale)
+        self.start()
+        phases: list = []
+        decisions: list = []
+        n_packets, wall = 0, 0.0
+        shard_seconds: list[float] | None = None
+        flush_total = FlushStats()
+        first = _cache_snapshot(self._driver)
+        before = first
+        for span in workload.phases:
+            sub = Trace(workload.trace.packets[span.start:span.stop])
+            labels = workload.labels[span.start:span.stop]
+            report = self._serve(
+                len(sub.packets),
+                lambda sub=sub, labels=labels:
+                    self._driver.serve(sub, labels, None))
+            for d in report.decisions:
+                d.seq += span.start            # sub-trace -> global position
+            after = _cache_snapshot(self._driver)
+            report.cache_stats = _cache_delta(after, before)
+            before = after
+            phases.append((span, report))
+            decisions.extend(report.decisions)
+            n_packets += report.n_packets
+            wall += report.wall_seconds
+            flush_total.merge(report.flush_stats)
+            shard_seconds = (list(report.shard_seconds)
+                             if shard_seconds is None else
+                             [a + b for a, b in zip(shard_seconds,
+                                                    report.shard_seconds)])
+        overall = ServingReport(
+            decisions=decisions, n_packets=n_packets, wall_seconds=wall,
+            topology=self.config.topology, n_workers=self.config.n_workers,
+            runtime=self.config.runtime,
+            lookup_backend=self.config.lookup_backend,
+            shard_seconds=shard_seconds or [], flush_stats=flush_total,
+            cache_stats=_cache_delta(before, first))
+        return ScenarioServingReport(
+            scenario=getattr(workload, "scenario", "<trace>"),
+            seed=getattr(workload, "seed", seed),
+            overall=overall, phases=phases)
+
     def _serve(self, n_packets: int, run: Callable[[], list]) -> ServingReport:
         self.start()    # replica build / worker fork lands outside the clock
         started = time.perf_counter()
@@ -752,6 +865,7 @@ __all__ = [
     "PegasusEngine",
     "Registry",
     "RuntimeKind",
+    "ScenarioServingReport",
     "ServingReport",
     "lookup_backends",
     "register_lookup_backend",

@@ -1,0 +1,224 @@
+"""Differential replay harness: matrix identity, fault catching, shrinking."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.eval import differential as dfl
+from repro.net import build_scenario, read_trace, scenario_names
+from repro.serving.engine import lookup_backends
+
+
+@pytest.fixture(scope="module")
+def sources():
+    return dfl.default_sources(seed=0)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_scenario("microburst").generate(seed=5, flows_scale=0.2)
+
+
+class TestMatrix:
+    def test_build_cases_covers_every_axis(self):
+        cases = dfl.build_cases()
+        assert {c.runtime for c in cases} == {"windowed", "two_stage"}
+        assert {c.topology for c in cases} == {"local", "sharded", "parallel"}
+        assert {c.lookup_backend for c in cases} == {"index", "tcam"}
+        assert {c.decision_cache for c in cases} == {False, True}
+        assert all(c.n_workers == 1 for c in cases if c.topology == "local")
+        assert len({c.label for c in cases}) == len(cases)
+
+    def test_case_config_roundtrip(self):
+        case = dfl.EngineCase("windowed", "sharded", 2, "tcam", True, 32)
+        config = case.config()
+        assert (config.topology, config.n_workers) == ("sharded", 2)
+        assert config.lookup_backend == "tcam"
+        assert config.decision_cache and config.batch_size == 32
+
+    @pytest.mark.parametrize("family", ["heavy_hitters", "flow_churn"])
+    def test_quick_matrix_bit_identical(self, sources, family):
+        w = build_scenario(family).generate(seed=11, flows_scale=0.2)
+        report = dfl.run_differential(w, sources=sources,
+                                      cases=dfl.quick_cases())
+        assert report.ok, report.summary()
+        assert report.decisions_match and report.stats_consistent
+        assert all(r["match"] for r in report.rows)
+
+    def test_full_matrix_every_family(self, sources):
+        """The acceptance bit: the FULL topology x cache x lookup_backend x
+        runtime matrix (parallel workers included) is bit-identical to the
+        scalar reference on every registered scenario family."""
+        cases = dfl.build_cases()
+        assert len(cases) == 40
+        for family in scenario_names():
+            w = build_scenario(family).generate(seed=13, flows_scale=0.12)
+            report = dfl.run_differential(w, sources=sources, cases=cases)
+            assert report.ok, (family, report.summary())
+
+    def test_full_matrix_single_runtime(self, sources, workload):
+        cases = dfl.build_cases(runtimes=("windowed",),
+                                worker_counts=(1, 2),
+                                include_parallel=False)
+        report = dfl.run_differential(workload, sources=sources, cases=cases)
+        assert report.ok, report.summary()
+        # cached configs all saw identical hit/miss streams
+        counters = {r["cache"][:2] for r in report.rows
+                    if r["cache"] is not None}
+        assert len(counters) == 1
+
+    def test_report_summaries(self, sources, workload):
+        report = dfl.run_differential(
+            workload, sources=sources,
+            cases=[dfl.EngineCase(batch_size=48)])
+        s = report.summary()
+        assert s["scenario"] == workload.scenario
+        assert s["decisions_match"] and s["stats_consistent"]
+        fuzz = dfl.FuzzReport(trials=[{"ok": True}], seconds=1.0)
+        fs = fuzz.summary()
+        assert fs["ok"] and fs["trials"] == 1
+
+    def test_first_divergence_length_mismatch(self, sources, workload):
+        ref = dfl.scalar_reference(sources["windowed"], "windowed",
+                                   workload.trace, workload.labels)
+        div = dfl.first_divergence(ref, ref[:-1], "case-x")
+        assert div is not None and div.index == len(ref) - 1
+        assert div.got is None and "case-x" in div.describe()
+        assert dfl.first_divergence(ref, list(ref), "y") is None
+
+    def test_stat_notes_flag_inconsistency(self):
+        rows = [
+            {"case": "a", "runtime": "windowed", "topology": "local",
+             "n_workers": 1, "batch_size": 64, "n_decisions": 10,
+             "match": True, "cache": (4, 5, 0), "flushes": 3},
+            {"case": "b", "runtime": "windowed", "topology": "sharded",
+             "n_workers": 1, "batch_size": 64, "n_decisions": 9,
+             "match": True, "cache": (3, 6, 0), "flushes": 4},
+        ]
+        notes: list[str] = []
+        dfl._check_stats(rows, notes)
+        assert any("cache lookups" in n for n in notes)        # 4+5 != 10
+        assert any("disagree" in n for n in notes)
+        assert any("flush totals" in n for n in notes)
+
+
+class TestScalarReference:
+    def test_reference_matches_engine_local(self, sources, workload):
+        ref = dfl.scalar_reference(sources["windowed"], "windowed",
+                                   workload.trace, workload.labels)
+        from repro.serving import PegasusEngine
+        case = dfl.EngineCase()
+        with PegasusEngine(source=sources["windowed"],
+                           config=case.config()) as eng:
+            got = eng.serve_trace(workload.trace, labels=workload.labels)
+        assert got.decisions == ref
+
+    def test_two_stage_spec_deterministic(self):
+        a = dfl.build_two_stage_spec(seed=3)
+        b = dfl.build_two_stage_spec(seed=3)
+        assert all(np.array_equal(x, y)
+                   for x, y in zip(a["slot_values"], b["slot_values"]))
+
+
+class TestFaultInjection:
+    @pytest.fixture()
+    def fault(self):
+        name = dfl.install_fault_backend("index+fault-test", period=7,
+                                         offset=3)
+        yield name
+        lookup_backends.unregister(name)
+
+    def test_fault_is_caught(self, sources, workload, fault):
+        case = dfl.EngineCase("windowed", "local", 1, fault, False, 64)
+        report = dfl.run_differential(workload, sources=sources, cases=[case])
+        assert not report.ok
+        assert report.divergences and report.divergences[0].case == case.label
+        assert "divergence at decision" in report.divergences[0].describe()
+
+    def test_fault_shrinks_to_minimal_trace(self, sources, workload, fault):
+        case = dfl.EngineCase("windowed", "local", 1, fault, False, 64)
+        failing = dfl.make_failing_predicate(case, sources["windowed"])
+        assert failing(workload.trace, workload.labels)
+        shrunk, labels = dfl.shrink_failing_trace(
+            workload.trace, workload.labels, failing, max_evals=150)
+        # still failing, and minimal: a decision needs a full window-8 flow
+        assert failing(shrunk, labels)
+        assert len(shrunk.packets) < workload.n_packets
+        assert len(shrunk.packets) <= 16
+        assert len(labels) == len(shrunk.packets)
+
+    def test_fuzz_finds_and_writes_artifact(self, sources, fault, tmp_path):
+        cases = [dfl.EngineCase("windowed", "local", 1, "index", False, 64),
+                 dfl.EngineCase("windowed", "local", 1, fault, False, 64)]
+        report = dfl.fuzz_differential(
+            n_seeds=0, budget_seconds=120.0, base_seed=5,
+            scenarios=("diurnal",), cases=cases, sources=sources,
+            flows_scale=0.2, out_dir=tmp_path, shrink_evals=120)
+        assert not report.ok and len(report.findings) == 1
+        finding = report.findings[0]
+        assert finding.case == cases[1].label
+        assert finding.shrunk_packets < finding.original_packets
+        # artifact round-trips: committed trace re-fails the harness
+        meta = json.loads((tmp_path / "finding0_diurnal_s5.json").read_text())
+        assert meta["shrunk_packets"] == finding.shrunk_packets
+        trace = read_trace(finding.trace_path)
+        assert len(trace.packets) == finding.shrunk_packets
+        assert dfl.trace_digest(trace) == meta["trace_sha256"]
+        failing = dfl.make_failing_predicate(cases[1], sources["windowed"])
+        assert failing(trace, np.asarray(meta["labels"], dtype=np.int64))
+
+
+class TestFuzzClean:
+    def test_fuzz_clean_matrix_passes(self, sources):
+        rows = []
+        report = dfl.fuzz_differential(
+            n_seeds=1, budget_seconds=120.0, base_seed=0,
+            scenarios=("flow_churn",),
+            cases=[dfl.EngineCase("windowed", "local", 1, "index", True, 48),
+                   dfl.EngineCase("windowed", "sharded", 2, "tcam", False, 48)],
+            sources=sources, flows_scale=0.15,
+            progress=rows.append)
+        assert report.ok and len(report.trials) == 2 == len(rows)
+        assert all(t["ok"] for t in report.trials)
+
+    def test_fuzz_budget_timeboxed(self, sources):
+        report = dfl.fuzz_differential(
+            n_seeds=50, budget_seconds=0.0, base_seed=0,
+            cases=[dfl.EngineCase()], sources=sources)
+        assert report.budget_exhausted
+        assert len(report.trials) == 0
+
+
+class TestDigests:
+    def test_decision_digest_sensitive(self, sources, workload):
+        ref = dfl.scalar_reference(sources["windowed"], "windowed",
+                                   workload.trace, workload.labels)
+        d1 = dfl.decision_digest(ref)
+        assert d1 == dfl.decision_digest(list(ref))
+        import copy
+        mutated = copy.deepcopy(ref)
+        mutated[0].predicted ^= 1
+        assert dfl.decision_digest(mutated) != d1
+
+    def test_trace_digest_matches_file_bytes(self, workload, tmp_path):
+        import hashlib
+
+        from repro.net import write_trace
+        path = tmp_path / "w.spcap"
+        write_trace(workload.trace, path)
+        assert hashlib.sha256(path.read_bytes()).hexdigest() == \
+            dfl.trace_digest(workload.trace)
+
+
+class TestCLI:
+    def test_main_clean_exit(self, capsys):
+        rc = dfl.main(["--seeds", "0", "--budget-seconds", "60",
+                       "--flows-scale", "0.12", "--scenarios", "microburst"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "bit-identical" in out
+
+    def test_scenario_rotation_covers_families(self):
+        # the CLI default rotates round-robin over every registered family
+        assert len(scenario_names()) >= 6

@@ -7,6 +7,9 @@ These are the load-bearing guarantees of the reproduction:
    approximation improves with clustering depth.
 3. The staged pipeline, the compiled reference model, and the emitted P4
    entries agree bit-for-bit.
+4. The columnar trace views (the wire form shard payloads travel as) are
+   lossless round-trips, and flow-shard hashing is a pure per-packet
+   function — stable under any permutation of the columns.
 """
 
 from functools import lru_cache
@@ -22,6 +25,10 @@ from repro.core import (
     SumReduceStep, even_partition, fuse_basic, materialize, MaterializeConfig,
 )
 from repro.dataplane import place_model, TOFINO2
+from repro.net import build_scenario, scenario_names
+from repro.net.traces import (KEY_COLUMN_NAMES, Trace,
+                              canonicalize_key_columns, keys_from_columns)
+from repro.serving import shard_hash, shard_hash_columns
 
 
 def _random_program(rng: np.random.Generator, input_dim: int,
@@ -134,3 +141,86 @@ class TestThreeWayAgreement:
         pipeline = place_model(compiled, TOFINO2)
         x = np.floor(np.random.default_rng(seed).uniform(0, 255, (5, 6))).astype(np.int64)
         np.testing.assert_array_equal(pipeline.process(x), compiled.forward_int(x))
+
+
+@lru_cache(maxsize=8)
+def _scenario_trace(family: str, seed: int) -> Trace:
+    """A small scenario-generated trace (cached: hypothesis revisits seeds)."""
+    return build_scenario(family).generate(seed=seed, flows_scale=0.1).trace
+
+
+_families = st.sampled_from(scenario_names())
+_seeds = st.integers(0, 500)
+
+
+class TestColumnarRoundTrips:
+    """The columnar wire form of scenario-generated traces is lossless."""
+
+    @settings(deadline=None, max_examples=12)
+    @given(_families, _seeds, st.sampled_from([None, 4, 60]))
+    def test_to_columns_from_columns_roundtrip(self, family, seed,
+                                               payload_bytes):
+        trace = _scenario_trace(family, seed)
+        back = Trace.from_columns(trace.to_columns(payload_bytes=payload_bytes))
+        assert len(back) == len(trace)
+        for a, b in zip(trace.packets, back.packets):
+            assert (a.ts, a.length, a.key) == (b.ts, b.length, b.key)
+            if payload_bytes is not None:
+                take = min(a.payload_len, payload_bytes)
+                np.testing.assert_array_equal(b.payload[:take],
+                                              a.payload[:take])
+                assert not b.payload[take:].any()   # zero padding beyond
+
+    @settings(deadline=None, max_examples=12)
+    @given(_families, _seeds)
+    def test_keys_from_columns_inverts_canonicalization(self, family, seed):
+        trace = _scenario_trace(family, seed)
+        rebuilt = keys_from_columns(trace.canonical_key_columns())
+        assert rebuilt == trace.canonical_keys()
+        assert all(type(v) is int for k in rebuilt[:3] for v in k)
+
+    @settings(deadline=None, max_examples=12)
+    @given(_families, _seeds)
+    def test_canonicalize_columns_matches_scalar(self, family, seed):
+        trace = _scenario_trace(family, seed)
+        cols = canonicalize_key_columns(trace.key_columns())
+        want = trace.canonical_keys()
+        for i, name in enumerate(KEY_COLUMN_NAMES):
+            np.testing.assert_array_equal(cols[name],
+                                          [k[i] for k in want])
+
+
+class TestShardHashStability:
+    """shard_hash_columns is a pure per-packet function of the 5-tuple."""
+
+    @settings(deadline=None, max_examples=12)
+    @given(_families, _seeds, st.integers(0, 2**31))
+    def test_stable_under_permutation(self, family, seed, perm_seed):
+        trace = _scenario_trace(family, seed)
+        cols = trace.canonical_key_columns()
+        h = shard_hash_columns(cols)
+        perm = np.random.default_rng(perm_seed).permutation(len(h))
+        h_perm = shard_hash_columns(
+            {name: cols[name][perm] for name in KEY_COLUMN_NAMES})
+        np.testing.assert_array_equal(h_perm, h[perm])
+
+    @settings(deadline=None, max_examples=8)
+    @given(_families, _seeds)
+    def test_columns_match_scalar_hash(self, family, seed):
+        trace = _scenario_trace(family, seed)
+        keys = trace.canonical_keys()
+        h = shard_hash_columns(trace.canonical_key_columns())
+        assert [int(v) for v in h[:64]] == \
+            [shard_hash(k) for k in keys[:64]]
+
+    @settings(deadline=None, max_examples=8)
+    @given(_families, _seeds, st.integers(1, 8))
+    def test_shard_assignment_is_per_flow(self, family, seed, n_shards):
+        # all packets of a canonical flow land on one shard, any shard count
+        trace = _scenario_trace(family, seed)
+        shard = shard_hash_columns(trace.canonical_key_columns()) \
+            % np.uint64(n_shards)
+        by_flow: dict = {}
+        for k, s in zip(trace.canonical_keys(), shard.tolist()):
+            by_flow.setdefault(k, set()).add(s)
+        assert all(len(s) == 1 for s in by_flow.values())
