@@ -45,15 +45,31 @@ def test_scenario_suite(benchmark, bench_scale):
     assert hitters["skewed"]["cache_hit_rate"] > \
         hitters["warmup"]["cache_hit_rate"] + 0.2
 
+    # Approximate hits must never change a decision: every cached replay's
+    # digest equals its uncached replay's (hard gate, like differential_ok).
+    assert res["decisions_bit_identical"]
+
+    # The two-level cache is the point of serving "l1+l2": families whose
+    # exact-window L1 stayed cold must now hit through the quantized L2.
+    warm = [name for name, s in scenarios.items()
+            if s["overall"]["cache_hit_rate"] > 0.0]
+    assert len(warm) >= 4, warm
+
     update_bench_json("scenarios", {
         "differential_ok": res["differential_ok"],
         "differential_trials": res["differential_trials"],
         "model_f1": res["model_f1"],
+        "cache": {
+            "mode": res["cache_mode"],
+            "decisions_bit_identical": res["decisions_bit_identical"],
+        },
         "per_scenario": {
             name: {
                 "pps": s["overall"]["pps"],
                 "accuracy": s["overall"]["accuracy"],
                 "cache_hit_rate": s["overall"]["cache_hit_rate"],
+                "cache_exact_hits": s["overall"]["cache_exact_hits"],
+                "cache_approx_hits": s["overall"]["cache_approx_hits"],
                 "phase_accuracy": {p: v["accuracy"]
                                    for p, v in s["phases"].items()},
                 "phase_cache_hit_rate": {p: v["cache_hit_rate"]

@@ -25,10 +25,13 @@ from repro.utils.fixed_point import QFormat, choose_qformat
 # by exact fancy indexing (exact tables) / tree walk (fuzzy tables); "tcam"
 # answers fuzzy tables through the vectorized prioritized-TCAM emulation in
 # :mod:`repro.dataplane.tcam` — bit-identical by construction, but executing
-# the very (value, mask, priority) entries the hardware would hold. Exact
-# tables are direct-indexed SRAM on the switch too, so both backends index
-# them.
-LOOKUP_BACKENDS = ("index", "tcam")
+# the very (value, mask, priority) entries the hardware would hold.
+# "tcam-pruned" is the same TCAM emulation with the flat wide-table encoding
+# forced and its candidate-pruned match kernel enabled: each key compares
+# against the rows of its elementary interval segment instead of the whole
+# table — still first-match-identical. Exact tables are direct-indexed SRAM
+# on the switch too, so every backend indexes them.
+LOOKUP_BACKENDS = ("index", "tcam", "tcam-pruned")
 
 
 def _check_backend(lookup_backend: str) -> None:
@@ -59,9 +62,15 @@ class SegmentTable:
     in_signed: bool = False      # signed keys use excess-K TCAM encoding
     tree: FuzzyTree | None = None
     exact_lo: int = 0            # exact tables index by (x - exact_lo)
-    # Lazily compiled TCAM form of a fuzzy table (repro.dataplane.tcam),
-    # cached so serving pays compilation once per table, not per batch.
-    _tcam: object = field(default=None, init=False, repr=False, compare=False)
+    # Lazily compiled TCAM forms of a fuzzy table (repro.dataplane.tcam),
+    # cached per encoding choice ("auto" | "pruned") so serving pays
+    # compilation once per table, not per batch.
+    _tcam: dict = field(default_factory=dict, init=False, repr=False,
+                        compare=False)
+    # Lazily built per-leaf integer boxes (fuzzy tables): the cell-box
+    # certificates the two-level decision cache verifies hits against.
+    _leaf_boxes_int: tuple | None = field(default=None, init=False,
+                                          repr=False, compare=False)
 
     @property
     def out_dim(self) -> int:
@@ -76,32 +85,80 @@ class SegmentTable:
         """Table lookup for a batch of integer segment inputs (N, d)."""
         _check_backend(lookup_backend)
         if self.kind == "exact":
-            # Direct-indexed SRAM on the hardware under either backend.
+            # Direct-indexed SRAM on the hardware under every backend.
             idx = np.clip(x_seg[:, 0] - self.exact_lo, 0, self.n_entries - 1)
             return self.values_int[idx.astype(np.int64)]
         assert self.tree is not None
         if lookup_backend == "tcam":
             return self.values_int[self.tcam_indices(x_seg)]
+        if lookup_backend == "tcam-pruned":
+            return self.values_int[self.tcam_indices(x_seg, pruned=True)]
         return self.values_int[self.tree.predict_index(x_seg)]
 
-    def tcam_segment(self):
-        """The cached prioritized-TCAM form of this (fuzzy) table."""
-        if self._tcam is None:
+    def tcam_segment(self, pruned: bool = False):
+        """The cached prioritized-TCAM form of this (fuzzy) table.
+
+        ``pruned=True`` compiles (and caches) the pruned-kernel variant —
+        flat encoding forced where affordable so the candidate pre-index
+        has one wide scan to prune.
+        """
+        key = "pruned" if pruned else "auto"
+        if key not in self._tcam:
             # Imported lazily: core stays importable without the dataplane.
             from repro.dataplane.tcam import compile_segment_table
-            self._tcam = compile_segment_table(self)
-        return self._tcam
+            self._tcam[key] = compile_segment_table(self, encoding=key)
+        return self._tcam[key]
 
-    def tcam_indices(self, x_seg: np.ndarray) -> np.ndarray:
+    def tcam_indices(self, x_seg: np.ndarray, pruned: bool = False) -> np.ndarray:
         """Fuzzy indices via masked-compare TCAM emulation (bit-identical
         to :meth:`fuzzy_indices` for the integer keys the dataplane sees)."""
-        return self.tcam_segment().lookup_indices(x_seg)
+        return self.tcam_segment(pruned=pruned).lookup_indices(x_seg,
+                                                               pruned=pruned)
 
     def fuzzy_indices(self, x_seg: np.ndarray) -> np.ndarray:
         """The raw fuzzy index (used when per-flow state stores indexes)."""
         if self.kind != "fuzzy":
             raise CompilationError("only fuzzy tables have fuzzy indices")
         return self.tree.predict_index(x_seg)
+
+    # -- cell-box certificates -----------------------------------------------
+
+    def leaf_box_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-leaf integer boxes of a fuzzy table, as (lo, hi) arrays.
+
+        Shape (n_leaves, d), inclusive integer bounds in the raw key
+        domain: leaf i's box is exactly the integer region the clustering
+        tree routes to fuzzy index i, so the table's output is constant on
+        it — the certificate :func:`decision_cell_box` hands the two-level
+        decision cache.
+        """
+        if self.kind != "fuzzy":
+            raise CompilationError("only fuzzy tables have leaf boxes")
+        if self._leaf_boxes_int is None:
+            key_lo = -(1 << (self.in_bits - 1)) if self.in_signed else 0
+            key_hi = key_lo + (1 << self.in_bits) - 1
+            boxes = self.tree.leaf_boxes(lo=key_lo, hi=key_hi)
+            lo = np.asarray([[int(np.ceil(b_lo)) for (b_lo, _) in box]
+                             for box in boxes], dtype=np.int64)
+            hi = np.asarray([[int(np.floor(b_hi)) for (_, b_hi) in box]
+                             for box in boxes], dtype=np.int64)
+            self._leaf_boxes_int = (lo, hi)
+        return self._leaf_boxes_int
+
+    def cell_box(self, x_seg: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Inclusive (lo, hi) box per row on which this table is constant.
+
+        Fuzzy tables return the leaf box containing each row; exact tables
+        return the width-1 point box ``[x, x]`` (their output varies with
+        every key, and clipping makes wider boxes unsound at the domain
+        edges).
+        """
+        x_seg = np.asarray(x_seg, dtype=np.int64)
+        if self.kind == "exact":
+            return x_seg.copy(), x_seg.copy()
+        lo, hi = self.leaf_box_arrays()
+        idx = self.tree.predict_index(x_seg)
+        return lo[idx], hi[idx]
 
     # -- resource accounting -------------------------------------------------
 
@@ -241,6 +298,171 @@ class CompiledModel:
 
     def bus_bits(self) -> int:
         return max((layer.bus_bits() for layer in self.layers), default=0)
+
+
+def decision_cell_box(model: CompiledModel,
+                      x_int: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row axis-aligned boxes on which the model's decision is constant.
+
+    For a batch ``(N, input_dim)`` of integer inputs, returns inclusive
+    ``(lo, hi)`` int64 arrays of the same shape such that every integer
+    point inside row i's box provably receives the same final decision as
+    ``x_int[i]``: the box is the intersection of the first layer's
+    per-table constancy regions (fuzzy leaf box / exact point box), the
+    first-layer output is therefore identical across the box, and every
+    later layer — and the final argmax — is a function of that output
+    alone. This is the verify-on-hit certificate of the two-level decision
+    cache: an approximate (quantized-key) hit is served only when the probe
+    vector lies inside the cached box.
+
+    Dimensions no first-layer table reads (there are none in practice) stay
+    pinned to the point, keeping the certificate sound by construction.
+    """
+    x = np.asarray(x_int, dtype=np.int64)
+    if x.ndim == 1:
+        x = x[None, :]
+    if x.ndim != 2 or x.shape[1] != model.input_dim:
+        raise ShapeError(
+            f"expected a (N, {model.input_dim}) batch, got shape {x.shape}")
+    lo = x.copy()
+    hi = x.copy()
+    if model.layers and len(x):
+        for table in model.layers[0].tables:
+            start, stop = table.segment
+            t_lo, t_hi = table.cell_box(x[:, start:stop])
+            lo[:, start:stop] = t_lo
+            hi[:, start:stop] = t_hi
+    return lo, hi
+
+
+# Chunk the (rows x leaves x out_dim) candidate-bound tensors so interval
+# certification of a large miss batch stays within a few MB of scratch.
+_BOUND_CELLS = 1 << 22
+
+
+def _table_output_bounds(table: SegmentTable, lo: np.ndarray,
+                         hi: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sound per-row output bounds of one table over input boxes [lo, hi].
+
+    Returns ``(out_lo, out_hi, ok)``: for every integer key inside row i's
+    (inclusive) box, the table's output lies in ``[out_lo[i], out_hi[i]]``
+    elementwise. ``ok[i]`` is False when no table entry intersects the box
+    (an empty candidate set has no meaningful bounds) — callers must treat
+    such rows as uncertifiable rather than trust the sentinel values.
+    """
+    n = len(lo)
+    vals = table.values_int
+    if table.kind == "exact":
+        # Direct-indexed SRAM: keys clip into [0, n_entries): a box maps to
+        # a contiguous index range, bounded by a min/max over the slice.
+        i0 = np.clip(lo[:, 0] - table.exact_lo, 0, table.n_entries - 1)
+        i1 = np.clip(hi[:, 0] - table.exact_lo, 0, table.n_entries - 1)
+        pairs, inv = np.unique(np.stack([i0, i1], axis=1), axis=0,
+                               return_inverse=True)
+        ulo = np.empty((len(pairs), table.out_dim), dtype=np.int64)
+        uhi = np.empty_like(ulo)
+        for k, (a, b) in enumerate(pairs):
+            seg = vals[int(a):int(b) + 1]
+            ulo[k] = seg.min(axis=0)
+            uhi[k] = seg.max(axis=0)
+        return ulo[inv], uhi[inv], np.ones(n, dtype=bool)
+    leaf_lo, leaf_hi = table.leaf_box_arrays()
+    out_lo = np.empty((n, table.out_dim), dtype=np.int64)
+    out_hi = np.empty_like(out_lo)
+    ok = np.empty(n, dtype=bool)
+    chunk = max(1, _BOUND_CELLS // max(1, len(leaf_lo) * table.out_dim))
+    for s in range(0, n, chunk):
+        l_, h_ = lo[s:s + chunk], hi[s:s + chunk]
+        inter = ((leaf_lo[None, :, :] <= h_[:, None, :])
+                 & (leaf_hi[None, :, :] >= l_[:, None, :])).all(axis=2)
+        ok[s:s + chunk] = inter.any(axis=1)
+        cand = inter[:, :, None]
+        out_lo[s:s + chunk] = np.where(cand, vals[None], _INT64_MAX).min(axis=1)
+        out_hi[s:s + chunk] = np.where(cand, vals[None], _INT64_MIN).max(axis=1)
+    return out_lo, out_hi, ok
+
+
+_INT64_MAX = np.iinfo(np.int64).max
+_INT64_MIN = np.iinfo(np.int64).min
+
+
+def decision_box_certified(model: CompiledModel, x_int: np.ndarray,
+                           box_lo: np.ndarray,
+                           box_hi: np.ndarray) -> np.ndarray:
+    """Per-row bool: the decision is provably constant on ``[box_lo, box_hi]``.
+
+    Interval abstraction over the lookup pipeline: each layer's output is
+    bounded by the elementwise min/max over every table entry whose key
+    region intersects the incoming box (fuzzy leaf boxes / exact index
+    ranges); SumReduce adds bounds and saturates monotonically. Row i is
+    certified when the final lower bound of ``x_int[i]``'s own class
+    strictly exceeds every other class's upper bound — then no point in the
+    box can flip the argmax, regardless of tie-breaking order. Bounds only
+    ever over-approximate the reachable outputs, so a True verdict is sound
+    by construction; False merely means "could not prove it".
+    """
+    x = np.asarray(x_int, dtype=np.int64)
+    if x.ndim == 1:
+        x = x[None, :]
+    lo = np.asarray(box_lo, dtype=np.int64)
+    hi = np.asarray(box_hi, dtype=np.int64)
+    if lo.ndim == 1:
+        lo, hi = lo[None, :], hi[None, :]
+    n = len(x)
+    if not model.layers or n == 0:
+        return np.zeros(n, dtype=bool)
+    dec = np.argmax(model.forward_int(x), axis=1)
+    valid = np.ones(n, dtype=bool)
+    for layer in model.layers:
+        outs_lo, outs_hi = [], []
+        for table in layer.tables:
+            start, stop = table.segment
+            t_lo, t_hi, ok = _table_output_bounds(
+                table, lo[:, start:stop], hi[:, start:stop])
+            outs_lo.append(t_lo)
+            outs_hi.append(t_hi)
+            valid &= ok
+        if layer.sum_reduce:
+            fmt = layer.out_format
+            lo = np.clip(sum(outs_lo), fmt.int_min, fmt.int_max)
+            hi = np.clip(sum(outs_hi), fmt.int_min, fmt.int_max)
+        else:
+            lo = np.concatenate(outs_lo, axis=1)
+            hi = np.concatenate(outs_hi, axis=1)
+    rows = np.arange(n)
+    runner_up = hi.copy()
+    runner_up[rows, dec] = _INT64_MIN
+    return valid & (lo[rows, dec] > runner_up.max(axis=1))
+
+
+def certified_decision_box(model: CompiledModel, x_int: np.ndarray,
+                           quantize_shift: int | None = None,
+                           ) -> tuple[np.ndarray, np.ndarray]:
+    """Widest available sound decision box per row.
+
+    Starts from :func:`decision_cell_box` (always sound) and, when the
+    caller names the L2 store's ``quantize_shift``, tries to upgrade each
+    row's box to its whole quantization bucket — the axis-aligned cube of
+    side ``1 << quantize_shift`` the row's quantized L2 key denotes. The
+    upgrade is taken only when :func:`decision_box_certified` proves the
+    decision constant over the full cube; certified rows then satisfy
+    *bucket hit implies box hit*, which is what lets scenario families
+    whose flows never repeat a window byte-for-byte still share decisions
+    through the L2.
+    """
+    cell_lo, cell_hi = decision_cell_box(model, x_int)
+    if quantize_shift is None or quantize_shift <= 0 or not model.layers:
+        return cell_lo, cell_hi
+    x = np.asarray(x_int, dtype=np.int64)
+    if x.ndim == 1:
+        x = x[None, :]
+    if len(x) == 0:
+        return cell_lo, cell_hi
+    cube_lo = (x >> quantize_shift) << quantize_shift
+    cube_hi = cube_lo + (1 << quantize_shift) - 1
+    cert = decision_box_certified(model, x, cube_lo, cube_hi)[:, None]
+    return (np.where(cert, cube_lo, cell_lo),
+            np.where(cert, cube_hi, cell_hi))
 
 
 def _materialize_map(step: MapStep, sum_reduce: bool, calib_int: np.ndarray,

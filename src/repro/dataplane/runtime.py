@@ -63,7 +63,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.fuzzy import FuzzyTree
-from repro.core.mapping import CompiledModel, _check_backend
+from repro.core.mapping import (CompiledModel, _check_backend,
+                                certified_decision_box)
 from repro.errors import ConfigError
 from repro.net.features import (length_bucket, ipd_bucket, stats_from_buckets,
                                 length_bucket_array, ipd_bucket_array)
@@ -196,10 +197,10 @@ class _BatchedReplayMixin:
         """
         _check_backend(lookup_backend)
         if lookup_backend != "index":
-            self._enable_tcam()
+            self._enable_tcam(lookup_backend)
         self.lookup_backend = lookup_backend
 
-    def _enable_tcam(self) -> None:
+    def _enable_tcam(self, lookup_backend: str = "tcam") -> None:
         """Subclass hook: validate the TCAM backend applies and compile its
         tables eagerly, so the first serve measures lookups, not compilation."""
 
@@ -325,8 +326,44 @@ class _BatchedReplayMixin:
                 yield i, j, np.asarray(slots, dtype=np.int64)
                 i = j
 
+    def _cell_boxes(self, feats: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Per-row (lo, hi) boxes on which the decision is provably constant.
+
+        The certificate an L2 insert carries (see
+        :class:`repro.serving.TwoLevelDecisionCache`). The default is the
+        degenerate point box — always sound; runtimes whose model exposes a
+        real decision-boundary structure override this with wider boxes.
+        """
+        feats = np.asarray(feats, dtype=np.int64)
+        return feats.copy(), feats.copy()
+
+    def _scalar_two_level(self, cache, ck, feats: np.ndarray, predict_one) -> int:
+        """One packet's decision through a two-level cache (scalar path).
+
+        L1 exact probe -> verified L2 probe (hit promotes into L1) -> model
+        + insert at both levels. This is the reference op sequence the
+        batched protocol below reproduces bit-identically.
+        """
+        from repro.serving.cache import _DEC
+
+        got = cache.exact_get(ck)
+        if got is not None:
+            return int(got)
+        feats = np.asarray(feats, dtype=np.int64)
+        entry = cache.approx_get(feats)
+        if entry is not None:
+            pred = int(entry[_DEC])
+            cache.promote(ck, pred)
+            return pred
+        cache.count_miss()
+        pred = int(np.asarray(predict_one(feats[None, :]))[0])
+        box_lo, box_hi = self._cell_boxes(feats[None, :])
+        cache.insert(ck, feats, box_lo[0], box_hi[0], pred)
+        return pred
+
     def _predict_ready(self, keys: list, ready_rows: np.ndarray,
-                       windows: np.ndarray, predict_rows) -> np.ndarray:
+                       windows: np.ndarray, predict_rows,
+                       features_rows=None, predict_feats=None) -> np.ndarray:
         """Predictions for the window-complete rows, through the cache.
 
         ``keys`` are the batch's canonical flow keys, ``ready_rows`` the
@@ -336,7 +373,9 @@ class _BatchedReplayMixin:
         model on the given positions of ``ready_rows``. Without a cache the
         model runs on every ready row; with one it runs on misses only —
         bit-identical either way, because the model's decision is a pure
-        function of the window.
+        function of the window. ``features_rows(rows)`` /
+        ``predict_feats(feats)`` expose the feature view the two-level
+        protocol probes its L2 with (and invokes the model on).
         """
         from repro.serving.cache import PENDING
 
@@ -345,6 +384,9 @@ class _BatchedReplayMixin:
         if cache is None:
             return np.asarray(predict_rows(np.arange(n_ready, dtype=np.int64)),
                               dtype=np.int64)
+        if getattr(cache, "two_level", False) and features_rows is not None:
+            return self._predict_ready_two_level(
+                keys, ready_rows, windows, features_rows, predict_feats)
         preds = np.empty(n_ready, dtype=np.int64)
         row_bytes = windows.shape[1] * windows.dtype.itemsize
         packed = np.ascontiguousarray(windows).tobytes()
@@ -386,6 +428,87 @@ class _BatchedReplayMixin:
         for k, (ck, rows) in enumerate(miss_rows.items()):
             preds[rows] = got[k]
             cache.fill(ck, int(got[k]))
+        return preds
+
+    def _predict_ready_two_level(self, keys: list, ready_rows: np.ndarray,
+                                 windows: np.ndarray, features_rows,
+                                 predict_feats) -> np.ndarray:
+        """Batched replay of the two-level scalar op sequence, in two passes.
+
+        Pass 1 walks the ready rows in order, issuing exactly the scalar
+        path's L1 probes and (for L1 misses) its L1 inserts — reserved with
+        PENDING, since the decision may come from the L2 or the batch's one
+        model call. A put's *value* never affects LRU recency or eviction
+        choice, so the L1 state stream is bit-identical to per-packet
+        replay. Pass 2 walks the L1-missing rows in the same order against
+        the L2: verified hits resolve immediately (or join the pending
+        entry's model group when the in-flush creator hasn't computed yet);
+        double misses reserve a pending L2 entry and form a model group.
+        One model invocation covers the group leaders; fills then resolve
+        every reservation — again exactly the scalar insert stream, so
+        exact/approx/miss counts, eviction counts, and decisions all match
+        per-packet replay bit for bit (regression-tested).
+        """
+        from repro.serving.cache import PENDING, _DEC, _GROUP
+
+        cache = self.decision_cache
+        n_ready = len(ready_rows)
+        preds = np.empty(n_ready, dtype=np.int64)
+        row_bytes = windows.shape[1] * windows.dtype.itemsize
+        packed = np.ascontiguousarray(windows).tobytes()
+        cks: list = [None] * n_ready
+        l2_rows: list[int] = []
+        joiners: dict = {}       # L1 key -> rows that hit its PENDING entry
+        miss_groups: dict = {}   # group L1 key -> rows one model row resolves
+        try:
+            for r in range(n_ready):
+                lo_b = r * row_bytes
+                ck = (keys[int(ready_rows[r])], packed[lo_b:lo_b + row_bytes])
+                cks[r] = ck
+                got = cache.exact_get(ck)
+                if got is None:
+                    cache.promote(ck, PENDING)
+                    l2_rows.append(r)
+                elif got is PENDING:
+                    joiners.setdefault(ck, []).append(r)
+                else:
+                    preds[r] = got
+            if l2_rows:
+                rows_arr = np.asarray(l2_rows, dtype=np.int64)
+                feats = np.asarray(features_rows(rows_arr), dtype=np.int64)
+                box_lo, box_hi = self._cell_boxes(feats)
+                j_of = {r: j for j, r in enumerate(l2_rows)}
+                for j, r in enumerate(l2_rows):
+                    entry = cache.approx_get(feats[j])
+                    if entry is not None:
+                        dec = entry[_DEC]
+                        if dec is PENDING:
+                            miss_groups.setdefault(entry[_GROUP], []).append(r)
+                        else:
+                            preds[r] = dec
+                    else:
+                        cache.count_miss()
+                        cache.reserve_l2(cks[r], feats[j], box_lo[j], box_hi[j])
+                        miss_groups.setdefault(cks[r], []).append(r)
+                if miss_groups:
+                    leaders = np.asarray(
+                        [j_of[rows[0]] for rows in miss_groups.values()],
+                        dtype=np.int64)
+                    got = np.asarray(predict_feats(feats[leaders]),
+                                     dtype=np.int64)
+        except BaseException:
+            # A failed model invocation must not strand reservations at
+            # either level (see the single-level path above).
+            for r in l2_rows:
+                cache.discard_pending(cks[r])
+            raise
+        for k, rows in enumerate(miss_groups.values()):
+            preds[rows] = got[k]
+        for r in l2_rows:
+            cache.fill(cks[r], int(preds[r]))
+        creator = {cks[r]: r for r in l2_rows}
+        for ck, rows in joiners.items():
+            preds[rows] = preds[creator[ck]]
         return preds
 
 
@@ -430,19 +553,39 @@ class WindowedClassifierRuntime(_BatchedReplayMixin):
         ])
         self.state = VectorFlowState(layout, capacity=self.capacity)
 
-    def _enable_tcam(self) -> None:
+    def _enable_tcam(self, lookup_backend: str = "tcam") -> None:
         if not isinstance(self.model, CompiledModel):
             raise ConfigError(
-                "lookup_backend", "tcam",
+                "lookup_backend", lookup_backend,
                 reason="requires a CompiledModel; a placed Pipeline executes "
                        "its own table layout")
         from repro.dataplane.tcam import tcam_table_report
         tcam_table_report(self.model)   # compile + cache every fuzzy table
+        if lookup_backend == "tcam-pruned":
+            # Warm the pruned-variant tables and their interval pre-indexes
+            # too, so the first serve measures pruned lookups.
+            for layer in self.model.layers:
+                for table in layer.tables:
+                    if table.kind != "fuzzy":
+                        continue
+                    seg = table.tcam_segment(pruned=True)
+                    if seg.encoding == "flat":
+                        seg.flat.pruned_index()
 
     def _model_predict(self, x: np.ndarray) -> np.ndarray:
         if self.lookup_backend == "index":
             return self.model.predict(x)
         return self.model.predict(x, lookup_backend=self.lookup_backend)
+
+    def _cell_boxes(self, feats: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        if isinstance(self.model, CompiledModel):
+            cache = getattr(self, "decision_cache", None)
+            shift = None
+            if getattr(cache, "two_level", False):
+                shift = cache.l2.quantize_shift
+            return certified_decision_box(self.model, feats,
+                                          quantize_shift=shift)
+        return super()._cell_boxes(feats)
 
     @property
     def bits_per_flow(self) -> int:
@@ -489,17 +632,23 @@ class WindowedClassifierRuntime(_BatchedReplayMixin):
         if count >= self.window - 1:
             lens = [int(v) for v in cols["len_hist"][slot]] + [len_b]
             ipds = [int(v) for v in cols["ipd_hist"][slot]] + [ipd_b]
+            cache = self.decision_cache
             pred = None
-            if self.decision_cache is not None:
+            if cache is not None:
                 # Same packed layout as the batched path: len window ++ ipd
                 # window, one byte per bucket.
                 ck = (key, np.asarray(lens + ipds, dtype=np.uint8).tobytes())
-                pred = self.decision_cache.get(ck)
+                if getattr(cache, "two_level", False):
+                    pred = self._scalar_two_level(
+                        cache, ck, self._features(lens, ipds),
+                        self._model_predict)
+                else:
+                    pred = cache.get(ck)
             if pred is None:
                 x = self._features(lens, ipds)[None, :]
                 pred = int(self._model_predict(x)[0])
-                if self.decision_cache is not None:
-                    self.decision_cache.put(ck, pred)
+                if cache is not None:
+                    cache.put(ck, pred)
             decision = PacketDecision(flow_label=flow_label, predicted=int(pred),
                                       ts=packet.ts)
 
@@ -542,7 +691,10 @@ class WindowedClassifierRuntime(_BatchedReplayMixin):
             preds = self._predict_ready(
                 keys, ready_rows, windows,
                 lambda rows: self._model_predict(
-                    self._features_batch(ready_len[rows], ready_ipd[rows])))
+                    self._features_batch(ready_len[rows], ready_ipd[rows])),
+                features_rows=lambda rows: self._features_batch(
+                    ready_len[rows], ready_ipd[rows]),
+                predict_feats=self._model_predict)
             for k, i in enumerate(ready_rows):
                 out.append(PacketDecision(flow_label=int(labels[i]),
                                           predicted=int(preds[k]),
@@ -593,7 +745,10 @@ class TwoStageRuntime(_BatchedReplayMixin):
     # hardware. Requires raw integer byte keys (no refined feature_fn).
     lookup_backend: str = "index"
     state: VectorFlowState = field(init=False)
-    _extractor_tcam: object = field(init=False, default=None, repr=False)
+    # Compiled extractor TCAM per encoding choice ("auto" | "pruned") —
+    # the pruned variant usually stays levelwise (the 60-dim tree's flat
+    # expansion blows past the pruning threshold), making prune a no-op.
+    _extractor_tcam: dict = field(init=False, default_factory=dict, repr=False)
 
     required_columns = ("ts", "payload")
 
@@ -619,23 +774,39 @@ class TwoStageRuntime(_BatchedReplayMixin):
         """Narrowest dtype holding one fuzzy index (the cache-key packing)."""
         return np.dtype(np.uint8 if self.idx_bits <= 8 else np.uint16)
 
-    def _enable_tcam(self) -> None:
+    def _enable_tcam(self, lookup_backend: str = "tcam") -> None:
         if self.feature_fn is not None:
             raise ConfigError(
-                "lookup_backend", "tcam",
+                "lookup_backend", lookup_backend,
                 reason="needs integer raw-byte keys; a refined feature_fn "
                        "produces float features the fixed-width TCAM key "
                        "cannot encode")
-        if self._extractor_tcam is None:
+        enc = "pruned" if lookup_backend == "tcam-pruned" else "auto"
+        if enc not in self._extractor_tcam:
             from repro.dataplane.tcam import TcamSegment
-            self._extractor_tcam = TcamSegment.from_tree(
-                self.extractor_tree, key_bits=8, signed=False)
+            self._extractor_tcam[enc] = TcamSegment.from_tree(
+                self.extractor_tree, key_bits=8, signed=False, encoding=enc)
 
     def _tree_indices(self, feats: np.ndarray) -> np.ndarray:
         """Fuzzy extraction for a (N, raw_bytes) batch, backend-dispatched."""
-        if self.lookup_backend == "tcam":
-            return self._extractor_tcam.lookup_indices(feats)
+        if self.lookup_backend != "index":
+            pruned = self.lookup_backend == "tcam-pruned"
+            seg = self._extractor_tcam["pruned" if pruned else "auto"]
+            return seg.lookup_indices(feats, pruned=pruned)
         return self.extractor_tree.predict_index(feats)
+
+    def _predict_windows(self, win_idx: np.ndarray) -> np.ndarray:
+        """Decisions for a (N, window) batch of fuzzy-index windows.
+
+        The model invocation of this runtime: per-slot SumReduce gathers +
+        final argmax — also the ``predict_feats`` hook of the two-level
+        cache protocol (its feature view *is* the index window).
+        """
+        win_idx = np.asarray(win_idx, dtype=np.int64)
+        logits = np.zeros((len(win_idx), self.n_classes), dtype=np.int64)
+        for slot_pos in range(self.window):
+            logits += self.slot_values[slot_pos][win_idx[:, slot_pos]]
+        return np.argmax(logits, axis=1)
 
     def _extract_index(self, packet: Packet, ipd_bucket: int | None) -> int:
         vec = np.zeros(self.raw_bytes, dtype=np.float64)
@@ -663,17 +834,23 @@ class TwoStageRuntime(_BatchedReplayMixin):
         decision = None
         if count >= self.window - 1:
             indexes = [int(v) for v in cols["idx_hist"][slot]] + [idx]
+            cache = self.decision_cache
             pred = None
-            if self.decision_cache is not None:
+            if cache is not None:
                 ck = (key, np.asarray(indexes, dtype=self._win_dtype).tobytes())
-                pred = self.decision_cache.get(ck)
+                if getattr(cache, "two_level", False):
+                    pred = self._scalar_two_level(
+                        cache, ck, np.asarray(indexes, dtype=np.int64),
+                        self._predict_windows)
+                else:
+                    pred = cache.get(ck)
             if pred is None:
                 logits = np.zeros(self.n_classes, dtype=np.int64)
                 for slot_pos, slot_idx in enumerate(indexes):
                     logits += self.slot_values[slot_pos][slot_idx]
                 pred = int(np.argmax(logits))
-                if self.decision_cache is not None:
-                    self.decision_cache.put(ck, pred)
+                if cache is not None:
+                    cache.put(ck, pred)
             decision = PacketDecision(flow_label=flow_label, predicted=int(pred),
                                       ts=packet.ts)
 
@@ -727,17 +904,11 @@ class TwoStageRuntime(_BatchedReplayMixin):
         ready_rows = np.nonzero(count_i >= self.window - 1)[0]
         if len(ready_rows):
             ready_win = win_idx[ready_rows]
-
-            def predict_rows(rows):
-                sub = ready_win[rows]
-                logits = np.zeros((len(sub), self.n_classes), dtype=np.int64)
-                for slot_pos in range(self.window):
-                    logits += self.slot_values[slot_pos][sub[:, slot_pos]]
-                return np.argmax(logits, axis=1)
-
-            preds = self._predict_ready(keys, ready_rows,
-                                        ready_win.astype(self._win_dtype),
-                                        predict_rows)
+            preds = self._predict_ready(
+                keys, ready_rows, ready_win.astype(self._win_dtype),
+                lambda rows: self._predict_windows(ready_win[rows]),
+                features_rows=lambda rows: ready_win[rows],
+                predict_feats=self._predict_windows)
             for k, i in enumerate(ready_rows):
                 out.append(PacketDecision(flow_label=int(labels[i]),
                                           predicted=int(preds[k]),

@@ -43,7 +43,14 @@ from repro.core.fuzzy import FuzzyNode, FuzzyTree
 from repro.errors import CompilationError, ShapeError
 from repro.dataplane.tables import ternary_entries_for_tree
 
-TCAM_ENCODINGS = ("auto", "flat", "levelwise")
+TCAM_ENCODINGS = ("auto", "flat", "levelwise", "pruned")
+
+# "pruned" forces the flat (single wide table) encoding so the interval
+# pre-index has one scan to prune — unless the flat cross-product expansion
+# exceeds this many entries (deep trees over wide segments, e.g. the
+# two-stage 60-dim extractor), in which case it keeps levelwise and pruning
+# is a no-op. Decisions are unaffected either way.
+PRUNED_MAX_FLAT_ENTRIES = 1 << 14
 
 
 def _domain(key_bits: int, signed: bool) -> tuple[int, int]:
@@ -68,6 +75,62 @@ def encode_keys(x: np.ndarray, key_bits: int, signed: bool) -> np.ndarray:
 
 
 @dataclass
+class PrunedMatchIndex:
+    """Interval pre-index over one key field of a priority-sorted table.
+
+    Every prefix-mask ternary entry matches, on each field, exactly the
+    key interval ``[value, value | ~mask]``. Projecting all entries onto the
+    most selective field and cutting its domain at the distinct interval
+    endpoints yields *elementary segments*: within one segment every key has
+    the same candidate entry set. The index stores, per segment, the
+    candidate rows **in table (priority) order**, so the first match within
+    a candidate list is the global first match — the pruned scan is provably
+    first-match-identical to the full scan, it just compares each key
+    against ``avg_candidates`` rows instead of ``n_entries``.
+    """
+
+    field_idx: int               # which key field the segments cut
+    bounds: np.ndarray           # (n_segments,) segment start keys, sorted
+    candidates: list             # per segment: np.ndarray of row indices
+    avg_candidates: float        # mean candidate-list length (diagnostics)
+    _padded: object = field(default=None, init=False, repr=False, compare=False)
+
+    def segment_of(self, keys_f: np.ndarray) -> np.ndarray:
+        """Elementary-segment id per key (keys clamped into the domain)."""
+        return np.clip(np.searchsorted(self.bounds, keys_f, side="right") - 1,
+                       0, len(self.bounds) - 1)
+
+    def padded_candidates(self) -> np.ndarray:
+        """(n_segments, max_candidates) candidate rows, -1 padded.
+
+        Rows stay in table (priority) order, so a row-wise first True over
+        this matrix is the winning entry. Built once, lazily: the padded
+        form is what lets the pruned lookup run as one vectorized gather +
+        compare instead of a per-segment Python loop.
+        """
+        if self._padded is None:
+            width = max((len(c) for c in self.candidates), default=0)
+            padded = np.full((len(self.candidates), max(width, 1)), -1,
+                             dtype=np.int64)
+            for s, cand in enumerate(self.candidates):
+                padded[s, :len(cand)] = cand
+            self._padded = padded
+        return self._padded
+
+
+def _is_prefix_mask(masks: np.ndarray, key_bits: int) -> bool:
+    """True when every mask is a prefix mask (contiguous high bits).
+
+    Prefix masks are exactly the masks whose matched key set is one interval
+    ``[value, value | ~mask]`` — the property the interval pre-index needs.
+    All CRC / range-to-prefix compilations emit prefix masks.
+    """
+    domain_mask = (1 << key_bits) - 1
+    inv = (~np.asarray(masks, dtype=np.int64)) & domain_mask
+    return bool(np.all((inv & (inv + 1)) == 0))
+
+
+@dataclass
 class PackedTernaryTable:
     """Prioritized ternary entries packed into columnar NumPy arrays.
 
@@ -84,6 +147,10 @@ class PackedTernaryTable:
     results: np.ndarray
     key_bits: int
     signed: bool = False
+    # Lazily built pruned-match interval index (None until requested;
+    # False when the entries are not all prefix masks and pruning is
+    # impossible — the pruned lookup then falls back to the full scan).
+    _pruned: object = field(default=None, init=False, repr=False, compare=False)
 
     def __post_init__(self):
         self.priorities = np.asarray(self.priorities, dtype=np.int64)
@@ -126,13 +193,24 @@ class PackedTernaryTable:
             signed=signed,
         )
 
-    def lookup_encoded(self, keys_u: np.ndarray) -> np.ndarray:
-        """First-match results for already-encoded (N, n_fields) keys."""
+    def lookup_encoded(self, keys_u: np.ndarray,
+                       pruned: bool = False) -> np.ndarray:
+        """First-match results for already-encoded (N, n_fields) keys.
+
+        ``pruned=True`` resolves each key against its elementary segment's
+        candidate rows (see :meth:`pruned_index`) instead of all
+        ``n_entries`` — bit-identical results, fewer compares; tables whose
+        masks are not all prefix masks silently use the full scan.
+        """
         keys_u = np.asarray(keys_u, dtype=np.int64)
         if keys_u.ndim == 1:
             keys_u = keys_u[:, None]
         if keys_u.shape[1] != self.n_fields:
             raise ShapeError(f"expected {self.n_fields} key fields, got {keys_u.shape[1]}")
+        if pruned:
+            index = self.pruned_index()
+            if index is not None:
+                return self._lookup_pruned(keys_u, index)
         matched = np.ones((len(keys_u), self.n_entries), dtype=bool)
         for f in range(self.n_fields):
             matched &= (keys_u[:, f, None] & self.masks[None, :, f]) == self.values[None, :, f]
@@ -146,9 +224,100 @@ class PackedTernaryTable:
                 raise LookupError(f"no TCAM entry matches key {keys_u[missed]}")
         return self.results[pick]
 
-    def lookup(self, x: np.ndarray) -> np.ndarray:
+    def lookup(self, x: np.ndarray, pruned: bool = False) -> np.ndarray:
         """First-match results for a raw-domain (N, n_fields) key batch."""
-        return self.lookup_encoded(encode_keys(x, self.key_bits, self.signed))
+        return self.lookup_encoded(encode_keys(x, self.key_bits, self.signed),
+                                   pruned=pruned)
+
+    # -- pruned match kernel --------------------------------------------------
+
+    def pruned_index(self) -> PrunedMatchIndex | None:
+        """Build (once) the elementary-segment interval index.
+
+        Returns None when any entry carries a non-prefix mask — then no
+        field's match set is a single interval and candidate pruning would
+        be unsound, so the pruned lookup degrades to the full scan.
+        """
+        if self._pruned is None:
+            self._pruned = self._build_pruned_index() or False
+        return self._pruned if self._pruned is not False else None
+
+    def _build_pruned_index(self) -> PrunedMatchIndex | None:
+        if self.n_entries == 0 or not _is_prefix_mask(self.masks, self.key_bits):
+            return None
+        domain_mask = (1 << self.key_bits) - 1
+        inv = (~self.masks) & domain_mask
+        lo_all = self.values                    # value & mask (normalized)
+        hi_all = self.values | inv
+        best = None
+        for f in range(self.n_fields):
+            lo, hi = lo_all[:, f], hi_all[:, f]
+            # Elementary segments: cut the field domain at every interval
+            # endpoint. Within a segment the candidate set is constant.
+            bounds = np.unique(np.concatenate(([0], lo, hi + 1)))
+            bounds = bounds[bounds <= domain_mask]
+            starts = bounds                     # segment s covers [bounds[s], next)
+            covers = (lo[None, :] <= starts[:, None]) & (starts[:, None] <= hi[None, :])
+            # Expected candidates for a uniform key: weight each segment's
+            # candidate count by its width. Picks the most selective field.
+            ends = np.append(bounds[1:], domain_mask + 1)
+            widths = ends - bounds
+            avg = float((covers.sum(axis=1) * widths).sum()) / (domain_mask + 1)
+            if best is None or avg < best[0]:
+                cands = [np.nonzero(covers[s])[0] for s in range(len(bounds))]
+                best = (avg, PrunedMatchIndex(
+                    field_idx=f, bounds=bounds, candidates=cands,
+                    avg_candidates=float(np.mean([len(c) for c in cands]))))
+        return best[1] if best else None
+
+    def candidate_rows(self, keys_u: np.ndarray) -> list[np.ndarray]:
+        """Per-key candidate row sets the pruned kernel would scan.
+
+        Exposed for the property tests: for every key, the candidates must
+        be a superset of the full scan's winning (argmin-priority) row.
+        Empty list when the table has no usable pruned index.
+        """
+        index = self.pruned_index()
+        if index is None:
+            return []
+        keys_u = np.asarray(keys_u, dtype=np.int64)
+        if keys_u.ndim == 1:
+            keys_u = keys_u[:, None]
+        seg = index.segment_of(keys_u[:, index.field_idx])
+        return [index.candidates[int(s)] for s in seg]
+
+    # Workspace bound for the pruned compare: each chunk materializes about
+    # this many (key, candidate) cells per field, keeping the gathered
+    # masks/values slices cache-friendly for any batch size.
+    _PRUNED_CELLS = 1 << 17
+
+    def _lookup_pruned(self, keys_u: np.ndarray,
+                       index: PrunedMatchIndex) -> np.ndarray:
+        n = len(keys_u)
+        out = np.empty(n, dtype=np.int64)
+        if n == 0:
+            return out
+        seg = index.segment_of(keys_u[:, index.field_idx])
+        padded = index.padded_candidates()      # (n_segments, C), -1 padded
+        chunk = max(1, self._PRUNED_CELLS // padded.shape[1])
+        for s in range(0, n, chunk):
+            ks = keys_u[s:s + chunk]
+            cs = padded[seg[s:s + chunk]]       # per-key candidate rows
+            rows = np.maximum(cs, 0)            # pad-safe gather indices
+            # One vectorized first-match over the candidate lists: the lists
+            # keep table (priority) order, so argmax IS the winning entry.
+            matched = ((ks[:, None, :] & self.masks[rows])
+                       == self.values[rows]).all(axis=2)
+            matched &= cs >= 0
+            pick = matched.argmax(axis=1)
+            ar = np.arange(len(ks))
+            hit = matched[ar, pick]
+            if not hit.all():
+                missed = s + int(np.nonzero(~hit)[0][0])
+                raise LookupError(
+                    f"no TCAM entry matches key {keys_u[missed]}")
+            out[s:s + chunk] = self.results[cs[ar, pick]]
+        return out
 
     def entries(self) -> list[PrioritizedEntry]:
         """The scalar view: fields packed into one wide match, MSB first.
@@ -228,6 +397,13 @@ class TcamSegment:
         levelwise_count = tree._tcam_entries_levelwise(key_bits, signed)
         if encoding == "auto":
             encoding = "flat" if flat_count < levelwise_count else "levelwise"
+        elif encoding == "pruned":
+            # The pruned kernel needs one wide scan to prune, so it prefers
+            # flat even where auto would pick levelwise (many tiny per-node
+            # lookups cost more than one pruned wide lookup) — unless flat
+            # blows up, in which case levelwise stays and pruning no-ops.
+            encoding = ("flat" if flat_count <= PRUNED_MAX_FLAT_ENTRIES
+                        else "levelwise")
         seg = cls(
             key_bits=key_bits,
             signed=signed,
@@ -279,8 +455,13 @@ class TcamSegment:
             return self._flat_count
         return self._levelwise_count
 
-    def lookup_indices(self, x: np.ndarray) -> np.ndarray:
-        """Fuzzy (leaf) indices for a raw-domain key batch (N, dim)."""
+    def lookup_indices(self, x: np.ndarray, pruned: bool = False) -> np.ndarray:
+        """Fuzzy (leaf) indices for a raw-domain key batch (N, dim).
+
+        ``pruned=True`` runs the flat table through its candidate-pruned
+        match kernel (bit-identical first-match results); levelwise
+        segments ignore the flag — their per-node tables are already tiny.
+        """
         x = np.asarray(x)
         if x.ndim == 1:
             x = x[None, :]
@@ -288,7 +469,7 @@ class TcamSegment:
             raise ShapeError(f"expected dim {self.dim}, got {x.shape[1]}")
         enc = encode_keys(x, self.key_bits, self.signed)
         if self.encoding == "flat":
-            return self.flat.lookup_encoded(enc)
+            return self.flat.lookup_encoded(enc, pruned=pruned)
         out = np.empty(len(enc), dtype=np.int64)
         self._walk(self.root, np.arange(len(enc)), enc, out)
         return out

@@ -68,45 +68,69 @@ class EngineCase:
     topology: str = "local"
     n_workers: int = 1
     lookup_backend: str = "index"
-    decision_cache: bool = False
+    decision_cache: bool | str = "off"
     batch_size: int = 64
 
     @property
+    def cache_mode(self) -> str:
+        """The cache axis as a mode string (bools accepted for back-compat)."""
+        if self.decision_cache is False:
+            return "off"
+        if self.decision_cache is True:
+            return "l1"
+        return self.decision_cache
+
+    @property
+    def cached(self) -> bool:
+        return self.cache_mode != "off"
+
+    @property
     def label(self) -> str:
-        cache = "cache" if self.decision_cache else "nocache"
         return (f"{self.runtime}/{self.topology}{self.n_workers}/"
-                f"{self.lookup_backend}/{cache}/b{self.batch_size}")
+                f"{self.lookup_backend}/{self.cache_mode}/b{self.batch_size}")
 
     def config(self, capacity: int = DEFAULT_CAPACITY,
                cache_capacity: int = DEFAULT_CACHE_CAPACITY) -> EngineConfig:
         return EngineConfig(
             runtime=self.runtime, feature_mode="stats", window=8,
             capacity=capacity, lookup_backend=self.lookup_backend,
-            batch_size=self.batch_size, decision_cache=self.decision_cache,
+            batch_size=self.batch_size, decision_cache=self.cache_mode,
             cache_capacity=cache_capacity, topology=self.topology,
             n_workers=self.n_workers)
 
 
 def build_cases(runtimes: tuple[str, ...] = RUNTIME_KINDS,
                 worker_counts: tuple[int, ...] = (1, 2),
-                backends: tuple[str, ...] = ("index", "tcam"),
-                caches: tuple[bool, ...] = (False, True),
+                backends: tuple[str, ...] = ("index", "tcam", "tcam-pruned"),
+                caches: tuple[bool | str, ...] = ("off", "l1", "l1+l2"),
                 batch_sizes: tuple[int, ...] = (64,),
                 include_parallel: bool = True) -> list[EngineCase]:
     """The full matrix: every topology x cache x backend x runtime point.
 
-    ``local`` runs only at one worker (by definition); ``sharded`` and
-    (optionally) ``parallel`` run at every requested worker count.
+    ``local`` runs the full backend x cache cross product (one in-process
+    replica — cheap). ``sharded`` and (optionally) ``parallel`` run at every
+    requested worker count, rotating through the backend x cache pairs so
+    every pair still appears in a multi-replica topology at least once per
+    runtime kind without exploding the process-forking corner of the matrix.
     """
+    combos = list(itertools.product(backends, caches))
     cases = []
-    for kind, backend, cached, batch in itertools.product(
-            runtimes, backends, caches, batch_sizes):
-        cases.append(EngineCase(kind, "local", 1, backend, cached, batch))
-        for n in worker_counts:
-            cases.append(EngineCase(kind, "sharded", n, backend, cached, batch))
-            if include_parallel:
-                cases.append(EngineCase(kind, "parallel", n, backend, cached,
+    for kind, batch in itertools.product(runtimes, batch_sizes):
+        for backend, cached in combos:
+            cases.append(EngineCase(kind, "local", 1, backend, cached, batch))
+        # Rotate (backend, cache) pairs across the scaled-out topologies:
+        # offset by one per worker count so sharded and parallel between
+        # them cover every pair at every requested scale over the rotation.
+        for i, n in enumerate(worker_counts):
+            for j in range(0, len(combos), 2):
+                backend, cached = combos[(i + j) % len(combos)]
+                cases.append(EngineCase(kind, "sharded", n, backend, cached,
                                         batch))
+            if include_parallel:
+                for j in range(1, len(combos), 2):
+                    backend, cached = combos[(i + j) % len(combos)]
+                    cases.append(EngineCase(kind, "parallel", n, backend,
+                                            cached, batch))
     return cases
 
 
@@ -116,11 +140,12 @@ def quick_cases(runtimes: tuple[str, ...] = RUNTIME_KINDS) -> list[EngineCase]:
     cases = []
     for kind in runtimes:
         cases += [
-            EngineCase(kind, "local", 1, "index", False, 32),
-            EngineCase(kind, "local", 1, "tcam", True, 64),
-            EngineCase(kind, "sharded", 2, "index", True, 64),
-            EngineCase(kind, "sharded", 2, "tcam", False, 96),
-            EngineCase(kind, "parallel", 2, "index", True, 64),
+            EngineCase(kind, "local", 1, "index", "off", 32),
+            EngineCase(kind, "local", 1, "tcam", "l1", 64),
+            EngineCase(kind, "local", 1, "tcam-pruned", "l1+l2", 64),
+            EngineCase(kind, "sharded", 2, "index", "l1+l2", 64),
+            EngineCase(kind, "sharded", 2, "tcam", "off", 96),
+            EngineCase(kind, "parallel", 2, "index", "l1+l2", 64),
         ]
     return cases
 
@@ -262,28 +287,47 @@ class DifferentialReport:
 def _check_stats(rows: list[dict], notes: list[str]) -> None:
     """Cross-config stat invariants (decisions aside).
 
-    - every cached config performs exactly one cache lookup per decision;
+    Cache rows are ``(exact_hits, approx_hits, misses, evictions)``:
+
+    - every cached config performs exactly one cache lookup per decision
+      (``exact + approx + misses == n_decisions``);
     - with no evictions anywhere (capacity ample), every cached config of a
-      runtime kind sees the *same* hits/misses — the cache is keyed by
-      (flow, window), and neither topology nor sharding may change what a
-      flow's windows are;
+      runtime kind sees the *same* exact hits — the L1 is keyed by (flow,
+      window), and neither topology, sharding, nor the L2 may change what a
+      flow's windows are or which L1 probes hit;
+    - within one (kind, cache mode, worker count, parallel?) group, the
+      *full* counter tuple is identical across lookup backends and batch
+      sizes — backends never touch the cache and the batched two-pass
+      protocol replays the scalar op sequence exactly (approximate-hit
+      patterns may legitimately differ across replica layouts, so groups
+      never span topologies with different replica counts);
     - configs with the same runtime kind, sharding shape, and batch size
       must cut the same spans, hence equal flush totals.
     """
     cached = [r for r in rows if r["cache"] is not None]
     for r in cached:
-        hits, misses, _ = r["cache"]
-        if hits + misses != r["n_decisions"]:
-            notes.append(f"{r['case']}: {hits}+{misses} cache lookups for "
-                         f"{r['n_decisions']} decisions")
+        hits, approx, misses, _ = r["cache"]
+        if hits + approx + misses != r["n_decisions"]:
+            notes.append(f"{r['case']}: {hits}+{approx}+{misses} cache "
+                         f"lookups for {r['n_decisions']} decisions")
     for kind in {r["runtime"] for r in cached}:
         group = [r for r in cached if r["runtime"] == kind]
-        if any(r["cache"][2] for r in group):
+        if any(r["cache"][3] for r in group):
             continue            # evictions: per-replica capacity bound, skip
-        counters = {r["cache"][:2] for r in group}
+        exact = {r["cache"][0] for r in group}
+        if len(exact) > 1:
+            notes.append(f"{kind}: cached configs disagree on exact hits: "
+                         f"{ {r['case']: r['cache'] for r in group} }")
+    by_layout: dict[tuple, list[dict]] = {}
+    for r in cached:
+        layout = (r["runtime"], r["cache_mode"], r["n_workers"],
+                  r["topology"] == "parallel")
+        by_layout.setdefault(layout, []).append(r)
+    for layout, group in by_layout.items():
+        counters = {r["cache"] for r in group}
         if len(counters) > 1:
-            notes.append(f"{kind}: cached configs disagree on hit/miss "
-                         f"counters: { {r['case']: r['cache'] for r in group} }")
+            notes.append(f"cache counters diverge across {layout}: "
+                         f"{ {r['case']: r['cache'] for r in group} }")
     by_shape: dict[tuple, dict[str, int]] = {}
     for r in rows:
         shape = (r["runtime"], r["n_workers"], r["batch_size"])
@@ -321,11 +365,11 @@ def run_differential(workload: ScenarioTrace, sources: dict | None = None,
         report.rows.append({
             "case": case.label, "runtime": case.runtime,
             "topology": case.topology, "n_workers": case.n_workers,
-            "batch_size": case.batch_size,
+            "batch_size": case.batch_size, "cache_mode": case.cache_mode,
             "n_decisions": serve.n_decisions,
             "match": div is None,
-            "cache": ((cs.hits, cs.misses, cs.evictions)
-                      if case.decision_cache else None),
+            "cache": ((cs.hits, cs.approx_hits, cs.misses, cs.evictions)
+                      if case.cached else None),
             "flushes": serve.flush_stats.total,
             "wall_seconds": serve.wall_seconds,
         })
@@ -459,6 +503,45 @@ def install_fault_backend(name: str = "index+fault", period: int = 7,
     return name
 
 
+def install_l2_fault_backend(name: str = "index+l2fault",
+                             period: int = 5) -> str:
+    """Register a backend whose replicas serve WRONG approximate hits.
+
+    The lookup path itself is the normal index path; the fault wraps the
+    replica's two-level decision cache so every ``period``-th verified L2
+    hit returns a copy of the entry with its decision bit-flipped — the
+    exact failure an unsound quantization certificate would cause. The
+    differential matrix must flag the first corrupted decision and the
+    shrinker must reduce the trace, proving the bit-identity wall actually
+    guards the approximate path (mutation-tested). Replicas without a
+    two-level cache are left untouched, so the fault fires only where an
+    approximate hit can. Registration is idempotent.
+    """
+    from repro.serving.cache import PENDING, _DEC
+
+    def apply(replica):
+        replica.set_lookup_backend("index")
+        cache = getattr(replica, "decision_cache", None)
+        if not getattr(cache, "two_level", False):
+            return
+        orig = cache.approx_get
+        hits = itertools.count(1)
+
+        def corrupt(feats):
+            entry = orig(feats)
+            if entry is None or entry[_DEC] is PENDING:
+                return entry
+            if next(hits) % period == 0:
+                entry = list(entry)
+                entry[_DEC] = int(entry[_DEC]) ^ 1
+            return entry
+
+        cache.approx_get = corrupt
+
+    register_lookup_backend(name, apply=apply, overwrite=True)
+    return name
+
+
 # ---------------------------------------------------------------------------
 # Fuzzing
 # ---------------------------------------------------------------------------
@@ -539,6 +622,35 @@ def replay_digests(workload: ScenarioTrace,
                                         labels=workload.labels).decisions
         out[kind] = {"digest": decision_digest(decisions),
                      "n_decisions": len(decisions)}
+    return out
+
+
+def two_level_replay(workload: ScenarioTrace,
+                     sources: dict | None = None) -> dict[str, dict]:
+    """Digest + cache counters of the maximal-fast-path replay per kind.
+
+    Replays each runtime kind with the two-level decision cache AND the
+    pruned TCAM kernel enabled (``l1+l2`` / ``tcam-pruned``) — the
+    configuration where an unsound approximate hit or a dropped candidate
+    row would surface. The golden fixtures pin that its digest equals the
+    plain reference digest, and (for the counter golden) the exact
+    ``(exact_hits, approx_hits, misses, evictions)`` stream.
+    """
+    sources = default_sources() if sources is None else sources
+    out: dict[str, dict] = {}
+    for kind in RUNTIME_KINDS:
+        case = EngineCase(runtime=kind, lookup_backend="tcam-pruned",
+                          decision_cache="l1+l2")
+        with PegasusEngine(source=sources[kind],
+                           config=case.config()) as eng:
+            serve = eng.serve_trace(workload.trace, labels=workload.labels)
+        cs = serve.cache_stats
+        out[kind] = {"digest": decision_digest(serve.decisions),
+                     "n_decisions": serve.n_decisions,
+                     "counters": {"exact_hits": cs.exact_hits,
+                                  "approx_hits": cs.approx_hits,
+                                  "misses": cs.misses,
+                                  "evictions": cs.evictions}}
     return out
 
 

@@ -33,20 +33,23 @@ def _fmt(cell) -> str:
 def render_scenario_table(summary: dict) -> str:
     """Per-phase table for one ``ScenarioServingReport.summary()`` dict.
 
-    One row per phase — packets, decisions, accuracy, pps, cache hit rate —
-    plus an ``overall`` footer row, titled with the scenario name.
+    One row per phase — packets, decisions, accuracy, pps, cache hit rate
+    split into exact (L1) and verified-approximate (L2) hits — plus an
+    ``overall`` footer row, titled with the scenario name.
     """
     def row(label, s):
         acc = s.get("accuracy")
         return [label, s["n_packets"], s["n_decisions"],
                 "-" if acc is None else f"{acc:.4f}",
-                s["pps"], f"{s['cache_hit_rate']:.3f}"]
+                s["pps"], f"{s['cache_hit_rate']:.3f}",
+                s.get("cache_exact_hits", 0), s.get("cache_approx_hits", 0)]
 
     rows = [row(f"{name} [{p['t_start']:.0f}-{p['t_end']:.0f}s]", p)
             for name, p in summary["phases"].items()]
     rows.append(row("overall", summary["overall"]))
     return render_table(
-        ["phase", "packets", "decisions", "accuracy", "pps", "cache_hit"],
+        ["phase", "packets", "decisions", "accuracy", "pps", "cache_hit",
+         "exact", "approx"],
         rows, title=f"Scenario {summary['scenario']!r} "
                     f"(seed={summary['seed']})")
 

@@ -438,6 +438,13 @@ def run_tcam_equivalence(flows_per_class: int = 120, seed: int = 0,
             table_match &= bool(np.array_equal(
                 table.tcam_indices(keys_out),
                 table.tree.predict_index(np.clip(keys_out, lo, hi))))
+            # Pruned kernel: candidate-subset matching must agree with the
+            # full prioritized scan on the same keys (in- and out-of-domain).
+            table_match &= bool(np.array_equal(
+                table.tcam_indices(keys, pruned=True), want))
+            table_match &= bool(np.array_equal(
+                table.tcam_indices(keys_out, pruned=True),
+                table.tree.predict_index(np.clip(keys_out, lo, hi))))
             # Scalar TCAM reference on a sub-sample, per materialized table.
             for packed in seg.node_tables():
                 sub = rng.integers(lo, hi + 1,
@@ -460,9 +467,14 @@ def run_tcam_equivalence(flows_per_class: int = 120, seed: int = 0,
             compiled, replace(base, topology="sharded", n_workers=n)
         ).serve_flows(flows).decisions
         entry: dict = {"decisions": len(reference)}
-        for cached in (False, True):
+        for cached in ("off", "l1", "l1+l2"):
+            # Rotate the TCAM flavor so the pruned kernel is exercised in
+            # the serving matrix without doubling it: the two-level cache
+            # config (the one that could mask a lookup bug behind hits)
+            # serves through the pruned path.
+            backend = "tcam-pruned" if cached == "l1+l2" else "tcam"
             def tcam(topology):
-                return replace(base, lookup_backend="tcam", n_workers=n,
+                return replace(base, lookup_backend=backend, n_workers=n,
                                decision_cache=cached, topology=topology)
             sharded_ok = PegasusEngine.from_compiled(
                 compiled, tcam("sharded")
@@ -470,7 +482,8 @@ def run_tcam_equivalence(flows_per_class: int = 120, seed: int = 0,
             with PegasusEngine.from_compiled(
                     compiled, tcam("parallel")) as engine:
                 parallel_ok = engine.serve_flows(flows).decisions == reference
-            entry[f"cache_{'on' if cached else 'off'}"] = {
+            entry[f"cache_{cached}"] = {
+                "lookup_backend": backend,
                 "sharded_match": sharded_ok, "parallel_match": parallel_ok}
             serving_match = serving_match and sharded_ok and parallel_ok
         matrix[n] = entry
@@ -493,9 +506,11 @@ def run_tcam_throughput(flows_per_class: int = 120, seed: int = 0,
                         batch_size: int = 256,
                         repeats: int = 2,
                         model_batch: int = 4096) -> dict:
-    """Packets/sec of the two lookup backends (TCAM-vs-index bench).
+    """Packets/sec of the lookup backends (TCAM-vs-index bench).
 
-    Two measurements per backend, best of ``repeats`` runs each:
+    Measures ``index``, the full-scan ``tcam`` emulation, and the
+    ``tcam-pruned`` candidate-subset kernel. Two measurements per backend,
+    best of ``repeats`` runs each:
 
     - **model level** — ``forward_int`` rows/sec on one large random batch,
       isolating pure lookup-engine cost (tree walk vs masked-compare +
@@ -532,7 +547,7 @@ def run_tcam_throughput(flows_per_class: int = 120, seed: int = 0,
     matches = True
     reference = None
     ref_forward = None
-    for backend in ("index", "tcam"):
+    for backend in ("index", "tcam", "tcam-pruned"):
         compiled.forward_int(x[:64], lookup_backend=backend)    # warm-up
         best = float("inf")
         for _ in range(repeats):
@@ -565,6 +580,9 @@ def run_tcam_throughput(flows_per_class: int = 120, seed: int = 0,
     results["matches_index"] = bool(matches)
     results["serving_slowdown_tcam"] = \
         results["serving_pps"]["index"] / max(results["serving_pps"]["tcam"], 1e-9)
+    results["serving_slowdown_tcam_pruned"] = \
+        results["serving_pps"]["index"] / \
+        max(results["serving_pps"]["tcam-pruned"], 1e-9)
     return results
 
 
@@ -573,7 +591,7 @@ def run_scenario_suite(flows_per_class: int = 120, seed: int = 0,
                        scenarios: tuple[str, ...] | None = None,
                        flows_scale: float = 1.0,
                        batch_size: int = 256,
-                       decision_cache: bool = True,
+                       decision_cache: bool | str = "l1+l2",
                        differential_seeds: int = 0,
                        differential_budget: float = 300.0) -> dict:
     """Serve every registered scenario family, reported per phase.
@@ -583,12 +601,17 @@ def run_scenario_suite(flows_per_class: int = 120, seed: int = 0,
     :meth:`~repro.serving.PegasusEngine.serve_scenario`, collecting the
     per-phase accuracy/pps/cache breakdown (an attack flood shows up as an
     accuracy cliff in its own phase, a heavy-hitter phase as a cache
-    hit-rate spike). With ``differential_seeds >= 0`` the quick differential
-    matrix (see :mod:`repro.eval.differential`) also replays the fixed seed
-    plus that many random seeds, contributing the suite's
-    ``differential_ok`` correctness bit.
+    hit-rate spike). Because the default cache mode serves *approximate*
+    L2 hits, every cached scenario replay is digest-compared against an
+    uncached serve of the same workload — the suite's
+    ``decisions_bit_identical`` bit. With ``differential_seeds >= 0`` the
+    quick differential matrix (see :mod:`repro.eval.differential`) also
+    replays the fixed seed plus that many random seeds, contributing the
+    suite's ``differential_ok`` correctness bit.
     """
-    from repro.eval.differential import fuzz_differential
+    from dataclasses import replace
+
+    from repro.eval.differential import decision_digest, fuzz_differential
     from repro.net import build_scenario, scenario_names
     from repro.serving import EngineConfig, PegasusEngine
 
@@ -599,12 +622,23 @@ def run_scenario_suite(flows_per_class: int = 120, seed: int = 0,
     names = scenarios if scenarios is not None else scenario_names()
 
     results: dict = {"dataset": dataset, "model_f1": row["F1"],
-                     "scenarios": {}}
+                     "scenarios": {}, "cache_mode": config.decision_cache,
+                     "decision_digests": {}}
+    bit_identical = True
     for name in names:
+        workload = build_scenario(name).generate(seed=seed,
+                                                 flows_scale=flows_scale)
         with PegasusEngine.from_compiled(compiled, config) as engine:
-            report = engine.serve_scenario(build_scenario(name), seed=seed,
-                                           flows_scale=flows_scale)
+            report = engine.serve_scenario(workload)
+        digest = decision_digest(report.overall.decisions)
+        if config.decision_cache != "off":
+            with PegasusEngine.from_compiled(
+                    compiled, replace(config, decision_cache="off")) as eng:
+                plain = eng.serve_scenario(workload)
+            bit_identical &= digest == decision_digest(plain.overall.decisions)
         results["scenarios"][name] = report.summary()
+        results["decision_digests"][name] = digest
+    results["decisions_bit_identical"] = bool(bit_identical)
     # The differential pass honors the same narrowing knobs as the serving
     # loop, so a restricted suite stays proportionally quick.
     fuzz = fuzz_differential(n_seeds=differential_seeds, base_seed=seed,

@@ -63,6 +63,24 @@ def _mouse(profile, name_suffix="-mouse"):
                    min_packets=2, max_packets=5)
 
 
+def _keepalive(profile, name_suffix="-keepalive"):
+    """A near-constant-rate service flow (heartbeats, telemetry, NTP).
+
+    Like :func:`_elephant` but with a whisker of jitter on length and IPD:
+    consecutive windows repeat only *approximately* (feature buckets move
+    by at most one or two), so the exact-window L1 usually misses while
+    the quantized L2's verified near-repeat path sees real traffic. This
+    is the steady service component every long-running mix carries.
+    """
+    return replace(profile,
+                   name=profile.name + name_suffix,
+                   len_modes=[(640.0, 4.0, 1.0)],
+                   ipd_mu=-5.0, ipd_sigma=0.05,
+                   len_period=0.0, len_amp=0.0, corr=0.0,
+                   extra_len_jitter=0.0,
+                   min_packets=24, max_packets=48)
+
+
 @register_scenario("diurnal")
 def diurnal(flows: int = 10, dataset: str = "peerrush") -> Scenario:
     profiles = _benign(dataset)
@@ -148,12 +166,14 @@ def heavy_hitters(flows: int = 10, dataset: str = "peerrush") -> Scenario:
 @register_scenario("flow_churn")
 def flow_churn(flows: int = 8, dataset: str = "peerrush") -> Scenario:
     profiles = _benign(dataset)
-    baseline = tuple(TrafficBand(p, flows) for p in profiles)
+    service = TrafficBand(_keepalive(profiles[0]), max(2, flows // 2))
+    baseline = tuple(TrafficBand(p, flows) for p in profiles) + (service,)
     mice = tuple(TrafficBand(_mouse(p), 8 * flows) for p in profiles)
     return Scenario(
         name="flow_churn",
         description="storms of short-lived mice (below the decision window) "
-                    "churning the flow-slot table over a steady baseline",
+                    "churning the flow-slot table over a steady baseline "
+                    "with a near-constant keepalive service",
         phases=(
             PhaseDef("steady-1", 30.0, baseline),
             PhaseDef("mice-storm-1", 10.0, mice),
@@ -167,11 +187,14 @@ def flow_churn(flows: int = 8, dataset: str = "peerrush") -> Scenario:
 def concept_drift(flows: int = 12, dataset: str = "peerrush") -> Scenario:
     profiles = _benign(dataset)
     a, b = profiles[0], profiles[1]
-    rest = tuple(TrafficBand(p, flows) for p in profiles[1:])
+    beacon = TrafficBand(_keepalive(profiles[-1], "-beacon"),
+                         max(2, flows // 3))
+    rest = tuple(TrafficBand(p, flows) for p in profiles[1:]) + (beacon,)
     return Scenario(
         name="concept_drift",
         description=f"{a.name} traffic drifts toward {b.name}'s statistics "
-                    "mid-trace while keeping its ground-truth label",
+                    "mid-trace while keeping its ground-truth label; a "
+                    "near-constant beacon service rides along unchanged",
         phases=(
             PhaseDef("stable-a", 40.0, (TrafficBand(a, flows),) + rest),
             PhaseDef("drift", 60.0,

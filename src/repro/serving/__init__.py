@@ -29,6 +29,11 @@ assembles (all still importable for reference stacks and tests):
   ``(canonical 5-tuple, window index) -> decision`` that short-circuits
   model invocation for already-classified elephant flows whose windows
   repeat, without changing a single decision.
+- :class:`TwoLevelDecisionCache` — the exact L1 above plus a shared
+  quantized L2 (:class:`QuantizedDecisionStore`) that serves *approximate*
+  hits for near-repeating windows, but only when a decision-cell
+  certificate proves the cached decision cannot differ (verify-on-hit;
+  ``EngineConfig(decision_cache="l1+l2")``).
 
 Both dispatchers also take ``lookup_backend="tcam"`` to serve the
 hardware-faithful prioritized-TCAM lookup path
@@ -65,9 +70,11 @@ bind — the regression tests in ``tests/test_dataplane_batched.py``,
 """
 
 from repro.serving.scheduler import BatchScheduler, FlushStats, SpanStream
-from repro.serving.cache import CacheStats, FlowDecisionCache
+from repro.serving.cache import (CacheStats, FlowDecisionCache,
+                                 QuantizedDecisionStore,
+                                 TwoLevelDecisionCache)
 from repro.serving.dispatcher import shard_hash, shard_hash_columns
-from repro.serving.engine import (EngineConfig, PegasusEngine,
+from repro.serving.engine import (CACHE_MODES, EngineConfig, PegasusEngine,
                                   ScenarioServingReport, ServingReport,
                                   register_lookup_backend,
                                   register_runtime_kind, register_topology)
@@ -79,16 +86,19 @@ from repro.serving.compat import ParallelDispatcher, ShardedDispatcher
 
 __all__ = [
     "BatchScheduler",
+    "CACHE_MODES",
     "CacheStats",
     "EngineConfig",
     "FlowDecisionCache",
     "FlushStats",
     "ParallelDispatcher",
     "PegasusEngine",
+    "QuantizedDecisionStore",
     "ScenarioServingReport",
     "ServingReport",
     "ShardedDispatcher",
     "SpanStream",
+    "TwoLevelDecisionCache",
     "register_lookup_backend",
     "register_runtime_kind",
     "register_topology",

@@ -1,4 +1,4 @@
-"""LRU flow-decision cache: skip model invocation when a flow's window repeats.
+"""Two-level flow-decision cache: exact L1 memo + verified approximate L2.
 
 Per-flow serving spends most of its model invocations on a few elephant flows,
 and an elephant's feature window quickly becomes repetitive (constant-rate
@@ -11,26 +11,54 @@ bit-identical to an uncached replay (asserted by the serving tests). This is
 the cache-optimization lever 5GC^2ache identifies as dominant for per-flow
 dataplane serving.
 
-The cache is wired into both dataplane runtimes behind the ``decision_cache``
-flag::
+The exact L1 never fires on *near*-repeating windows (a flood of drone flows
+whose windows differ by one IPD bucket) or across flows. The L2 of
+:class:`TwoLevelDecisionCache` closes that gap without ever changing a
+decision:
+
+- the **key** is the quantized feature vector (``feats >> l2_quantize_shift``,
+  packed to bytes) — near-identical windows of *different* flows land in the
+  same bucket;
+- the **entry** carries a *certificate*: the axis-aligned box of the compiled
+  model's first-layer cell containing the inserting feature vector (fuzzy
+  tables contribute their decision-tree leaf box, exact tables a width-1
+  interval). First-layer outputs — and therefore every downstream layer and
+  the final argmax — are constant on that cell, so any feature vector inside
+  the box provably receives the same decision;
+- a probe is served **only** after verify-on-hit: a vectorized
+  ``lo <= feats <= hi`` bounds check against the certificate. Quantization
+  alone is never trusted — a bucket collision whose box check fails falls
+  through to the model (and inserts its own entry).
+
+Exact (L1) and approximate (L2) hits are counted separately
+(:class:`CacheStats`); ``exact_hits + approx_hits + misses == lookups`` is a
+regression-tested identity. The L2 is read-mostly and shareable: in-process
+replicas (``local`` / ``sharded`` topologies) share one store, worker
+processes (``parallel``) each fill a local store that the dispatcher merges
+and re-publishes at serve boundaries.
+
+Wiring (both dataplane runtimes, behind ``decision_cache``)::
 
     from repro.dataplane.runtime import WindowedClassifierRuntime
-    from repro.serving import FlowDecisionCache
+    from repro.serving import TwoLevelDecisionCache
 
     runtime = WindowedClassifierRuntime(
-        compiled, feature_mode="stats", decision_cache=FlowDecisionCache(capacity=65536)
+        compiled, feature_mode="stats",
+        decision_cache=TwoLevelDecisionCache(capacity=65536, l2_capacity=4096)
     )
 
-Eviction is LRU (a hit refreshes the entry); ``stats`` counts hits, misses,
-and evictions. Keys include the flow's canonical 5-tuple, so register
-eviction churn in the runtime never invalidates the cache: a re-arriving
-evicted elephant hits again as soon as its window re-forms.
+Eviction is LRU at both levels (a hit refreshes the entry/bucket). L1 keys
+include the flow's canonical 5-tuple, so register eviction churn in the
+runtime never invalidates the cache: a re-arriving evicted elephant hits
+again as soon as its window re-forms.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.errors import ConfigError
 
@@ -46,27 +74,40 @@ PENDING = object()
 
 @dataclass
 class CacheStats:
-    """Hit/miss/evict counters for one :class:`FlowDecisionCache`."""
+    """Hit/miss/evict counters for one decision cache.
+
+    ``hits`` counts exact (L1) hits; ``approx_hits`` counts verified
+    approximate (L2) hits — zero for a plain :class:`FlowDecisionCache`.
+    ``evictions`` covers both levels (L1 entries and L2 buckets).
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    approx_hits: int = 0
+
+    @property
+    def exact_hits(self) -> int:
+        """Alias of ``hits`` — the exact-match (L1) hit count."""
+        return self.hits
 
     @property
     def lookups(self) -> int:
-        return self.hits + self.misses
+        return self.hits + self.approx_hits + self.misses
 
     @property
     def hit_rate(self) -> float:
-        """Fraction of lookups served from the cache (0.0 when never used)."""
+        """Fraction of lookups served from either cache level (0.0 when
+        never used)."""
         lookups = self.lookups
-        return self.hits / lookups if lookups else 0.0
+        return (self.hits + self.approx_hits) / lookups if lookups else 0.0
 
     def merge(self, other: "CacheStats") -> None:
         """Accumulate another cache's counters (e.g. across worker replicas)."""
         self.hits += other.hits
         self.misses += other.misses
         self.evictions += other.evictions
+        self.approx_hits += getattr(other, "approx_hits", 0)
 
 
 class FlowDecisionCache:
@@ -97,6 +138,17 @@ class FlowDecisionCache:
             return None
         self._entries.move_to_end(key)
         self.stats.hits += 1
+        return decision
+
+    def peek(self, key):
+        """Stat-free probe: refresh recency and return the value, None on
+        miss. The building block :class:`TwoLevelDecisionCache` drives its
+        own hit/miss accounting through (a miss here may still be an
+        approximate hit one level down)."""
+        decision = self._entries.get(key)
+        if decision is None:
+            return None
+        self._entries.move_to_end(key)
         return decision
 
     def put(self, key, decision: int) -> None:
@@ -135,3 +187,272 @@ class FlowDecisionCache:
     def clear(self) -> None:
         """Drop all entries; counters keep accumulating."""
         self._entries.clear()
+
+
+# L2 entry layout (a mutable list, so a batched replay can resolve a PENDING
+# decision in place): [box_lo, box_hi, decision, group_key]. ``group_key`` is
+# the L1 key of the reserving row while decision is PENDING (the batched
+# replay fans later same-cell rows into that row's model group), else None.
+_LO, _HI, _DEC, _GROUP = 0, 1, 2, 3
+
+
+class QuantizedDecisionStore:
+    """The shared L2: quantized-key buckets of certified decision boxes.
+
+    Buckets are LRU-ordered (``capacity`` buckets; a probe or insert
+    refreshes its bucket); each bucket holds up to ``bucket_entries``
+    certificate entries in insertion order (FIFO within the bucket). The
+    store itself is decision-blind bookkeeping — all hit/miss accounting
+    lives in the owning :class:`TwoLevelDecisionCache` — which is what makes
+    one store safely shareable by many in-process replicas.
+    """
+
+    def __init__(self, capacity: int = 4096, quantize_shift: int = 6,
+                 bucket_entries: int = 64):
+        if capacity < 1:
+            raise ConfigError("l2_capacity", capacity, allowed=">= 1")
+        if not 0 <= quantize_shift <= 16:
+            raise ConfigError("l2_quantize_shift", quantize_shift,
+                              allowed="0..16")
+        if bucket_entries < 1:
+            raise ConfigError("bucket_entries", bucket_entries, allowed=">= 1")
+        self.capacity = capacity
+        self.quantize_shift = quantize_shift
+        self.bucket_entries = bucket_entries
+        self._buckets: OrderedDict = OrderedDict()
+        # Real (non-PENDING) entries added since the last export — the
+        # read-mostly publish stream the parallel dispatcher merges.
+        self._export_log: list = []
+
+    def __len__(self) -> int:
+        return sum(len(b) for b in self._buckets.values())
+
+    @property
+    def n_buckets(self) -> int:
+        return len(self._buckets)
+
+    def key_for(self, feats: np.ndarray) -> bytes:
+        """The quantized bucket key of one int64 feature vector."""
+        return (np.asarray(feats, dtype=np.int64)
+                >> self.quantize_shift).tobytes()
+
+    def probe(self, feats: np.ndarray):
+        """First entry whose certificate box contains ``feats`` (else None).
+
+        Only a verified containment is a hit: the quantized key alone never
+        serves a decision. A hit refreshes the bucket's LRU position.
+        """
+        bucket = self._buckets.get(self.key_for(feats))
+        if bucket is None:
+            return None
+        for entry in bucket:
+            if np.all(entry[_LO] <= feats) and np.all(feats <= entry[_HI]):
+                self._buckets.move_to_end(self.key_for(feats))
+                return entry
+        return None
+
+    def insert(self, feats: np.ndarray, box_lo: np.ndarray,
+               box_hi: np.ndarray, decision, group_key=None,
+               log: bool = True) -> tuple[list, int]:
+        """Add one certified entry at ``feats``'s bucket.
+
+        Returns ``(entry, evictions)`` — bucket evictions are charged to the
+        inserting replica's stats by the caller. ``log=False`` suppresses the
+        export log (used when importing another worker's entries).
+        """
+        qk = self.key_for(feats)
+        evictions = 0
+        bucket = self._buckets.get(qk)
+        if bucket is None:
+            if len(self._buckets) >= self.capacity:
+                self._buckets.popitem(last=False)
+                evictions += 1
+            bucket = self._buckets[qk] = []
+        else:
+            self._buckets.move_to_end(qk)
+        if len(bucket) >= self.bucket_entries:
+            bucket.pop(0)
+            evictions += 1
+        entry = [np.asarray(box_lo, dtype=np.int64),
+                 np.asarray(box_hi, dtype=np.int64), decision, group_key]
+        bucket.append(entry)
+        if log and decision is not PENDING:
+            self._export_log.append((qk, entry[_LO], entry[_HI], decision))
+        return entry, evictions
+
+    def resolve(self, entry: list, decision: int, qk: bytes) -> None:
+        """Fill a PENDING entry's decision in place and publish it."""
+        entry[_DEC] = decision
+        entry[_GROUP] = None
+        self._export_log.append((qk, entry[_LO], entry[_HI], decision))
+
+    def remove(self, entry: list, qk: bytes) -> None:
+        """Drop one entry (exception-path cleanup of a PENDING reservation)."""
+        bucket = self._buckets.get(qk)
+        if bucket is not None:
+            try:
+                bucket.remove(entry)
+            except ValueError:
+                pass
+            if not bucket:
+                del self._buckets[qk]
+
+    def export_delta(self) -> list:
+        """Drain the entries published since the last export.
+
+        The parallel dispatcher calls this worker-side after each shard
+        replay; the drained tuples travel to the parent as plain
+        ``(bucket_key, box_lo, box_hi, decision)`` rows.
+        """
+        out, self._export_log = self._export_log, []
+        return out
+
+    def import_entries(self, entries) -> None:
+        """Merge published entries from another store (read-mostly seed).
+
+        Deduplicates by (bucket, box): an entry this store already holds is
+        skipped, so repeated publishes are idempotent. Imports are never
+        re-exported (no echo) and never counted as this replica's inserts.
+        """
+        for qk, lo, hi, decision in entries or ():
+            bucket = self._buckets.get(qk)
+            if bucket is not None:
+                lo_b, hi_b = lo.tobytes(), hi.tobytes()
+                if any(e[_LO].tobytes() == lo_b and e[_HI].tobytes() == hi_b
+                       for e in bucket):
+                    continue
+                if len(bucket) >= self.bucket_entries:
+                    bucket.pop(0)
+            else:
+                if len(self._buckets) >= self.capacity:
+                    self._buckets.popitem(last=False)
+                bucket = self._buckets[qk] = []
+            bucket.append([lo, hi, decision, None])
+
+    def clear(self) -> None:
+        self._buckets.clear()
+        self._export_log.clear()
+
+
+class TwoLevelDecisionCache:
+    """Exact per-flow L1 + shared verified-approximate L2, one stat stream.
+
+    The runtime drives the levels explicitly (``two_level`` marks the
+    protocol): :meth:`exact_get` probes L1; on miss :meth:`approx_get`
+    probes the L2 with the row's feature vector; only when both miss does
+    the model run, after which :meth:`insert` (scalar) or
+    :meth:`reserve` + :meth:`fill` (batched) populate both levels. An L2 hit
+    is *promoted* into L1, so a flow that keeps repeating the window turns
+    its approximate hits into exact ones.
+
+    Every lookup counts exactly one of ``hits`` / ``approx_hits`` /
+    ``misses`` — the ``exact_hits + approx_hits + misses == lookups``
+    identity the regression tests pin.
+
+    ``l2`` may be a shared :class:`QuantizedDecisionStore` (in-process
+    replicas of one engine share a store; each keeps its own stats).
+    """
+
+    two_level = True
+
+    def __init__(self, capacity: int = 65536, l2_capacity: int = 4096,
+                 l2_quantize_shift: int = 6, l2_bucket_entries: int = 64,
+                 l2: QuantizedDecisionStore | None = None):
+        self.l1 = FlowDecisionCache(capacity)
+        self.l2 = l2 if l2 is not None else QuantizedDecisionStore(
+            l2_capacity, l2_quantize_shift, l2_bucket_entries)
+        self.stats = self.l1.stats    # one stream: L1 evictions count here too
+        self._pending: dict = {}      # group L1 key -> (L2 entry, bucket key)
+
+    def __len__(self) -> int:
+        return len(self.l1)
+
+    @property
+    def capacity(self) -> int:
+        return self.l1.capacity
+
+    # -- probes ---------------------------------------------------------------
+
+    def exact_get(self, key):
+        """L1 probe: decision / :data:`PENDING` on hit (counted), else None.
+
+        A None here is *not* yet a miss — the caller falls through to
+        :meth:`approx_get` and only a double miss counts.
+        """
+        got = self.l1.peek(key)
+        if got is not None:
+            self.stats.hits += 1
+        return got
+
+    def approx_get(self, feats: np.ndarray):
+        """Verified L2 probe: the matching entry (counted), else None."""
+        entry = self.l2.probe(feats)
+        if entry is not None:
+            self.stats.approx_hits += 1
+        return entry
+
+    def count_miss(self) -> None:
+        """Record that both levels missed (the model is about to run)."""
+        self.stats.misses += 1
+
+    # -- population -----------------------------------------------------------
+
+    def promote(self, key, decision) -> None:
+        """Copy an L2-served decision (or a PENDING reservation) into L1."""
+        self.l1.put(key, decision)
+
+    def insert(self, key, feats: np.ndarray, box_lo: np.ndarray,
+               box_hi: np.ndarray, decision: int) -> None:
+        """Populate both levels after a model invocation (scalar path)."""
+        self.l1.put(key, decision)
+        _, evicted = self.l2.insert(feats, box_lo, box_hi, decision)
+        self.stats.evictions += evicted
+
+    def reserve_l2(self, key, feats: np.ndarray, box_lo: np.ndarray,
+                   box_hi: np.ndarray) -> None:
+        """Reserve a PENDING L2 entry before a batched model invocation.
+
+        L2-only on purpose: the batched protocol already reserved the L1
+        slot (via :meth:`promote` with PENDING) at the row's pass-1
+        position — reserving it again here would refresh its LRU recency
+        and diverge from the scalar op sequence. The L2 entry carries
+        ``key`` as its group tag, so later same-cell rows of the same flush
+        can join this row's model group — exactly the rows that would have
+        hit the real entry under scalar replay.
+        """
+        entry, evicted = self.l2.insert(feats, box_lo, box_hi, PENDING,
+                                        group_key=key)
+        self.stats.evictions += evicted
+        self._pending[key] = (entry, self.l2.key_for(feats))
+
+    def fill(self, key, decision: int) -> None:
+        """Resolve PENDING reservations under ``key`` at both levels."""
+        self.l1.fill(key, decision)
+        pending = self._pending.pop(key, None)
+        if pending is not None:
+            entry, qk = pending
+            self.l2.resolve(entry, decision, qk)
+
+    def discard_pending(self, key) -> None:
+        """Exception-path cleanup: drop PENDING reservations under ``key``."""
+        self.l1.discard_pending(key)
+        pending = self._pending.pop(key, None)
+        if pending is not None:
+            entry, qk = pending
+            self.l2.remove(entry, qk)
+
+    # -- sharing --------------------------------------------------------------
+
+    def export_l2(self) -> list:
+        """Publish this replica's new L2 entries (see ``export_delta``)."""
+        return self.l2.export_delta()
+
+    def import_l2(self, entries) -> None:
+        """Seed the L2 with entries another replica published."""
+        self.l2.import_entries(entries)
+
+    def clear(self) -> None:
+        """Drop all entries at both levels; counters keep accumulating."""
+        self.l1.clear()
+        self.l2.clear()
+        self._pending.clear()

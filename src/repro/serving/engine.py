@@ -61,12 +61,18 @@ from repro.dataplane.runtime import (TwoStageRuntime,
 from repro.errors import ConfigError
 from repro.net.traces import (KEY_COLUMN_NAMES, Trace,
                               canonicalize_key_columns, keys_from_columns)
-from repro.serving.cache import CacheStats, FlowDecisionCache
+from repro.serving.cache import (CacheStats, FlowDecisionCache,
+                                 TwoLevelDecisionCache)
 from repro.serving.dispatcher import ShardedDispatcher
 from repro.serving.parallel import ParallelDispatcher
 from repro.serving.scheduler import BatchScheduler, FlushStats
 
 DEFAULT_PAYLOAD_BYTES = 60     # TwoStageRuntime's raw_bytes default
+
+# Decision-cache modes: no cache / exact per-worker L1 / L1 plus the shared
+# quantized L2 (verify-on-hit, never decision-changing). The bools False /
+# True are accepted and normalized to "off" / "l1".
+CACHE_MODES = ("off", "l1", "l1+l2")
 
 
 # ---------------------------------------------------------------------------
@@ -183,8 +189,11 @@ class EngineConfig:
       built in, bit-identical);
     - **scheduler** — ``batch_size``, trace-time ``timeout``, AIMD
       ``latency_target`` with ``min_batch_size`` / ``max_batch_size``;
-    - **cache** — ``decision_cache`` on/off + per-replica
-      ``cache_capacity``;
+    - **cache** — ``decision_cache`` mode (``"off" | "l1" | "l1+l2"``;
+      the bools ``False`` / ``True`` normalize to ``"off"`` / ``"l1"``)
+      + per-replica exact ``cache_capacity``, and for ``"l1+l2"`` the
+      shared approximate store's ``l2_capacity`` (quantized buckets) and
+      ``l2_quantize_shift`` (feature bits dropped by the bucket key);
     - **topology** — ``local`` (one replica, in-process), ``sharded``
       (N replicas replayed serially, modeled parallel wall clock) or
       ``parallel`` (N persistent worker processes, measured wall clock),
@@ -207,8 +216,10 @@ class EngineConfig:
     latency_target: float | None = None
     min_batch_size: int = 1
     max_batch_size: int | None = None
-    decision_cache: bool = False
+    decision_cache: bool | str = False
     cache_capacity: int = 65536
+    l2_capacity: int = 4096
+    l2_quantize_shift: int = 6
     topology: str = "local"
     n_workers: int = 1
     payload_bytes: int | None = None
@@ -221,8 +232,20 @@ class EngineConfig:
         if self.feature_mode not in ("seq", "stats"):
             raise ConfigError("feature_mode", self.feature_mode,
                               allowed=("seq", "stats"))
+        # Normalize the cache mode once: bools stay accepted for
+        # back-compat, every downstream check then compares strings.
+        mode = self.decision_cache
+        if mode is False:
+            mode = "off"
+        elif mode is True:
+            mode = "l1"
+        if mode not in CACHE_MODES:
+            raise ConfigError("decision_cache", self.decision_cache,
+                              allowed=CACHE_MODES + (False, True))
+        object.__setattr__(self, "decision_cache", mode)
         for name, lo in (("window", 2), ("capacity", 1), ("n_workers", 1),
-                         ("cache_capacity", 1)):
+                         ("cache_capacity", 1), ("l2_capacity", 1),
+                         ("l2_quantize_shift", 0)):
             if getattr(self, name) < lo:
                 raise ConfigError(name, getattr(self, name), allowed=f">= {lo}")
         if self.topology == "local" and self.n_workers != 1:
@@ -243,10 +266,15 @@ class EngineConfig:
                               min_batch_size=self.min_batch_size,
                               max_batch_size=self.max_batch_size)
 
-    def make_cache(self) -> FlowDecisionCache | None:
+    def make_cache(self) -> FlowDecisionCache | TwoLevelDecisionCache | None:
         """A fresh per-replica decision cache (None when disabled)."""
-        return (FlowDecisionCache(self.cache_capacity)
-                if self.decision_cache else None)
+        if self.decision_cache == "off":
+            return None
+        if self.decision_cache == "l1":
+            return FlowDecisionCache(self.cache_capacity)
+        return TwoLevelDecisionCache(
+            capacity=self.cache_capacity, l2_capacity=self.l2_capacity,
+            l2_quantize_shift=self.l2_quantize_shift)
 
 
 def _resolve_config(config: EngineConfig | None, overrides: dict
@@ -307,6 +335,7 @@ register_runtime_kind("windowed", _build_windowed)
 register_runtime_kind("two_stage", _build_two_stage)
 register_lookup_backend("index")
 register_lookup_backend("tcam")
+register_lookup_backend("tcam-pruned")
 
 
 # ---------------------------------------------------------------------------
@@ -484,16 +513,37 @@ class _ReplicaFactory:
     topologies), so this wrapper pickles whenever ``base`` does — custom
     backends registered via :func:`register_lookup_backend` must then also
     be registered in the worker's interpreter (automatic under ``fork``).
+
+    Two-level caches built in the *same process* share one L2 store: the
+    first replica's ``cache.l2`` is captured and handed to every later
+    replica, so ``sharded`` shards see each other's approximate entries the
+    way ``parallel`` workers do through the dispatcher's export/merge. The
+    captured store never crosses a process boundary (each spawn/fork worker
+    pickles the factory before any replica exists).
     """
 
     def __init__(self, base: Callable[[], Any], backend_name: str):
         self.base = base
         self.backend_name = backend_name
+        self.shared_l2 = None
 
     def __call__(self):
         rt = self.base()
         lookup_backends.get(self.backend_name).apply(rt)
+        cache = getattr(rt, "decision_cache", None)
+        if getattr(cache, "two_level", False):
+            if self.shared_l2 is None:
+                self.shared_l2 = cache.l2
+            else:
+                cache.l2 = self.shared_l2
         return rt
+
+    def __getstate__(self):
+        # Drop the captured store when crossing a process boundary: workers
+        # must start with their own empty L2 (shared via export/merge), not
+        # a pickled copy that silently diverges.
+        return {"base": self.base, "backend_name": self.backend_name,
+                "shared_l2": None}
 
 
 # ---------------------------------------------------------------------------
@@ -565,6 +615,8 @@ class ServingReport:
             "pps_parallel": self.pps_parallel,
             "accuracy": self.accuracy,
             "cache_hit_rate": self.cache_stats.hit_rate,
+            "cache_exact_hits": self.cache_stats.exact_hits,
+            "cache_approx_hits": self.cache_stats.approx_hits,
             "flushes": self.flush_stats.total,
         }
 
@@ -617,14 +669,16 @@ def _cache_snapshot(driver) -> CacheStats:
     """A detached copy of the driver's aggregate cache counters right now."""
     live = driver.cache_stats
     return CacheStats(hits=live.hits, misses=live.misses,
-                      evictions=live.evictions)
+                      evictions=live.evictions,
+                      approx_hits=getattr(live, "approx_hits", 0))
 
 
 def _cache_delta(after: CacheStats, before: CacheStats) -> CacheStats:
     """Counter growth between two snapshots (one phase's own activity)."""
     return CacheStats(hits=after.hits - before.hits,
                       misses=after.misses - before.misses,
-                      evictions=after.evictions - before.evictions)
+                      evictions=after.evictions - before.evictions,
+                      approx_hits=after.approx_hits - before.approx_hits)
 
 
 class PegasusEngine:
@@ -860,6 +914,7 @@ class PegasusEngine:
 
 
 __all__ = [
+    "CACHE_MODES",
     "EngineConfig",
     "LookupBackend",
     "PegasusEngine",

@@ -70,6 +70,13 @@ def serve_shard(runtime, shard: dict, scheduler: BatchScheduler | None) -> dict:
     stats.
     """
     keys = keys_from_columns(shard["keys"])
+    cache = getattr(runtime, "decision_cache", None)
+    two_level = getattr(cache, "two_level", False)
+    if two_level and shard.get("l2_seed"):
+        # Read-mostly L2 sharing: entries other workers published on earlier
+        # serves seed this replica's store before the replay (never counted
+        # as this replica's inserts, never re-exported).
+        cache.import_l2(shard["l2_seed"])
     stream = scheduler.iter_spans(shard["cols"]["ts"]) if scheduler is not None else None
     start = time.perf_counter()
     decisions = runtime.process_columns(
@@ -79,7 +86,6 @@ def serve_shard(runtime, shard: dict, scheduler: BatchScheduler | None) -> dict:
         spans=stream,
     )
     seconds = time.perf_counter() - start
-    cache = getattr(runtime, "decision_cache", None)
     return {
         "seq": np.asarray([d.seq for d in decisions], dtype=np.int64),
         "flow_label": np.asarray([d.flow_label for d in decisions], dtype=np.int64),
@@ -88,6 +94,7 @@ def serve_shard(runtime, shard: dict, scheduler: BatchScheduler | None) -> dict:
         "seconds": seconds,
         "flush_stats": stream.stats if stream is not None else FlushStats(),
         "cache_stats": cache.stats if cache is not None else None,
+        "l2_export": cache.export_l2() if two_level else None,
     }
 
 
@@ -167,6 +174,11 @@ class ParallelDispatcher:
         self._ctx = multiprocessing.get_context(self.start_method)
         self._workers: list = []
         self._conns: list = []
+        # Master copy of the shared L2: every entry any worker published, in
+        # deterministic worker order, deduplicated by (bucket, box). Shipped
+        # to all workers as the seed of the next serve.
+        self._l2_entries: list = []
+        self._l2_seen: set = set()
 
     @property
     def started(self) -> bool:
@@ -223,6 +235,7 @@ class ParallelDispatcher:
         """
         workers, conns = self._workers, self._conns
         self._workers, self._conns = [], []
+        self._l2_entries, self._l2_seen = [], set()   # cold fleet, cold L2
         for conn in conns:
             try:
                 conn.send(None)
@@ -248,6 +261,20 @@ class ParallelDispatcher:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+    def _merge_l2(self, entries: list) -> None:
+        """Fold one worker's published L2 entries into the master copy.
+
+        Replies are merged in worker order (the reply loop is w = 0..n-1),
+        so the master list — and therefore every worker's next seed — is
+        deterministic for a given serve history.
+        """
+        for qk, lo, hi, decision in entries:
+            key = (qk, lo.tobytes(), hi.tobytes())
+            if key in self._l2_seen:
+                continue
+            self._l2_seen.add(key)
+            self._l2_entries.append((qk, lo, hi, decision))
 
     def serve_flows(self, flows: list) -> list:
         """Replay the interleaved trace of many labelled flows, in parallel."""
@@ -284,6 +311,7 @@ class ParallelDispatcher:
                     "cols": shard_cols,
                     "keys": {name: key_cols[name][member] for name in KEY_COLUMN_NAMES},
                     "labels": labels[member],
+                    "l2_seed": self._l2_entries or None,
                 }
             )
 
@@ -305,6 +333,8 @@ class ParallelDispatcher:
             label_parts.append(reply["flow_label"])
             pred_parts.append(reply["predicted"])
             ts_parts.append(reply["ts"])
+            if reply.get("l2_export"):
+                self._merge_l2(reply["l2_export"])
         if failures:
             raise RuntimeError("\n".join(failures))
 

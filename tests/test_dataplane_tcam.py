@@ -186,7 +186,7 @@ class TestCompiledModelBackend:
         with pytest.raises(ValueError, match="lookup_backend"):
             table.lookup(np.zeros((1, d), dtype=np.int64),
                          lookup_backend="tcan")
-        assert set(LOOKUP_BACKENDS) == {"index", "tcam"}
+        assert set(LOOKUP_BACKENDS) == {"index", "tcam", "tcam-pruned"}
 
     def test_segment_table_paths_agree(self, compiled16):
         rng = np.random.default_rng(4)

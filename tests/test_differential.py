@@ -25,17 +25,27 @@ class TestMatrix:
         cases = dfl.build_cases()
         assert {c.runtime for c in cases} == {"windowed", "two_stage"}
         assert {c.topology for c in cases} == {"local", "sharded", "parallel"}
-        assert {c.lookup_backend for c in cases} == {"index", "tcam"}
-        assert {c.decision_cache for c in cases} == {False, True}
+        assert {c.lookup_backend for c in cases} == \
+            {"index", "tcam", "tcam-pruned"}
+        assert {c.cache_mode for c in cases} == {"off", "l1", "l1+l2"}
         assert all(c.n_workers == 1 for c in cases if c.topology == "local")
         assert len({c.label for c in cases}) == len(cases)
+        # every (backend, cache) pair appears in some scaled-out topology
+        scaled = {(c.lookup_backend, c.cache_mode) for c in cases
+                  if c.topology != "local"}
+        assert len(scaled) == 9
 
     def test_case_config_roundtrip(self):
         case = dfl.EngineCase("windowed", "sharded", 2, "tcam", True, 32)
+        assert case.cache_mode == "l1" and case.cached   # bool back-compat
         config = case.config()
         assert (config.topology, config.n_workers) == ("sharded", 2)
         assert config.lookup_backend == "tcam"
-        assert config.decision_cache and config.batch_size == 32
+        assert config.decision_cache == "l1" and config.batch_size == 32
+        two = dfl.EngineCase(decision_cache="l1+l2")
+        assert two.config().decision_cache == "l1+l2"
+        off = dfl.EngineCase(decision_cache=False)
+        assert off.cache_mode == "off" and not off.cached
 
     @pytest.mark.parametrize("family", ["heavy_hitters", "flow_churn"])
     def test_quick_matrix_bit_identical(self, sources, family):
@@ -51,7 +61,7 @@ class TestMatrix:
         runtime matrix (parallel workers included) is bit-identical to the
         scalar reference on every registered scenario family."""
         cases = dfl.build_cases()
-        assert len(cases) == 40
+        assert len(cases) == 54
         for family in scenario_names():
             w = build_scenario(family).generate(seed=13, flows_scale=0.12)
             report = dfl.run_differential(w, sources=sources, cases=cases)
@@ -63,10 +73,26 @@ class TestMatrix:
                                 include_parallel=False)
         report = dfl.run_differential(workload, sources=sources, cases=cases)
         assert report.ok, report.summary()
-        # cached configs all saw identical hit/miss streams
-        counters = {r["cache"][:2] for r in report.rows
-                    if r["cache"] is not None}
-        assert len(counters) == 1
+        cached = [r for r in report.rows if r["cache"] is not None]
+        assert cached and all(len(r["cache"]) == 4 for r in cached)
+        # one cache lookup per decision, split across exact/approx/miss
+        for r in cached:
+            exact, approx, misses, _ = r["cache"]
+            assert exact + approx + misses == r["n_decisions"], r
+        # eviction-free: every cached config agrees on exact (L1) hits,
+        # whatever the backend, topology, or L2 setting
+        assert len({r["cache"][0] for r in cached}) == 1
+        # within one replica layout the FULL counter tuple is identical
+        # across lookup backends (they never touch the cache)
+        by_layout = {}
+        for r in cached:
+            key = (r["cache_mode"], r["topology"], r["n_workers"])
+            by_layout.setdefault(key, set()).add(r["cache"])
+        assert all(len(tuples) == 1 for tuples in by_layout.values()), \
+            by_layout
+        # the l1+l2 rows actually exercised the approximate path
+        assert any(r["cache"][1] > 0 for r in cached
+                   if r["cache_mode"] == "l1+l2")
 
     def test_report_summaries(self, sources, workload):
         report = dfl.run_differential(
@@ -90,16 +116,19 @@ class TestMatrix:
     def test_stat_notes_flag_inconsistency(self):
         rows = [
             {"case": "a", "runtime": "windowed", "topology": "local",
-             "n_workers": 1, "batch_size": 64, "n_decisions": 10,
-             "match": True, "cache": (4, 5, 0), "flushes": 3},
+             "n_workers": 1, "batch_size": 64, "cache_mode": "l1",
+             "n_decisions": 10, "match": True, "cache": (4, 5, 0, 0),
+             "flushes": 3},
             {"case": "b", "runtime": "windowed", "topology": "sharded",
-             "n_workers": 1, "batch_size": 64, "n_decisions": 9,
-             "match": True, "cache": (3, 6, 0), "flushes": 4},
+             "n_workers": 1, "batch_size": 64, "cache_mode": "l1",
+             "n_decisions": 9, "match": True, "cache": (3, 6, 0, 0),
+             "flushes": 4},
         ]
         notes: list[str] = []
         dfl._check_stats(rows, notes)
-        assert any("cache lookups" in n for n in notes)        # 4+5 != 10
-        assert any("disagree" in n for n in notes)
+        assert any("cache lookups" in n for n in notes)        # 4+5+0 != 10
+        assert any("disagree" in n for n in notes)             # exact 4 vs 3
+        assert any("counters diverge" in n for n in notes)     # same layout
         assert any("flush totals" in n for n in notes)
 
 

@@ -173,6 +173,8 @@ class TestRunnerQuick:
         assert report["tables"] and report["tcam_entries_total"] > 0
         for entry in report["matrix"].values():
             assert entry["decisions"] > 0
-            for cached in ("cache_off", "cache_on"):
+            for cached in ("cache_off", "cache_l1", "cache_l1+l2"):
                 assert entry[cached]["sharded_match"]
                 assert entry[cached]["parallel_match"]
+            # the two-level config serves through the pruned kernel
+            assert entry["cache_l1+l2"]["lookup_backend"] == "tcam-pruned"

@@ -17,7 +17,8 @@ from pathlib import Path
 import pytest
 
 from repro.eval.differential import (default_sources, labels_digest,
-                                     replay_digests, trace_digest)
+                                     replay_digests, trace_digest,
+                                     two_level_replay)
 from repro.net import build_scenario, read_trace, trace_to_bytes
 
 FIXTURES = Path(__file__).parent / "fixtures"
@@ -64,3 +65,20 @@ class TestGoldenReplay:
         assert got == golden["decisions"], \
             f"{key}: serving stack decisions drifted from the golden " \
             "(rerun scripts/refresh_goldens.py if intentional)"
+
+    def test_two_level_pruned_fast_path_is_bit_identical(self, key, golden,
+                                                         sources):
+        """The maximal fast path (l1+l2 cache + pruned TCAM) must reproduce
+        the pinned reference digest on every golden workload — an unsound
+        approximate hit or a dropped TCAM candidate row fails here."""
+        workload = self._workload(golden)
+        fast = two_level_replay(workload, sources=sources)
+        for kind, ref in golden["decisions"].items():
+            assert fast[kind]["digest"] == ref["digest"], \
+                f"{key}/{kind}: l1+l2 + tcam-pruned changed decisions"
+            assert fast[kind]["n_decisions"] == ref["n_decisions"]
+        if "cache_counters" in golden:
+            got = {kind: fast[kind]["counters"] for kind in fast}
+            assert got == golden["cache_counters"], \
+                f"{key}: two-level cache counter stream drifted " \
+                "(rerun scripts/refresh_goldens.py if intentional)"
