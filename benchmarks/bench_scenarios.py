@@ -55,6 +55,14 @@ def test_scenario_suite(benchmark, bench_scale):
             if s["overall"]["cache_hit_rate"] > 0.0]
     assert len(warm) >= 4, warm
 
+    # Churn-heavy families (diurnal renewal, microburst flow storms) gate
+    # L2 inserts off per phase — the cold-cache fix: no wasted certificate
+    # work on windows that never repeat. Warm families keep inserting, and
+    # decisions_bit_identical above proves the gate never flips a decision.
+    for cold in ("diurnal", "microburst"):
+        assert scenarios[cold]["overall"]["cache_l2_skipped"] > 0, cold
+    assert scenarios["heavy_hitters"]["overall"]["cache_l2_skipped"] == 0
+
     update_bench_json("scenarios", {
         "differential_ok": res["differential_ok"],
         "differential_trials": res["differential_trials"],
@@ -70,6 +78,7 @@ def test_scenario_suite(benchmark, bench_scale):
                 "cache_hit_rate": s["overall"]["cache_hit_rate"],
                 "cache_exact_hits": s["overall"]["cache_exact_hits"],
                 "cache_approx_hits": s["overall"]["cache_approx_hits"],
+                "cache_l2_skipped": s["overall"]["cache_l2_skipped"],
                 "phase_accuracy": {p: v["accuracy"]
                                    for p, v in s["phases"].items()},
                 "phase_cache_hit_rate": {p: v["cache_hit_rate"]

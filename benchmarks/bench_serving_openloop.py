@@ -1,0 +1,90 @@
+"""Open-loop serving suite: sustained pps at a fixed p99 latency target.
+
+Replays the stress scenario families (microburst, attack flood) through
+``PegasusEngine.serve(mode="open")`` at several offered-load multiples of
+the engine's measured closed-loop service rate, once per admission policy.
+The headline row is **sustained pps** — the highest admitted throughput
+whose p99 sojourn still met the target — where the AIMD source throttle
+must beat tail-drop: shedding at the source keeps admitted packets' queue
+sojourn under the SLO instead of parking them behind a full buffer. Every
+policy's highest-load run is differentially verified (the claimed admitted
+subsequence replays bit-identically against the scalar reference), asserted
+as a hard correctness bit and exported to the ``openloop`` section of
+``BENCH_serving.json``.
+"""
+
+from repro.eval.reporting import (render_openloop_table, render_table,
+                                  update_bench_json)
+from repro.eval.runner import run_openloop_study
+
+P99_TARGET_MS = 50.0
+
+
+def _run(scale):
+    return run_openloop_study(flows_per_class=scale["flows_per_class"],
+                              seed=scale["seed"], flows_scale=1.0,
+                              p99_target_ms=P99_TARGET_MS,
+                              load_multipliers=(0.5, 2.0, 4.0))
+
+
+def test_openloop_study(benchmark, bench_scale):
+    res = benchmark.pedantic(_run, args=(bench_scale,), rounds=1,
+                             iterations=1)
+    print()
+    for name, entry in res["scenarios"].items():
+        rows = [[policy, run["load_multiplier"],
+                 run["offered_pps"], run["admitted_pps"],
+                 f"{run['shed_fraction']:.3f}", f"{run['p99_ms']:.1f}",
+                 "MET" if run["meets_target"] else "missed"]
+                for policy, prow in entry["policies"].items()
+                for run in prow["runs"]]
+        print(render_table(
+            ["policy", "load", "offered_pps", "admitted_pps", "shed_frac",
+             "p99_ms", "target"],
+            rows, title=f"Open-loop {name!r} (service "
+                        f"{entry['service_pps']:,.0f} pps, p99 target "
+                        f"{P99_TARGET_MS:.0f}ms)"))
+        summary = entry["policies"]["aimd"]["last_summary"]
+        if summary:
+            print()
+            print(render_openloop_table(summary))
+        print()
+
+    # Hard gate: the claimed admitted subsequence of every policy's
+    # highest-load run replays bit-identically against the per-packet
+    # scalar reference — a fast wrong (or lying) answer is not a trade-off.
+    assert res["verified_bit_identical"]
+
+    for name, entry in res["scenarios"].items():
+        td = entry["policies"]["tail-drop"]["sustained_pps"]
+        ai = entry["policies"]["aimd"]["sustained_pps"]
+        # The AIMD source throttle must sustain *some* load under the
+        # target, and strictly more than tail-drop at the same p99:
+        # shedding early beats queueing. (Tail-drop legitimately sustains
+        # *zero* on bursty families — every burst parks its survivors
+        # behind a full queue, so tail-drop misses the SLO at any load.)
+        assert ai > 0, (name, ai)
+        assert ai > td, (name, ai, td)
+    if "aimd_over_taildrop_min" in res:
+        assert res["aimd_over_taildrop_min"] > 1.0
+
+    update_bench_json("openloop", {
+        "p99_target_ms": res["p99_target_ms"],
+        "verified_bit_identical": res["verified_bit_identical"],
+        "aimd_beats_taildrop": all(
+            entry["policies"]["aimd"]["sustained_pps"]
+            > entry["policies"]["tail-drop"]["sustained_pps"]
+            for entry in res["scenarios"].values()),
+        "aimd_over_taildrop_min": res.get("aimd_over_taildrop_min"),
+        "per_scenario": {
+            name: {
+                "service_pps": entry["service_pps"],
+                "queue_capacity": entry["queue_capacity"],
+                "aimd_over_taildrop": entry.get("aimd_over_taildrop"),
+                "sustained_pps": {
+                    policy: prow["sustained_pps"]
+                    for policy, prow in entry["policies"].items()
+                },
+            } for name, entry in res["scenarios"].items()
+        },
+    })

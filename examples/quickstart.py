@@ -70,7 +70,7 @@ def main():
     config = EngineConfig(feature_mode="stats", batch_size=256,
                           decision_cache=True, topology="sharded", n_workers=2)
     with PegasusEngine.from_compiled(compiled, config) as engine:
-        report = engine.serve_flows(test_flows)
+        report = engine.serve(test_flows)
     print(f"{report.n_decisions} per-packet decisions over "
           f"{report.n_packets} packets, accuracy {report.accuracy:.3f}")
     print(f"{report.pps:,.0f} pps serial / {report.pps_parallel:,.0f} pps at "

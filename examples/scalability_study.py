@@ -71,7 +71,7 @@ def main():
     for batch_size in (1, 32, 256, 1024):
         report = PegasusEngine.from_compiled(
             mlp, EngineConfig(feature_mode="stats", batch_size=batch_size)
-        ).serve_flows(test_flows)
+        ).serve(test_flows)
         print(f"{'batch=' + str(batch_size):>12s} {report.pps:12.0f} "
               f"{report.n_decisions:10d}")
     # Throughput sweep: flush on batch-full only. A trace-time `timeout`
@@ -81,7 +81,7 @@ def main():
         report = PegasusEngine.from_compiled(
             mlp, EngineConfig(feature_mode="stats", batch_size=256,
                               topology="sharded", n_workers=shards)
-        ).serve_flows(test_flows)
+        ).serve(test_flows)
         # Sharded replicas replay serially: pps_parallel models the parallel
         # wall clock as the slowest shard (section 5 measures the real one).
         print(f"{'shards=' + str(shards):>12s} {report.pps_parallel:12.0f} "
@@ -95,7 +95,7 @@ def main():
                                   decision_cache=cached,
                                   topology="parallel", n_workers=workers)
             with PegasusEngine.from_compiled(mlp, config) as engine:
-                report = engine.serve_flows(test_flows)
+                report = engine.serve(test_flows)
             hit = (f"{report.cache_stats.hit_rate:9.2%}"
                    if cached else f"{'-':>9s}")
             label = f"workers={workers}{'+cache' if cached else ''}"

@@ -4,7 +4,7 @@ Walks the scenario subsystem end to end:
 
 1. build a registered scenario family and inspect its phase timeline,
 2. train + compile a classifier and serve the scenario through
-   `PegasusEngine.serve_scenario` — one per-phase report (watch the attack
+   the unified `PegasusEngine.serve` — one per-phase report (watch the attack
    flood crater accuracy in its own phase and the heavy-hitter phase spike
    the cache hit rate),
 3. register a *custom* scenario in one call and serve it,
@@ -48,8 +48,8 @@ def main():
                           decision_cache=True)
     for name in ("attack_flood", "heavy_hitters"):
         with PegasusEngine.from_compiled(compiled, config) as engine:
-            report = engine.serve_scenario(build_scenario(name), seed=0,
-                                           flows_scale=0.5)
+            report = engine.serve(build_scenario(name), seed=0,
+                                  flows_scale=0.5)
         print(render_scenario_table(report.summary()))
         print()
 
@@ -65,7 +65,7 @@ def main():
                                                  ramp="down"),)),
         )), overwrite=True)
     with PegasusEngine.from_compiled(compiled, config) as engine:
-        report = engine.serve_scenario(build_scenario("spiky-emule"), seed=1)
+        report = engine.serve(build_scenario("spiky-emule"), seed=1)
     print(render_scenario_table(report.summary()))
 
     print("\n=== 4. differential replay across the serving matrix ===")

@@ -36,7 +36,7 @@ def check(name, seed=0):
         model, vtr["stats"].astype(np.int64)).compiled
     engine = PegasusEngine.from_compiled(
         compiled, EngineConfig(feature_mode="stats", batch_size=256))
-    report = engine.serve_flows(te)
+    report = engine.serve(te)
     return float_acc, report.accuracy or 0.0, report.pps
 
 

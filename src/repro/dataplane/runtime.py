@@ -357,8 +357,13 @@ class _BatchedReplayMixin:
             return pred
         cache.count_miss()
         pred = int(np.asarray(predict_one(feats[None, :]))[0])
-        box_lo, box_hi = self._cell_boxes(feats[None, :])
-        cache.insert(ck, feats, box_lo[0], box_hi[0], pred)
+        if getattr(cache, "l2_admit", True):
+            box_lo, box_hi = self._cell_boxes(feats[None, :])
+            cache.insert(ck, feats, box_lo[0], box_hi[0], pred)
+        else:
+            # L2 gate closed (cold phase): L1-only population, and the box
+            # certificate — the expensive part of an insert — never runs.
+            cache.insert_l1_only(ck, pred)
         return pred
 
     def _predict_ready(self, keys: list, ready_rows: np.ndarray,
@@ -476,7 +481,9 @@ class _BatchedReplayMixin:
             if l2_rows:
                 rows_arr = np.asarray(l2_rows, dtype=np.int64)
                 feats = np.asarray(features_rows(rows_arr), dtype=np.int64)
-                box_lo, box_hi = self._cell_boxes(feats)
+                l2_admit = getattr(cache, "l2_admit", True)
+                if l2_admit:
+                    box_lo, box_hi = self._cell_boxes(feats)
                 j_of = {r: j for j, r in enumerate(l2_rows)}
                 for j, r in enumerate(l2_rows):
                     entry = cache.approx_get(feats[j])
@@ -488,7 +495,14 @@ class _BatchedReplayMixin:
                             preds[r] = dec
                     else:
                         cache.count_miss()
-                        cache.reserve_l2(cks[r], feats[j], box_lo[j], box_hi[j])
+                        if l2_admit:
+                            cache.reserve_l2(cks[r], feats[j],
+                                             box_lo[j], box_hi[j])
+                        else:
+                            # L2 gate closed: no reservation, no certificate;
+                            # the row still leads its own model group, which
+                            # is exactly what the gated scalar path does.
+                            cache.skip_l2_insert()
                         miss_groups.setdefault(cks[r], []).append(r)
                 if miss_groups:
                     leaders = np.asarray(

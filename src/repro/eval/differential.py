@@ -25,6 +25,12 @@ deliberately broken lookup backend (it flips a deterministic sliver of
 decisions), and the test suite asserts the harness catches the fault and
 shrinks it to a handful of packets.
 
+Open-loop serves get the same treatment: :func:`verify_open_loop` replays
+an :class:`OpenLoopReport`'s *claimed* admitted subsequence through the
+per-packet scalar reference and demands bit-identity with the served
+decision stream, and :func:`install_lying_admission_policy` registers a
+policy that misreports its shed set to prove the verifier catches it.
+
 CLI (the ``scenario-fuzz`` CI job)::
 
     PYTHONPATH=src python -m repro.eval.differential \
@@ -356,7 +362,7 @@ def run_differential(workload: ScenarioTrace, sources: dict | None = None,
     for case in cases:
         config = case.config(capacity=capacity, cache_capacity=cache_capacity)
         with PegasusEngine(source=sources[case.runtime], config=config) as eng:
-            serve = eng.serve_trace(workload.trace, labels=workload.labels)
+            serve = eng.serve(workload.trace, labels=workload.labels)
         div = first_divergence(references[case.runtime], serve.decisions,
                                case.label)
         if div is not None:
@@ -379,6 +385,83 @@ def run_differential(workload: ScenarioTrace, sources: dict | None = None,
 
 
 # ---------------------------------------------------------------------------
+# Open-loop verification
+# ---------------------------------------------------------------------------
+
+def verify_open_loop(workload: ScenarioTrace, report, source) -> list[str]:
+    """Check an :class:`OpenLoopReport`'s claimed served subset, bit-exactly.
+
+    Three properties, returned as a list of human-readable notes (empty
+    means the report is sound):
+
+    1. the claimed ``shed_seq`` / ``admitted_seq`` partition the offered
+       packets (disjoint, complete);
+    2. the claimed admitted count matches the number of packets the engine
+       actually served;
+    3. a cold per-packet scalar replay of *exactly the claimed admitted
+       subsequence* (same runtime kind / window / feature mode / capacity as
+       the report's config) is bit-identical to the report's decision
+       stream — so a policy cannot silently drop packets, invent decisions,
+       or misreport which packets it shed.
+    """
+    notes: list[str] = []
+    n = workload.n_packets
+    admitted = np.asarray(report.admitted_seq, dtype=np.int64)
+    shed = np.asarray(report.shed_seq, dtype=np.int64)
+    both = np.concatenate([admitted, shed])
+    if (both.size != n or np.unique(both).size != n
+            or (both < 0).any() or (both >= n).any()):
+        notes.append(
+            f"openloop/{report.admission}: claimed admitted+shed sets do "
+            f"not partition the {n} offered packets "
+            f"({admitted.size} admitted + {shed.size} shed)")
+        return notes          # index sets unusable; replay would be garbage
+    if admitted.size != report.serving.n_packets:
+        notes.append(
+            f"openloop/{report.admission}: claims {admitted.size} admitted "
+            f"but the engine served {report.serving.n_packets} packets")
+    config = report.config
+    sub, labels = workload.subset(admitted)
+    replica = runtime_kinds.get(config.runtime).build(source, config)
+    reference = []
+    for i, packet in enumerate(sub.packets):
+        d = replica.process_packet(packet, int(labels[i]))
+        if d is not None:
+            d.seq = int(admitted[i])     # admitted-subset -> global position
+            reference.append(d)
+    div = first_divergence(reference, report.serving.decisions,
+                           f"openloop/{report.admission}")
+    if div is not None:
+        notes.append(div.describe())
+    return notes
+
+
+def install_lying_admission_policy(name: str = "tail-drop+liar") -> str:
+    """Register an admission policy that *misreports* what it shed.
+
+    A tail-drop variant whose ``reported_shed`` hides one genuinely shed
+    packet — claiming it was served. :func:`verify_open_loop` must catch the
+    lie (the claimed admitted subsequence then contains a packet with no
+    decision, so the scalar replay of the claim diverges from the served
+    stream); the fault-injection test asserts it does. Registration is
+    idempotent (re-registering overwrites).
+    """
+    from repro.serving.engine import register_admission_policy
+    from repro.serving.openloop import TailDropAdmission
+
+    class _LyingTailDrop(TailDropAdmission):
+        name = "tail-drop+liar"
+
+        def reported_shed(self, shed: list) -> list:
+            return shed[1:] if shed else shed
+
+    register_admission_policy(
+        name, lambda config: _LyingTailDrop(config.queue_capacity),
+        overwrite=True)
+    return name
+
+
+# ---------------------------------------------------------------------------
 # Shrinking
 # ---------------------------------------------------------------------------
 
@@ -398,7 +481,7 @@ def make_failing_predicate(case: EngineCase, source,
                                      capacity=capacity)
         config = case.config(capacity=capacity, cache_capacity=cache_capacity)
         with PegasusEngine(source=source, config=config) as eng:
-            got = eng.serve_trace(trace, labels=labels).decisions
+            got = eng.serve(trace, labels=labels).decisions
         return got != reference
     return failing
 
@@ -618,8 +701,8 @@ def replay_digests(workload: ScenarioTrace,
         case = EngineCase(runtime=kind)
         with PegasusEngine(source=sources[kind],
                            config=case.config()) as eng:
-            decisions = eng.serve_trace(workload.trace,
-                                        labels=workload.labels).decisions
+            decisions = eng.serve(workload.trace,
+                                  labels=workload.labels).decisions
         out[kind] = {"digest": decision_digest(decisions),
                      "n_decisions": len(decisions)}
     return out
@@ -643,7 +726,7 @@ def two_level_replay(workload: ScenarioTrace,
                           decision_cache="l1+l2")
         with PegasusEngine(source=sources[kind],
                            config=case.config()) as eng:
-            serve = eng.serve_trace(workload.trace, labels=workload.labels)
+            serve = eng.serve(workload.trace, labels=workload.labels)
         cs = serve.cache_stats
         out[kind] = {"digest": decision_digest(serve.decisions),
                      "n_decisions": serve.n_decisions,

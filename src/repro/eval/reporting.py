@@ -54,6 +54,40 @@ def render_scenario_table(summary: dict) -> str:
                     f"(seed={summary['seed']})")
 
 
+def render_openloop_table(summary: dict) -> str:
+    """Per-phase table for one ``OpenLoopReport.summary()`` dict.
+
+    One row per phase — offered/admitted/shed counts, shed fraction, peak
+    queue depth, and the p50/p99 sojourn — plus an ``overall`` footer row,
+    titled with the scenario, admission policy, and target.
+    """
+    def row(label, s, lat):
+        return [label, s["offered"], s["admitted"], s["shed"],
+                f"{s['shed_fraction']:.3f}",
+                s.get("queue_depth_max", "-"),
+                f"{lat['p50_ms']:.2f}", f"{lat['p99_ms']:.2f}"]
+
+    rows = [row(name, p, p["latency"])
+            for name, p in summary["phases"].items()]
+    overall = {"offered": summary["offered"],
+               "admitted": summary["admitted"], "shed": summary["shed"],
+               "shed_fraction": summary["shed_fraction"]}
+    rows.append(row("overall", overall, summary["latency"]))
+    target = summary.get("p99_target_ms")
+    meets = summary.get("meets_target")
+    title = (f"Open-loop {summary['scenario']!r} "
+             f"(admission={summary['admission']}, "
+             f"time_scale={summary['time_scale']:.4g}")
+    if target is not None:
+        title += f", p99 target {target:.0f}ms: " \
+                 + ("MET" if meets else "MISSED")
+    title += ")"
+    return render_table(
+        ["phase", "offered", "admitted", "shed", "shed_frac", "depth_max",
+         "p50_ms", "p99_ms"],
+        rows, title=title)
+
+
 def update_bench_json(section: str, payload: dict,
                       path: str | Path | None = None) -> Path:
     """Merge one bench's scalar results into the bench-trajectory JSON.

@@ -272,7 +272,7 @@ def run_batched_throughput(flows_per_class: int = 120, seed: int = 0,
         for _ in range(repeats):
             report = PegasusEngine.from_compiled(
                 compiled, EngineConfig(feature_mode="stats", batch_size=b)
-            ).serve_flows(flows)
+            ).serve(flows)
             best = min(best, report.wall_seconds)
             n_dec = report.n_decisions
         results["batch"][b] = {"pps": n_packets / max(best, 1e-9),
@@ -283,7 +283,7 @@ def run_batched_throughput(flows_per_class: int = 120, seed: int = 0,
             report = PegasusEngine.from_compiled(
                 compiled, EngineConfig(feature_mode="stats", batch_size=256,
                                        topology="sharded", n_workers=s)
-            ).serve_flows(flows)
+            ).serve(flows)
             best_wall = min(best_wall, report.wall_seconds)
             best_critical = min(best_critical, report.critical_seconds)
             n_dec = report.n_decisions
@@ -341,7 +341,7 @@ def run_parallel_throughput(flows_per_class: int = 120, seed: int = 0,
         for _ in range(repeats):
             report = PegasusEngine.from_compiled(
                 compiled, replace(base, topology="sharded", n_workers=n)
-            ).serve_flows(flows)
+            ).serve(flows)
             reference = report.decisions
             serial_wall = min(serial_wall, report.wall_seconds)
         entry: dict = {
@@ -355,7 +355,7 @@ def run_parallel_throughput(flows_per_class: int = 120, seed: int = 0,
                         compiled, replace(base, topology="parallel",
                                           n_workers=n, decision_cache=cached)
                 ) as engine:
-                    report = engine.serve_flows(flows)
+                    report = engine.serve(flows)
                     decisions = report.decisions
                     best_wall = min(best_wall, report.wall_seconds)
                     hit_rate = report.cache_stats.hit_rate
@@ -465,7 +465,7 @@ def run_tcam_equivalence(flows_per_class: int = 120, seed: int = 0,
     for n in worker_counts:
         reference = PegasusEngine.from_compiled(
             compiled, replace(base, topology="sharded", n_workers=n)
-        ).serve_flows(flows).decisions
+        ).serve(flows).decisions
         entry: dict = {"decisions": len(reference)}
         for cached in ("off", "l1", "l1+l2"):
             # Rotate the TCAM flavor so the pruned kernel is exercised in
@@ -478,10 +478,10 @@ def run_tcam_equivalence(flows_per_class: int = 120, seed: int = 0,
                                decision_cache=cached, topology=topology)
             sharded_ok = PegasusEngine.from_compiled(
                 compiled, tcam("sharded")
-            ).serve_flows(flows).decisions == reference
+            ).serve(flows).decisions == reference
             with PegasusEngine.from_compiled(
                     compiled, tcam("parallel")) as engine:
-                parallel_ok = engine.serve_flows(flows).decisions == reference
+                parallel_ok = engine.serve(flows).decisions == reference
             entry[f"cache_{cached}"] = {
                 "lookup_backend": backend,
                 "sharded_match": sharded_ok, "parallel_match": parallel_ok}
@@ -567,7 +567,7 @@ def run_tcam_throughput(flows_per_class: int = 120, seed: int = 0,
                 compiled, EngineConfig(feature_mode="stats",
                                        batch_size=batch_size,
                                        lookup_backend=backend)
-            ).serve_flows(flows)
+            ).serve(flows)
             decisions = report.decisions
             best = min(best, report.wall_seconds)
         if reference is None:
@@ -598,7 +598,7 @@ def run_scenario_suite(flows_per_class: int = 120, seed: int = 0,
 
     Trains + compiles the serving MLP-B once, then replays each scenario
     through a ``local``-topology :class:`~repro.serving.PegasusEngine` via
-    :meth:`~repro.serving.PegasusEngine.serve_scenario`, collecting the
+    :meth:`~repro.serving.PegasusEngine.serve`, collecting the
     per-phase accuracy/pps/cache breakdown (an attack flood shows up as an
     accuracy cliff in its own phase, a heavy-hitter phase as a cache
     hit-rate spike). Because the default cache mode serves *approximate*
@@ -629,12 +629,12 @@ def run_scenario_suite(flows_per_class: int = 120, seed: int = 0,
         workload = build_scenario(name).generate(seed=seed,
                                                  flows_scale=flows_scale)
         with PegasusEngine.from_compiled(compiled, config) as engine:
-            report = engine.serve_scenario(workload)
+            report = engine.serve(workload)
         digest = decision_digest(report.overall.decisions)
         if config.decision_cache != "off":
             with PegasusEngine.from_compiled(
                     compiled, replace(config, decision_cache="off")) as eng:
-                plain = eng.serve_scenario(workload)
+                plain = eng.serve(workload)
             bit_identical &= digest == decision_digest(plain.overall.decisions)
         results["scenarios"][name] = report.summary()
         results["decision_digests"][name] = digest
@@ -647,6 +647,113 @@ def run_scenario_suite(flows_per_class: int = 120, seed: int = 0,
                              budget_seconds=differential_budget)
     results["differential_ok"] = fuzz.ok
     results["differential_trials"] = len(fuzz.trials)
+    return results
+
+
+def run_openloop_study(flows_per_class: int = 120, seed: int = 0,
+                       dataset: str = "peerrush",
+                       scenarios: tuple[str, ...] = ("microburst",
+                                                     "attack_flood"),
+                       flows_scale: float = 1.0,
+                       batch_size: int = 32,
+                       p99_target_ms: float = 50.0,
+                       load_multipliers: tuple[float, ...] = (0.5, 2.0, 4.0),
+                       policies: tuple[str, ...] = ("none", "tail-drop",
+                                                    "aimd"),
+                       max_gap: float = 0.25,
+                       verify: bool = True) -> dict:
+    """Sustained open-loop pps at a fixed p99 latency target, per policy.
+
+    The open-loop serving study: each stress scenario is replayed through
+    ``serve(mode="open")`` at several offered-load multiples of the
+    engine's *measured* closed-loop service rate (the study self-calibrates,
+    so the same code stresses a fast or slow host equally). Per admission
+    policy, **sustained pps** is the highest admitted throughput among runs
+    whose p99 sojourn met the target — the number a capacity planner wants.
+    The ingress queue is sized at ~2x the target's worth of service, so a
+    saturated tail-drop queue *clearly* misses the target (sojourn ~2x
+    target) while the AIMD source throttle bounds queued delay and stays
+    under it. The headline claim is AIMD sustaining strictly more than
+    tail-drop; on bursty families tail-drop legitimately sustains *zero*
+    (every burst fills the queue at any offered load), in which case the
+    ``aimd_over_taildrop`` ratio is omitted.
+
+    With ``verify=True`` every policy's highest-load run is checked by
+    :func:`~repro.eval.differential.verify_open_loop`: the claimed admitted
+    subsequence must replay bit-identically against the per-packet scalar
+    reference (``verified_bit_identical``).
+    """
+    from repro.eval.differential import verify_open_loop
+    from repro.net import build_scenario
+    from repro.serving import EngineConfig, PegasusEngine
+
+    row = train_and_eval_model("MLP-B", dataset, flows_per_class, seed)
+    compiled = row["_model"].compiled
+    target_s = p99_target_ms / 1e3
+
+    results: dict = {"dataset": dataset, "p99_target_ms": p99_target_ms,
+                     "scenarios": {}}
+    verified = True
+    for name in scenarios:
+        workload = build_scenario(name).generate(seed=seed,
+                                                 flows_scale=flows_scale)
+        n = workload.n_packets
+        # Calibrate: the open-loop consumer's own service rate on this
+        # exact workload (admission="none", time_scale=0 — an unpaced
+        # drain through the same pump/chunk path the paced runs use;
+        # closed-loop pps would overstate it and skew the multipliers).
+        with PegasusEngine.from_compiled(
+                compiled, EngineConfig(feature_mode="stats",
+                                       batch_size=batch_size)) as eng:
+            service_pps = eng.serve(workload, mode="open").admitted_pps
+        ts = workload.ts_column()
+        span_s = float(ts[-1] - ts[0]) if n > 1 else 1.0
+        queue_capacity = max(128, int(2 * target_s * service_pps))
+        entry: dict = {"n_packets": n, "service_pps": service_pps,
+                       "queue_capacity": queue_capacity,
+                       "policies": {}}
+        for policy in policies:
+            runs = []
+            sustained = 0.0
+            last_report = None
+            for mult in load_multipliers:
+                offered_pps = mult * service_pps
+                time_scale = n / max(span_s * offered_pps, 1e-9)
+                config = EngineConfig(
+                    feature_mode="stats", batch_size=batch_size,
+                    admission=policy, queue_capacity=queue_capacity,
+                    p99_target_ms=p99_target_ms, time_scale=time_scale)
+                with PegasusEngine.from_compiled(compiled, config) as eng:
+                    report = eng.serve(workload, mode="open",
+                                       max_gap=max_gap)
+                last_report = report
+                meets = bool(report.meets_target)
+                if meets:
+                    sustained = max(sustained, report.admitted_pps)
+                runs.append({"load_multiplier": mult,
+                             "offered_pps": report.offered_pps,
+                             "admitted_pps": report.admitted_pps,
+                             "shed_fraction": report.shed_fraction,
+                             "p99_ms": report.latency.p99_ms,
+                             "meets_target": meets})
+            policy_row = {"runs": runs, "sustained_pps": sustained,
+                          "last_summary": (last_report.summary()
+                                           if last_report else None)}
+            if verify and last_report is not None:
+                notes = verify_open_loop(workload, last_report, compiled)
+                policy_row["verify_notes"] = notes
+                verified = verified and not notes
+            entry["policies"][policy] = policy_row
+        td = entry["policies"].get("tail-drop", {}).get("sustained_pps", 0.0)
+        ai = entry["policies"].get("aimd", {}).get("sustained_pps", 0.0)
+        if td and ai:
+            entry["aimd_over_taildrop"] = ai / td
+        results["scenarios"][name] = entry
+    results["verified_bit_identical"] = bool(verified)
+    mins = [e["aimd_over_taildrop"] for e in results["scenarios"].values()
+            if "aimd_over_taildrop" in e]
+    if mins:
+        results["aimd_over_taildrop_min"] = min(mins)
     return results
 
 

@@ -89,11 +89,19 @@ class TrafficBand:
 
 @dataclass(frozen=True)
 class PhaseDef:
-    """A named stretch of trace time with its active traffic bands."""
+    """A named stretch of trace time with its active traffic bands.
+
+    ``l2_insert=False`` marks a phase whose windows have near-zero repeat
+    probability (benign iid mixes): the serving engine then closes the
+    approximate-L2 admission gate for the phase's packets, skipping the
+    per-miss box-certificate computation and insert churn without changing
+    a single decision (the exact L1 stays fully active).
+    """
 
     name: str
     duration: float
     bands: tuple[TrafficBand, ...]
+    l2_insert: bool = True
 
     def __post_init__(self):
         if self.duration <= 0:
@@ -107,7 +115,8 @@ class PhaseSpan:
     ``[t_start, t_end)`` is the phase's trace-time window and
     ``[start, stop)`` the half-open packet-index range of the sorted trace
     that falls inside it (the final phase also absorbs packets of flows that
-    outlive the declared horizon).
+    outlive the declared horizon). ``l2_insert`` carries the phase's L2
+    admission gate (see :class:`PhaseDef`).
     """
 
     name: str
@@ -115,6 +124,7 @@ class PhaseSpan:
     t_end: float
     start: int
     stop: int
+    l2_insert: bool = True
 
     @property
     def n_packets(self) -> int:
@@ -141,6 +151,43 @@ class ScenarioTrace:
         for i, span in enumerate(self.phases):
             out[span.start:span.stop] = i
         return out
+
+    def ts_column(self) -> np.ndarray:
+        """Per-packet trace timestamps (float64 seconds, sorted)."""
+        return np.asarray([p.ts for p in self.trace.packets],
+                          dtype=np.float64)
+
+    def arrival_offsets(self, time_scale: float = 1.0,
+                        max_gap: float | None = None) -> np.ndarray:
+        """Wall-clock arrival offsets for an open-loop replay of the trace.
+
+        Trace time is scaled by ``time_scale`` (seconds of wall clock per
+        second of trace time; 0 collapses the whole trace to t=0).
+        ``max_gap`` clips any single scaled inter-arrival gap to that many
+        wall seconds — a pacing hook that fast-forwards long idle stretches
+        (diurnal troughs, calm-phase tails) without touching the arrival
+        order or the dense parts of the schedule, where queueing actually
+        happens.
+        """
+        ts = self.ts_column()
+        if self.n_packets == 0:
+            return ts
+        if time_scale < 0:
+            raise ValueError(f"time_scale must be >= 0, got {time_scale}")
+        gaps = np.diff(ts, prepend=ts[0]) * float(time_scale)
+        if max_gap is not None:
+            gaps = np.minimum(gaps, float(max_gap))
+        return np.cumsum(gaps)
+
+    def subset(self, indices) -> tuple[Trace, np.ndarray]:
+        """The sub-trace (and labels) at the given sorted packet indices.
+
+        The open-loop differential check replays exactly the admitted
+        subset through the scalar reference; this is that subset.
+        """
+        idx = np.asarray(indices, dtype=np.int64)
+        return (Trace([self.trace.packets[int(i)] for i in idx]),
+                np.asarray(self.labels)[idx])
 
 
 def _arrival_times(rng: np.random.Generator, n: int, t0: float, duration: float,
@@ -271,7 +318,8 @@ class Scenario:
             stop = (len(ts) if i == len(self.phases) - 1
                     else int(np.searchsorted(ts, t1, side="left")))
             spans.append(PhaseSpan(name=phase.name, t_start=t0, t_end=t1,
-                                   start=start, stop=stop))
+                                   start=start, stop=stop,
+                                   l2_insert=phase.l2_insert))
             t0 = t1
         return ScenarioTrace(scenario=self.name, seed=seed, trace=trace,
                              labels=labels, phases=spans)

@@ -89,15 +89,20 @@ def diurnal(flows: int = 10, dataset: str = "peerrush") -> Scenario:
         return tuple(TrafficBand(p, max(1, round(flows * scale)), ramp=ramp)
                      for p in profiles)
 
+    # Benign iid windows genuinely never near-repeat (measured hit rate is
+    # 0.0 in every phase), so every phase closes the L2 admission gate: the
+    # exact L1 stays on, but misses stop paying the box-certificate insert.
     return Scenario(
         name="diurnal",
         description="night trough -> morning ramp -> daytime peak -> "
                     "evening decay over the benign classes",
         phases=(
-            PhaseDef("night", 40.0, mix(0.4)),
-            PhaseDef("morning-ramp", 30.0, mix(1.0, ramp="up")),
-            PhaseDef("peak", 30.0, mix(2.0)),
-            PhaseDef("evening-decay", 40.0, mix(1.0, ramp="down")),
+            PhaseDef("night", 40.0, mix(0.4), l2_insert=False),
+            PhaseDef("morning-ramp", 30.0, mix(1.0, ramp="up"),
+                     l2_insert=False),
+            PhaseDef("peak", 30.0, mix(2.0), l2_insert=False),
+            PhaseDef("evening-decay", 40.0, mix(1.0, ramp="down"),
+                     l2_insert=False),
         ),
     )
 
@@ -107,15 +112,17 @@ def microburst(flows: int = 8, dataset: str = "peerrush") -> Scenario:
     profiles = _benign(dataset)
     calm = tuple(TrafficBand(p, flows) for p in profiles)
     burst = tuple(TrafficBand(p, 6 * flows, ramp="up") for p in profiles[:2])
+    # Like diurnal, all-benign iid traffic: cold at both cache levels by
+    # construction, so no phase admits L2 inserts.
     return Scenario(
         name="microburst",
         description="calm baseline punctured by two short high-rate bursts",
         phases=(
-            PhaseDef("calm-1", 40.0, calm),
-            PhaseDef("burst-1", 2.0, burst),
-            PhaseDef("calm-2", 40.0, calm),
-            PhaseDef("burst-2", 2.0, burst),
-            PhaseDef("calm-3", 40.0, calm),
+            PhaseDef("calm-1", 40.0, calm, l2_insert=False),
+            PhaseDef("burst-1", 2.0, burst, l2_insert=False),
+            PhaseDef("calm-2", 40.0, calm, l2_insert=False),
+            PhaseDef("burst-2", 2.0, burst, l2_insert=False),
+            PhaseDef("calm-3", 40.0, calm, l2_insert=False),
         ),
     )
 

@@ -7,9 +7,11 @@ pipeline replicas** — serially simulated or genuinely concurrent.
 
 The front door is :class:`PegasusEngine` (:mod:`repro.serving.engine`): one
 frozen :class:`EngineConfig` names the runtime kind, lookup backend,
-scheduler, cache, and topology; the engine builds and owns the whole stack
-and every serve returns one merged :class:`ServingReport`. The pieces it
-assembles (all still importable for reference stacks and tests):
+scheduler, cache, admission policy, and topology; the engine builds and
+owns the whole stack and the polymorphic ``serve(workload, mode=...)``
+entry point returns one merged :class:`ServingReport` (closed loop) or
+:class:`OpenLoopReport` (open loop). The pieces it assembles (all still
+importable for reference stacks and tests):
 
 - :class:`BatchScheduler` — immutable batch-cutting config: flush when full
   (``batch_size``) or when the oldest buffered packet has waited ``timeout``
@@ -34,6 +36,13 @@ assembles (all still importable for reference stacks and tests):
   hits for near-repeating windows, but only when a decision-cell
   certificate proves the cached decision cannot differ (verify-on-hit;
   ``EngineConfig(decision_cache="l1+l2")``).
+- :class:`OpenLoopPump` + the admission policies (:class:`NoAdmission`,
+  :class:`TailDropAdmission`, :class:`AimdAdmission`) — the open-loop
+  front end behind ``serve(mode="open")``: packets arrive on the trace's
+  own (scaled) timestamps, flow through a pluggable admission policy into
+  a bounded ingress queue, and the report records decision-latency
+  percentiles, the queue-depth timeline, and exactly which packets were
+  shed (:class:`OpenLoopReport`).
 
 Both dispatchers also take ``lookup_backend="tcam"`` to serve the
 hardware-faithful prioritized-TCAM lookup path
@@ -57,7 +66,7 @@ End-to-end example (train → compile → serve)::
     config = EngineConfig(feature_mode="stats", batch_size=256,
                           timeout=0.050, topology="sharded", n_workers=4)
     with PegasusEngine.from_model(model, config) as engine:
-        report = engine.serve_flows(test)      # ServingReport
+        report = engine.serve(test)            # ServingReport
     decisions = report.decisions               # global trace order
 
 Direct dispatcher/runtime construction still works but is deprecated
@@ -74,10 +83,17 @@ from repro.serving.cache import (CacheStats, FlowDecisionCache,
                                  QuantizedDecisionStore,
                                  TwoLevelDecisionCache)
 from repro.serving.dispatcher import shard_hash, shard_hash_columns
-from repro.serving.engine import (CACHE_MODES, EngineConfig, PegasusEngine,
+from repro.serving.engine import (CACHE_MODES, AdmissionPolicySpec,
+                                  EngineConfig, PegasusEngine,
                                   ScenarioServingReport, ServingReport,
+                                  admission_policies,
+                                  register_admission_policy,
                                   register_lookup_backend,
                                   register_runtime_kind, register_topology)
+from repro.serving.openloop import (AdmissionPolicy, AimdAdmission,
+                                    LatencySummary, NoAdmission,
+                                    OpenLoopPhaseReport, OpenLoopPump,
+                                    OpenLoopReport, TailDropAdmission)
 # The package-level dispatcher names are deprecation shims: direct
 # construction still works but warns, pointing at PegasusEngine. The engine
 # (and anything else that wants the un-deprecated classes) imports from
@@ -85,12 +101,20 @@ from repro.serving.engine import (CACHE_MODES, EngineConfig, PegasusEngine,
 from repro.serving.compat import ParallelDispatcher, ShardedDispatcher
 
 __all__ = [
+    "AdmissionPolicy",
+    "AdmissionPolicySpec",
+    "AimdAdmission",
     "BatchScheduler",
     "CACHE_MODES",
     "CacheStats",
     "EngineConfig",
     "FlowDecisionCache",
     "FlushStats",
+    "LatencySummary",
+    "NoAdmission",
+    "OpenLoopPhaseReport",
+    "OpenLoopPump",
+    "OpenLoopReport",
     "ParallelDispatcher",
     "PegasusEngine",
     "QuantizedDecisionStore",
@@ -98,7 +122,10 @@ __all__ = [
     "ServingReport",
     "ShardedDispatcher",
     "SpanStream",
+    "TailDropAdmission",
     "TwoLevelDecisionCache",
+    "admission_policies",
+    "register_admission_policy",
     "register_lookup_backend",
     "register_runtime_kind",
     "register_topology",

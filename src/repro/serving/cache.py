@@ -79,12 +79,16 @@ class CacheStats:
     ``hits`` counts exact (L1) hits; ``approx_hits`` counts verified
     approximate (L2) hits — zero for a plain :class:`FlowDecisionCache`.
     ``evictions`` covers both levels (L1 entries and L2 buckets).
+    ``l2_skipped`` counts misses whose L2 insert (and box certificate) was
+    skipped because the cache's ``l2_admit`` knob was off — the per-phase
+    admission path for workload phases with near-zero repeat probability.
     """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     approx_hits: int = 0
+    l2_skipped: int = 0
 
     @property
     def exact_hits(self) -> int:
@@ -108,6 +112,7 @@ class CacheStats:
         self.misses += other.misses
         self.evictions += other.evictions
         self.approx_hits += getattr(other, "approx_hits", 0)
+        self.l2_skipped += getattr(other, "l2_skipped", 0)
 
 
 class FlowDecisionCache:
@@ -351,6 +356,14 @@ class TwoLevelDecisionCache:
 
     ``l2`` may be a shared :class:`QuantizedDecisionStore` (in-process
     replicas of one engine share a store; each keeps its own stats).
+
+    ``l2_admit`` is the per-phase admission knob: when False the runtime
+    keeps probing both levels (hits stay hits) but skips the L2 insert — and
+    with it the box-certificate computation — on every miss, populating only
+    the exact L1 via :meth:`insert_l1_only` / :meth:`skip_l2_insert`.
+    Decisions are unaffected either way (cache contents never change a
+    decision), so a phase can flip the knob freely; skipped inserts are
+    counted in ``stats.l2_skipped``.
     """
 
     two_level = True
@@ -362,6 +375,7 @@ class TwoLevelDecisionCache:
         self.l2 = l2 if l2 is not None else QuantizedDecisionStore(
             l2_capacity, l2_quantize_shift, l2_bucket_entries)
         self.stats = self.l1.stats    # one stream: L1 evictions count here too
+        self.l2_admit = True
         self._pending: dict = {}      # group L1 key -> (L2 entry, bucket key)
 
     def __len__(self) -> int:
@@ -407,6 +421,26 @@ class TwoLevelDecisionCache:
         self.l1.put(key, decision)
         _, evicted = self.l2.insert(feats, box_lo, box_hi, decision)
         self.stats.evictions += evicted
+
+    def insert_l1_only(self, key, decision: int) -> None:
+        """Scalar-path miss population with the L2 gate closed.
+
+        Keeps the L1 op sequence identical to :meth:`insert` (same ``put``,
+        same recency churn) while skipping the L2 entry — the caller also
+        skipped the box-certificate computation, which is the point.
+        """
+        self.l1.put(key, decision)
+        self.stats.l2_skipped += 1
+
+    def skip_l2_insert(self) -> None:
+        """Batched-path miss accounting with the L2 gate closed.
+
+        The batched protocol already reserved the L1 slot (PENDING promote
+        in pass 1) and will :meth:`fill` it; only the L2 reservation is
+        skipped, so :meth:`fill` / :meth:`discard_pending` find no pending
+        entry — both tolerate that.
+        """
+        self.stats.l2_skipped += 1
 
     def reserve_l2(self, key, feats: np.ndarray, box_lo: np.ndarray,
                    box_hi: np.ndarray) -> None:

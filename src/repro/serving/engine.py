@@ -14,8 +14,13 @@ over heterogeneous fast paths:
   once at construction with typed :class:`~repro.errors.ConfigError` s.
 - :class:`PegasusEngine` — owns the full lifecycle: ``from_model(...)`` /
   ``from_compiled(...)`` builders, context-manager ``start()/close()``, and
-  the uniform ``serve_flows() / serve_trace() / serve_columns()`` entry
-  points.
+  **one** polymorphic ``serve(workload, mode="closed"|"open")`` entry point
+  that dispatches on workload shape (flows / trace / columns / scenario)
+  and, in open mode, pumps the workload through a pluggable admission
+  policy (``none | tail-drop | aimd`` built in) into a bounded ingress
+  queue paced by the trace's own timestamps. The old named entry points
+  (``serve_flows`` / ``serve_trace`` / ``serve_columns`` /
+  ``serve_scenario``) remain as thin :class:`DeprecationWarning` shims.
 - :class:`ServingReport` — one merged result per serve: decisions, wall
   clock, per-shard breakdown, flush stats, cache stats, derived pps and
   accuracy — replacing the old ad-hoc tuples and attribute-poking.
@@ -38,7 +43,7 @@ End-to-end usage::
                           decision_cache=True, lookup_backend="tcam",
                           topology="parallel", n_workers=4)
     with PegasusEngine.from_compiled(compiled, config) as eng:
-        report = eng.serve_flows(test_flows)
+        report = eng.serve(test_flows)
         print(report.pps, report.cache_stats.hit_rate)
 
 Every supported configuration is **bit-identical** to the equivalent
@@ -50,6 +55,7 @@ topology x cache x backend x runtime-kind matrix by
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable
 
@@ -59,11 +65,15 @@ from repro.dataplane.runtime import (TwoStageRuntime,
                                      WindowedClassifierRuntime,
                                      flows_to_trace)
 from repro.errors import ConfigError
+from repro.net.scenarios import PhaseSpan, ScenarioTrace
 from repro.net.traces import (KEY_COLUMN_NAMES, Trace,
                               canonicalize_key_columns, keys_from_columns)
 from repro.serving.cache import (CacheStats, FlowDecisionCache,
                                  TwoLevelDecisionCache)
 from repro.serving.dispatcher import ShardedDispatcher
+from repro.serving.openloop import (AimdAdmission, NoAdmission, OpenLoopPump,
+                                    OpenLoopReport, TailDropAdmission,
+                                    build_open_loop_report)
 from repro.serving.parallel import ParallelDispatcher
 from repro.serving.scheduler import BatchScheduler, FlushStats
 
@@ -137,9 +147,24 @@ class LookupBackend:
     apply: Callable[[Any], None]
 
 
+@dataclass(frozen=True)
+class AdmissionPolicySpec:
+    """One pluggable open-loop admission policy.
+
+    ``build(config) -> policy`` constructs a fresh
+    :class:`~repro.serving.openloop.AdmissionPolicy` for one open-loop
+    serve from the engine's validated config (``queue_capacity``,
+    ``p99_target_ms`` are the knobs the built-ins consume).
+    """
+
+    name: str
+    build: Callable[["EngineConfig"], Any]
+
+
 runtime_kinds = Registry("runtime")
 lookup_backends = Registry("lookup_backend")
 topologies = Registry("topology")
+admission_policies = Registry("admission")
 
 
 def register_runtime_kind(name: str, build, *, overwrite: bool = False):
@@ -173,6 +198,34 @@ def register_topology(name: str, build, *, overwrite: bool = False):
     return topologies.register(name, build, overwrite=overwrite)
 
 
+def register_admission_policy(name: str, build, *, overwrite: bool = False):
+    """Register an open-loop admission policy under
+    ``EngineConfig(admission=name)``.
+
+    ``build(config) -> policy`` returns a fresh
+    :class:`~repro.serving.openloop.AdmissionPolicy` per open-loop serve.
+    Same ``overwrite=`` semantics as the other registries.
+    """
+    return admission_policies.register(name, AdmissionPolicySpec(name, build),
+                                       overwrite=overwrite)
+
+
+def _build_aimd_policy(config: "EngineConfig"):
+    if config.p99_target_ms is None:
+        raise ConfigError(
+            "p99_target_ms", None, allowed="> 0 (milliseconds)",
+            reason="admission='aimd' throttles against a latency target")
+    return AimdAdmission(config.queue_capacity,
+                         config.p99_target_ms / 1e3)
+
+
+register_admission_policy("none", lambda config: NoAdmission())
+register_admission_policy("tail-drop",
+                          lambda config: TailDropAdmission(
+                              config.queue_capacity))
+register_admission_policy("aimd", _build_aimd_policy)
+
+
 # ---------------------------------------------------------------------------
 # Config
 # ---------------------------------------------------------------------------
@@ -198,7 +251,13 @@ class EngineConfig:
       (N replicas replayed serially, modeled parallel wall clock) or
       ``parallel`` (N persistent worker processes, measured wall clock),
       with ``n_workers`` replicas, worker ``start_method``, and
-      ``payload_bytes`` shipped per packet to two-stage replicas.
+      ``payload_bytes`` shipped per packet to two-stage replicas;
+    - **open loop** — ``admission`` policy (registry; ``"none"`` |
+      ``"tail-drop"`` | ``"aimd"`` built in), ingress ``queue_capacity``,
+      the ``p99_target_ms`` latency SLO the AIMD throttle (and the
+      report's ``meets_target``) is judged against, and ``time_scale``
+      (wall seconds per trace second when pacing ``serve(mode="open")``;
+      0 replays as fast as possible, deterministically).
 
     Frozen and validated once here — every downstream constructor then
     receives values it can trust. All validation errors are
@@ -224,11 +283,16 @@ class EngineConfig:
     n_workers: int = 1
     payload_bytes: int | None = None
     start_method: str | None = None
+    admission: str = "none"
+    queue_capacity: int = 1024
+    p99_target_ms: float | None = None
+    time_scale: float = 0.0
 
     def __post_init__(self):
         runtime_kinds.get(self.runtime)
         lookup_backends.get(self.lookup_backend)
         topologies.get(self.topology)
+        admission_policies.get(self.admission)
         if self.feature_mode not in ("seq", "stats"):
             raise ConfigError("feature_mode", self.feature_mode,
                               allowed=("seq", "stats"))
@@ -245,9 +309,15 @@ class EngineConfig:
         object.__setattr__(self, "decision_cache", mode)
         for name, lo in (("window", 2), ("capacity", 1), ("n_workers", 1),
                          ("cache_capacity", 1), ("l2_capacity", 1),
-                         ("l2_quantize_shift", 0)):
+                         ("l2_quantize_shift", 0), ("queue_capacity", 1)):
             if getattr(self, name) < lo:
                 raise ConfigError(name, getattr(self, name), allowed=f">= {lo}")
+        if self.p99_target_ms is not None and self.p99_target_ms <= 0:
+            raise ConfigError("p99_target_ms", self.p99_target_ms,
+                              allowed="> 0 (milliseconds) or None")
+        if self.time_scale < 0:
+            raise ConfigError("time_scale", self.time_scale,
+                              allowed=">= 0 (0 replays as fast as possible)")
         if self.topology == "local" and self.n_workers != 1:
             raise ConfigError("n_workers", self.n_workers, allowed="1",
                               reason="topology='local' runs exactly one "
@@ -368,6 +438,12 @@ class _LocalDriver:
         return self._run(lambda: self.runtime.process_columns(
             cols, keys, labels=labels, scheduler=self._scheduler))
 
+    def set_l2_admission(self, admit: bool) -> None:
+        self.start()
+        cache = getattr(self.runtime, "decision_cache", None)
+        if getattr(cache, "two_level", False):
+            cache.l2_admit = bool(admit)
+
     def _run(self, replay) -> list:
         # The replay cuts its own span stream from the timestamp column it
         # extracts anyway (no second per-packet pass) and records the
@@ -414,6 +490,13 @@ class _ShardedDriver:
         self.start()
         return self._dispatcher.serve_trace(trace, labels=labels, keys=keys)
 
+    def set_l2_admission(self, admit: bool) -> None:
+        self.start()
+        for rt in self._dispatcher.runtimes:
+            cache = getattr(rt, "decision_cache", None)
+            if getattr(cache, "two_level", False):
+                cache.l2_admit = bool(admit)
+
     @property
     def shard_seconds(self) -> list[float]:
         return self._dispatcher.shard_seconds if self._dispatcher else []
@@ -447,6 +530,11 @@ class _ParallelDriver:
 
     def serve(self, trace: Trace, labels, keys) -> list:
         return self._dispatcher.serve_trace(trace, labels=labels)
+
+    def set_l2_admission(self, admit: bool) -> None:
+        # Workers apply the flag from each shard payload; the dispatcher
+        # just records the current setting.
+        self._dispatcher.l2_admit = bool(admit)
 
     @property
     def shard_seconds(self) -> list[float]:
@@ -617,6 +705,7 @@ class ServingReport:
             "cache_hit_rate": self.cache_stats.hit_rate,
             "cache_exact_hits": self.cache_stats.exact_hits,
             "cache_approx_hits": self.cache_stats.approx_hits,
+            "cache_l2_skipped": self.cache_stats.l2_skipped,
             "flushes": self.flush_stats.total,
         }
 
@@ -670,7 +759,8 @@ def _cache_snapshot(driver) -> CacheStats:
     live = driver.cache_stats
     return CacheStats(hits=live.hits, misses=live.misses,
                       evictions=live.evictions,
-                      approx_hits=getattr(live, "approx_hits", 0))
+                      approx_hits=getattr(live, "approx_hits", 0),
+                      l2_skipped=getattr(live, "l2_skipped", 0))
 
 
 def _cache_delta(after: CacheStats, before: CacheStats) -> CacheStats:
@@ -678,7 +768,19 @@ def _cache_delta(after: CacheStats, before: CacheStats) -> CacheStats:
     return CacheStats(hits=after.hits - before.hits,
                       misses=after.misses - before.misses,
                       evictions=after.evictions - before.evictions,
-                      approx_hits=after.approx_hits - before.approx_hits)
+                      approx_hits=after.approx_hits - before.approx_hits,
+                      l2_skipped=after.l2_skipped - before.l2_skipped)
+
+
+def _warn_deprecated(old: str, new: str) -> None:
+    """One DeprecationWarning per old named serve entry point.
+
+    ``stacklevel=3`` points at the *caller* of the deprecated method
+    (helper -> shim -> caller), mirroring ``repro.serving.compat``.
+    """
+    warnings.warn(
+        f"PegasusEngine.{old}() is deprecated; use PegasusEngine.{new}",
+        DeprecationWarning, stacklevel=3)
 
 
 class PegasusEngine:
@@ -689,15 +791,18 @@ class PegasusEngine:
     two-stage spec mapping (``PegasusEngine(source={...},
     runtime="two_stage")``), or an arbitrary replica factory
     (:meth:`from_factory`). The engine resolves the configured runtime kind,
-    lookup backend, and topology through the module registries, owns the
-    driver's lifecycle (``start()``/``close()``/context manager — safe to
-    call unconditionally), and serves through three uniform entry points
-    that all return a :class:`ServingReport`:
+    lookup backend, admission policy, and topology through the module
+    registries, owns the driver's lifecycle (``start()``/``close()``/context
+    manager — safe to call unconditionally), and serves through **one**
+    polymorphic entry point:
 
-    - :meth:`serve_flows` — a list of labelled :class:`~repro.net.flow.Flow` s;
-    - :meth:`serve_trace` — a time-ordered :class:`~repro.net.traces.Trace`;
-    - :meth:`serve_columns` — ``Trace.to_columns()``-style per-packet arrays
-      (the zero-object path shard payloads already travel as).
+    - :meth:`serve` — dispatches on workload shape (a list of labelled
+      :class:`~repro.net.flow.Flow` s, a time-ordered
+      :class:`~repro.net.traces.Trace`, ``Trace.to_columns()``-style
+      per-packet arrays, or a scenario) and on ``mode``: ``"closed"``
+      replays as fast as the stack drains; ``"open"`` paces packets by
+      their own timestamps through the configured admission policy and
+      reports decision latency / queue depth / shed packets.
 
     ``close()`` discards replica state (registers, caches); the next serve
     starts cold, exactly like the dispatchers it wraps.
@@ -805,20 +910,132 @@ class PegasusEngine:
 
     # -- serving -------------------------------------------------------------
 
+    def serve(self, workload, *, mode: str = "closed",
+              labels: np.ndarray | None = None, seed: int | None = None,
+              flows_scale: float = 1.0, max_gap: float | None = None):
+        """Serve any workload through one polymorphic entry point.
+
+        ``workload`` dispatches on shape:
+
+        - a :class:`~repro.net.scenarios.Scenario` (materialized here with
+          ``seed`` / ``flows_scale``) or already materialized
+          :class:`~repro.net.scenarios.ScenarioTrace` — closed mode returns
+          a per-phase :class:`ScenarioServingReport`;
+        - a list/tuple of labelled :class:`~repro.net.flow.Flow` s;
+        - a time-ordered :class:`~repro.net.traces.Trace` (``labels``
+          optional);
+        - a ``Trace.to_columns()``-style dict of per-packet arrays.
+
+        ``mode="closed"`` (default) replays as fast as the stack drains —
+        the throughput benchmark. ``mode="open"`` pushes packets through the
+        configured admission policy into a bounded ingress queue, paced by
+        the workload's own timestamps at ``config.time_scale`` (0 = as fast
+        as possible, deterministically), and returns an
+        :class:`~repro.serving.openloop.OpenLoopReport` recording decision
+        latency percentiles, the queue-depth timeline, and exactly which
+        packets were shed. With ``admission="none"`` and ``time_scale=0``
+        the open-loop decision stream is bit-identical to closed mode.
+        ``max_gap`` (open mode) clips any single paced inter-arrival gap to
+        that many wall seconds, bounding idle time on sparse traces.
+        """
+        if mode not in ("closed", "open"):
+            raise ConfigError("mode", mode, allowed=("closed", "open"))
+        kind = self._classify_workload(workload)
+        if kind == "scenario":
+            workload = workload.generate(seed=seed, flows_scale=flows_scale)
+            kind = "scenario_trace"
+        if mode == "open":
+            if kind != "scenario_trace":
+                workload = self._as_scenario_trace(workload, labels, kind)
+            return self._serve_open(workload, max_gap=max_gap)
+        if kind == "scenario_trace":
+            return self._serve_scenario(workload, seed=seed)
+        if kind == "flows":
+            return self._serve_flows(workload)
+        if kind == "columns":
+            return self._serve_columns(workload, labels=labels)
+        return self._serve_trace(workload, labels=labels)
+
+    @staticmethod
+    def _classify_workload(workload) -> str:
+        """Map a workload object to its serve path, by shape."""
+        if hasattr(workload, "generate") and hasattr(workload, "phases"):
+            return "scenario"
+        if hasattr(workload, "trace") and hasattr(workload, "phases"):
+            return "scenario_trace"
+        if isinstance(workload, Trace) or hasattr(workload, "packets"):
+            return "trace"
+        if isinstance(workload, dict):
+            return "columns"
+        if isinstance(workload, (list, tuple)):
+            return "flows"
+        raise ConfigError(
+            "workload", type(workload).__name__,
+            allowed="Scenario | ScenarioTrace | Trace | list[Flow] | "
+                    "columns dict")
+
+    def _as_scenario_trace(self, workload, labels, kind) -> ScenarioTrace:
+        """Wrap a non-scenario workload as a single-phase ScenarioTrace so
+        the open-loop pump has timestamps and a phase span to pace/report."""
+        if kind == "flows":
+            trace, _keys, labels = flows_to_trace(workload)
+        elif kind == "columns":
+            trace = Trace.from_columns(workload)
+        else:
+            trace = workload
+        n = len(trace.packets)
+        if labels is None:
+            labels = np.full(n, -1, dtype=np.int64)
+        ts0 = trace.packets[0].ts if n else 0.0
+        ts1 = trace.packets[-1].ts if n else 0.0
+        span = PhaseSpan("trace", float(ts0), float(ts1), 0, n)
+        return ScenarioTrace(scenario="<trace>", seed=None, trace=trace,
+                             labels=np.asarray(labels), phases=(span,))
+
+    # -- deprecated named entry points (use serve()) -------------------------
+
     def serve_flows(self, flows: list) -> ServingReport:
+        """Deprecated — use ``serve(flows)``."""
+        _warn_deprecated("serve_flows", "serve(flows)")
+        return self._serve_flows(flows)
+
+    def serve_trace(self, trace: Trace, labels: np.ndarray | None = None
+                    ) -> ServingReport:
+        """Deprecated — use ``serve(trace, labels=...)``."""
+        _warn_deprecated("serve_trace", "serve(trace, labels=...)")
+        return self._serve_trace(trace, labels=labels)
+
+    def serve_columns(self, cols: dict[str, np.ndarray],
+                      labels: np.ndarray | None = None) -> ServingReport:
+        """Deprecated — use ``serve(cols, labels=...)``."""
+        _warn_deprecated("serve_columns", "serve(cols, labels=...)")
+        return self._serve_columns(cols, labels=labels)
+
+    def serve_scenario(self, scenario, seed: int | None = None,
+                       flows_scale: float = 1.0) -> ScenarioServingReport:
+        """Deprecated — use ``serve(scenario, seed=..., flows_scale=...)``."""
+        _warn_deprecated("serve_scenario",
+                         "serve(scenario, seed=..., flows_scale=...)")
+        if hasattr(scenario, "generate"):
+            scenario = scenario.generate(seed=seed, flows_scale=flows_scale)
+        return self._serve_scenario(scenario, seed=seed)
+
+    # -- serve internals -----------------------------------------------------
+
+    def _serve_flows(self, flows: list) -> ServingReport:
         """Replay the interleaved trace of many labelled flows."""
         trace, keys, labels = flows_to_trace(flows)
         return self._serve(len(trace.packets),
                            lambda: self._driver.serve(trace, labels, keys))
 
-    def serve_trace(self, trace: Trace, labels: np.ndarray | None = None
-                    ) -> ServingReport:
+    def _serve_trace(self, trace: Trace, labels: np.ndarray | None = None
+                     ) -> ServingReport:
         """Replay one time-ordered trace (per-packet ``labels`` optional)."""
         return self._serve(len(trace.packets),
                            lambda: self._driver.serve(trace, labels, None))
 
-    def serve_columns(self, cols: dict[str, np.ndarray],
-                      labels: np.ndarray | None = None) -> ServingReport:
+    def _serve_columns(self, cols: dict[str, np.ndarray],
+                       labels: np.ndarray | None = None) -> ServingReport:
         """Replay ``Trace.to_columns()``-style per-packet arrays.
 
         ``cols`` must hold ``ts`` plus the 5-tuple key columns (and whatever
@@ -837,26 +1054,22 @@ class PegasusEngine:
                 len(cols["ts"]),
                 lambda: self._driver.serve_columns(cols, keys, labels))
         trace = Trace.from_columns(cols)
-        return self.serve_trace(trace, labels=labels)
+        return self._serve_trace(trace, labels=labels)
 
-    def serve_scenario(self, scenario, seed: int | None = None,
-                       flows_scale: float = 1.0) -> ScenarioServingReport:
+    def _serve_scenario(self, workload: ScenarioTrace,
+                        seed: int | None = None) -> ScenarioServingReport:
         """Replay a time-varying scenario, reported per ground-truth phase.
 
-        ``scenario`` is a :class:`~repro.net.scenarios.Scenario` (materialized
-        here with ``seed`` / ``flows_scale``) or an already materialized
-        :class:`~repro.net.scenarios.ScenarioTrace`. Each phase is served as
-        its own call against the *same* replicas — flow registers and caches
-        carry across phase boundaries exactly as they would in one
-        continuous replay, and batch boundaries never change decisions — so
-        the concatenated decision stream is bit-identical to a single
-        ``serve_trace`` of the whole workload (asserted by the differential
-        harness) while every phase still gets its own accuracy/pps/cache
-        breakdown.
+        Each phase is served as its own call against the *same* replicas —
+        flow registers and caches carry across phase boundaries exactly as
+        they would in one continuous replay, and batch boundaries never
+        change decisions — so the concatenated decision stream is
+        bit-identical to a single trace serve of the whole workload
+        (asserted by the differential harness) while every phase still gets
+        its own accuracy/pps/cache breakdown. Phases declaring
+        ``l2_insert=False`` close the two-level cache's L2 admission gate
+        for their span (cold phases skip the box-certificate insert work).
         """
-        workload = scenario
-        if hasattr(scenario, "generate"):
-            workload = scenario.generate(seed=seed, flows_scale=flows_scale)
         self.start()
         phases: list = []
         decisions: list = []
@@ -865,27 +1078,31 @@ class PegasusEngine:
         flush_total = FlushStats()
         first = _cache_snapshot(self._driver)
         before = first
-        for span in workload.phases:
-            sub = Trace(workload.trace.packets[span.start:span.stop])
-            labels = workload.labels[span.start:span.stop]
-            report = self._serve(
-                len(sub.packets),
-                lambda sub=sub, labels=labels:
-                    self._driver.serve(sub, labels, None))
-            for d in report.decisions:
-                d.seq += span.start            # sub-trace -> global position
-            after = _cache_snapshot(self._driver)
-            report.cache_stats = _cache_delta(after, before)
-            before = after
-            phases.append((span, report))
-            decisions.extend(report.decisions)
-            n_packets += report.n_packets
-            wall += report.wall_seconds
-            flush_total.merge(report.flush_stats)
-            shard_seconds = (list(report.shard_seconds)
-                             if shard_seconds is None else
-                             [a + b for a, b in zip(shard_seconds,
-                                                    report.shard_seconds)])
+        try:
+            for span in workload.phases:
+                self._set_l2_admission(getattr(span, "l2_insert", True))
+                sub = Trace(workload.trace.packets[span.start:span.stop])
+                labels = workload.labels[span.start:span.stop]
+                report = self._serve(
+                    len(sub.packets),
+                    lambda sub=sub, labels=labels:
+                        self._driver.serve(sub, labels, None))
+                for d in report.decisions:
+                    d.seq += span.start        # sub-trace -> global position
+                after = _cache_snapshot(self._driver)
+                report.cache_stats = _cache_delta(after, before)
+                before = after
+                phases.append((span, report))
+                decisions.extend(report.decisions)
+                n_packets += report.n_packets
+                wall += report.wall_seconds
+                flush_total.merge(report.flush_stats)
+                shard_seconds = (list(report.shard_seconds)
+                                 if shard_seconds is None else
+                                 [a + b for a, b in zip(shard_seconds,
+                                                        report.shard_seconds)])
+        finally:
+            self._set_l2_admission(True)
         overall = ServingReport(
             decisions=decisions, n_packets=n_packets, wall_seconds=wall,
             topology=self.config.topology, n_workers=self.config.n_workers,
@@ -897,6 +1114,74 @@ class PegasusEngine:
             scenario=getattr(workload, "scenario", "<trace>"),
             seed=getattr(workload, "seed", seed),
             overall=overall, phases=phases)
+
+    def _set_l2_admission(self, admit: bool) -> None:
+        """Open/close the two-level cache's L2 gate on every replica
+        (no-op for drivers or caches without the knob)."""
+        setter = getattr(self._driver, "set_l2_admission", None)
+        if setter is not None:
+            setter(bool(admit))
+
+    def _serve_open(self, workload: ScenarioTrace,
+                    max_gap: float | None = None) -> OpenLoopReport:
+        """Pump a materialized workload open-loop through the admission
+        policy and the configured driver.
+
+        The pump feeds admitted packets in arrival order, the consumer
+        drains chunks of at most ``config.batch_size`` through the normal
+        driver serve path — and because batch boundaries never change
+        decisions, the concatenated decision stream over the admitted
+        subsequence is bit-identical to a closed-loop replay of exactly
+        those packets (``verify_open_loop`` in the differential harness
+        asserts this against the scalar reference).
+        """
+        self.start()
+        config = self.config
+        policy = admission_policies.get(config.admission).build(config)
+        trace = workload.trace
+        labels = np.asarray(workload.labels)
+        n = len(trace.packets)
+        flush_total = FlushStats()
+        shard_seconds: list[float] | None = None
+
+        def serve_chunk(indices: list[int]) -> list:
+            nonlocal shard_seconds
+            idx = np.asarray(indices, dtype=np.int64)
+            sub = Trace([trace.packets[int(i)] for i in idx])
+            decisions = self._driver.serve(sub, labels[idx], None)
+            for d in decisions:
+                d.seq = int(idx[d.seq])        # chunk -> global position
+            flush_total.merge(self._driver.flush_stats)
+            shard_seconds = (list(self._driver.shard_seconds)
+                             if shard_seconds is None else
+                             [a + b for a, b in
+                              zip(shard_seconds,
+                                  self._driver.shard_seconds)])
+            return decisions
+
+        offsets = None
+        if config.time_scale > 0:
+            offsets = workload.arrival_offsets(config.time_scale,
+                                               max_gap=max_gap)
+        before = _cache_snapshot(self._driver)
+        pump = OpenLoopPump(n, offsets, serve_chunk, policy,
+                            drain_max=max(1, config.batch_size))
+        result = pump.run()
+        after = _cache_snapshot(self._driver)
+        serving = ServingReport(
+            decisions=result.decisions, n_packets=int(result.served),
+            wall_seconds=result.wall_seconds,
+            topology=config.topology, n_workers=config.n_workers,
+            runtime=config.runtime, lookup_backend=config.lookup_backend,
+            shard_seconds=shard_seconds or [], flush_stats=flush_total,
+            cache_stats=_cache_delta(after, before))
+        return build_open_loop_report(
+            result, serving=serving, config=config,
+            ts=workload.ts_column(), phases=workload.phases,
+            scenario=getattr(workload, "scenario", "<trace>"),
+            seed=getattr(workload, "seed", None),
+            admission=config.admission, time_scale=config.time_scale,
+            p99_target_ms=config.p99_target_ms)
 
     def _serve(self, n_packets: int, run: Callable[[], list]) -> ServingReport:
         self.start()    # replica build / worker fork lands outside the clock
@@ -915,14 +1200,18 @@ class PegasusEngine:
 
 __all__ = [
     "CACHE_MODES",
+    "AdmissionPolicySpec",
     "EngineConfig",
     "LookupBackend",
+    "OpenLoopReport",
     "PegasusEngine",
     "Registry",
     "RuntimeKind",
     "ScenarioServingReport",
     "ServingReport",
+    "admission_policies",
     "lookup_backends",
+    "register_admission_policy",
     "register_lookup_backend",
     "register_runtime_kind",
     "register_topology",

@@ -72,6 +72,10 @@ def serve_shard(runtime, shard: dict, scheduler: BatchScheduler | None) -> dict:
     keys = keys_from_columns(shard["keys"])
     cache = getattr(runtime, "decision_cache", None)
     two_level = getattr(cache, "two_level", False)
+    if two_level:
+        # Per-shard L2 admission gate (phase-scoped: the dispatcher stamps
+        # its current setting on every payload).
+        cache.l2_admit = bool(shard.get("l2_admit", True))
     if two_level and shard.get("l2_seed"):
         # Read-mostly L2 sharing: entries other workers published on earlier
         # serves seed this replica's store before the replay (never counted
@@ -156,6 +160,7 @@ class ParallelDispatcher:
     lookup_backend: str | None = None
     payload_bytes: int | None = None
     start_method: str | None = None
+    l2_admit: bool = field(init=False, default=True)
     shard_seconds: list[float] = field(init=False, default_factory=list)
     wall_seconds: float = field(init=False, default=0.0)
     flush_stats: FlushStats = field(init=False, default_factory=FlushStats)
@@ -312,6 +317,7 @@ class ParallelDispatcher:
                     "keys": {name: key_cols[name][member] for name in KEY_COLUMN_NAMES},
                     "labels": labels[member],
                     "l2_seed": self._l2_entries or None,
+                    "l2_admit": self.l2_admit,
                 }
             )
 

@@ -140,7 +140,7 @@ class TestScalarReference:
         case = dfl.EngineCase()
         with PegasusEngine(source=sources["windowed"],
                            config=case.config()) as eng:
-            got = eng.serve_trace(workload.trace, labels=workload.labels)
+            got = eng.serve(workload.trace, labels=workload.labels)
         assert got.decisions == ref
 
     def test_two_stage_spec_deterministic(self):

@@ -183,9 +183,9 @@ class TestServeScenario:
         compiled, config = engine_parts
         w = tiny("heavy_hitters", seed=1, scale=0.4)
         with PegasusEngine.from_compiled(compiled, config) as eng:
-            rep = eng.serve_scenario(w)
+            rep = eng.serve(w)
         with PegasusEngine.from_compiled(compiled, config) as eng:
-            ref = eng.serve_trace(w.trace, labels=w.labels)
+            ref = eng.serve(w.trace, labels=w.labels)
         assert rep.overall.decisions == ref.decisions
         assert rep.overall.n_packets == w.n_packets
         assert (rep.overall.cache_stats.hits, rep.overall.cache_stats.misses) \
@@ -195,7 +195,7 @@ class TestServeScenario:
         compiled, config = engine_parts
         w = tiny("heavy_hitters", seed=1, scale=0.4)
         with PegasusEngine.from_compiled(compiled, config) as eng:
-            rep = eng.serve_scenario(w)
+            rep = eng.serve(w)
         assert [s.name for s, _ in rep.phases] == \
             [s.name for s in w.phases]
         assert sum(r.n_packets for _, r in rep.phases) == w.n_packets
@@ -217,7 +217,7 @@ class TestServeScenario:
         compiled, config = engine_parts
         rep_obj = None
         with PegasusEngine.from_compiled(compiled, config) as eng:
-            rep_obj = eng.serve_scenario(build_scenario("microburst"),
+            rep_obj = eng.serve(build_scenario("microburst"),
                                          seed=3, flows_scale=0.2)
         s = rep_obj.summary()
         assert s["scenario"] == "microburst" and s["seed"] == 3
@@ -233,8 +233,8 @@ class TestServeScenario:
         w = tiny("attack_flood", seed=2, scale=0.25)
         sharded = replace(config, topology="sharded", n_workers=2)
         with PegasusEngine.from_compiled(compiled, config) as eng:
-            local = eng.serve_scenario(w)
+            local = eng.serve(w)
         with PegasusEngine.from_compiled(compiled, sharded) as eng:
-            shard = eng.serve_scenario(w)
+            shard = eng.serve(w)
         assert shard.overall.decisions == local.overall.decisions
         assert len(shard.overall.shard_seconds) == 2

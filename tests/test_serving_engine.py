@@ -112,7 +112,7 @@ class TestConfigMatrixEquivalence:
         assert ref
         with PegasusEngine.from_compiled(
                 compiled16, _config(topology, cached, backend)) as engine:
-            report = engine.serve_flows(replay_flows)
+            report = engine.serve(replay_flows)
         assert report.decisions == ref
         if cached:
             assert report.cache_stats.lookups == len(ref)
@@ -127,7 +127,7 @@ class TestConfigMatrixEquivalence:
         assert ref
         config = _config(topology, cached, backend, runtime="two_stage")
         with PegasusEngine(source=two_stage_spec, config=config) as engine:
-            report = engine.serve_flows(replay_flows)
+            report = engine.serve(replay_flows)
         assert report.decisions == ref
 
     def test_parallel_spawn_start_method(self, compiled16, replay_flows):
@@ -137,21 +137,22 @@ class TestConfigMatrixEquivalence:
                           "local", replay_flows)
         config = _config("parallel", False, "index", start_method="spawn")
         with PegasusEngine.from_compiled(compiled16, config) as engine:
-            report = engine.serve_flows(replay_flows)
+            report = engine.serve(replay_flows)
         assert report.decisions == ref
 
-    def test_serve_trace_and_columns_match_serve_flows(self, compiled16,
-                                                       replay_flows):
+    def test_serve_dispatches_trace_and_columns(self, compiled16,
+                                                replay_flows):
+        """serve() routes flows, Trace, and column dicts to one answer."""
         trace, _keys, labels = flows_to_trace(replay_flows)
         cols = trace.to_columns()
         for topology in ("local", "sharded"):
             config = _config(topology, False, "index")
             ref = PegasusEngine.from_compiled(compiled16, config) \
-                .serve_flows(replay_flows).decisions
+                .serve(replay_flows).decisions
             via_trace = PegasusEngine.from_compiled(compiled16, config) \
-                .serve_trace(trace, labels=labels).decisions
+                .serve(trace, labels=labels).decisions
             via_cols = PegasusEngine.from_compiled(compiled16, config) \
-                .serve_columns(cols, labels=labels).decisions
+                .serve(cols, labels=labels).decisions
             assert via_trace == ref
             assert via_cols == ref
 
@@ -163,7 +164,7 @@ class TestConfigMatrixEquivalence:
                                                                  False,
                                                                  "index"))
         with pytest.raises(ValueError, match="missing serve columns"):
-            engine.serve_columns(cols)
+            engine.serve(cols)
 
 
 class TestEngineConfig:
@@ -218,9 +219,9 @@ class TestBuilders:
     def test_from_model_windowed(self, compiled16, replay_flows):
         model = SimpleNamespace(compiled=compiled16)
         ref = PegasusEngine.from_compiled(
-            compiled16, batch_size=BATCH).serve_flows(replay_flows).decisions
+            compiled16, batch_size=BATCH).serve(replay_flows).decisions
         got = PegasusEngine.from_model(
-            model, batch_size=BATCH).serve_flows(replay_flows).decisions
+            model, batch_size=BATCH).serve(replay_flows).decisions
         assert got == ref
 
     def test_from_model_requires_compiled(self):
@@ -238,7 +239,7 @@ class TestBuilders:
             .process_flows(replay_flows)
         report = PegasusEngine.from_model(
             model, runtime="two_stage", batch_size=BATCH,
-            decision_cache=True).serve_flows(replay_flows)
+            decision_cache=True).serve(replay_flows)
         assert report.decisions == ref
         assert report.cache_stats.lookups == len(ref)
 
@@ -252,14 +253,14 @@ class TestBuilders:
                 model, runtime="two_stage", batch_size=BATCH,
                 topology="parallel", n_workers=2,
                 start_method="spawn") as engine:
-            report = engine.serve_flows(replay_flows)
+            report = engine.serve(replay_flows)
         assert report.decisions == ref
 
     def test_from_factory_applies_backend(self, compiled16, replay_flows):
         factory = _windowed_factory(compiled16, False, "index")
         report = PegasusEngine.from_factory(
             factory, batch_size=BATCH, lookup_backend="tcam") \
-            .serve_flows(replay_flows)
+            .serve(replay_flows)
         ref = _hand_wired(_windowed_factory(compiled16, False, "tcam"),
                           "local", replay_flows)
         assert report.decisions == ref
@@ -298,11 +299,11 @@ class TestLifecycleAndReport:
         for topology in TOPOLOGIES:
             engine = PegasusEngine.from_compiled(
                 compiled16, _config(topology, False, "index"))
-            first = engine.serve_flows(replay_flows).decisions
-            warm = engine.serve_flows(replay_flows).decisions
+            first = engine.serve(replay_flows).decisions
+            warm = engine.serve(replay_flows).decisions
             assert len(warm) > len(first)   # replica state persisted
             engine.close()
-            assert engine.serve_flows(replay_flows).decisions == first
+            assert engine.serve(replay_flows).decisions == first
             engine.close()
             engine.close()                  # idempotent
         assert first
@@ -310,7 +311,7 @@ class TestLifecycleAndReport:
     def test_report_fields(self, compiled16, replay_flows):
         config = _config("sharded", True, "index")
         with PegasusEngine.from_compiled(compiled16, config) as engine:
-            report = engine.serve_flows(replay_flows)
+            report = engine.serve(replay_flows)
         assert isinstance(report, ServingReport)
         assert report.n_decisions == len(report.decisions) > 0
         assert report.n_packets >= report.n_decisions
@@ -331,9 +332,9 @@ class TestLifecycleAndReport:
         """A report must not mutate retroactively on later serves."""
         engine = PegasusEngine.from_compiled(
             compiled16, _config("local", True, "index"))
-        first = engine.serve_flows(replay_flows)
+        first = engine.serve(replay_flows)
         lookups_then = first.cache_stats.lookups
-        second = engine.serve_flows(replay_flows)
+        second = engine.serve(replay_flows)
         assert second.cache_stats.lookups > lookups_then   # lifetime grows
         assert first.cache_stats.lookups == lookups_then   # snapshot holds
 
@@ -341,7 +342,7 @@ class TestLifecycleAndReport:
                                               replay_flows):
         trace = Trace.from_flows(replay_flows)
         report = PegasusEngine.from_compiled(
-            compiled16, batch_size=BATCH).serve_trace(trace)
+            compiled16, batch_size=BATCH).serve(trace)
         assert report.decisions
         assert all(d.flow_label == -1 for d in report.decisions)
         assert report.accuracy is None
@@ -355,9 +356,9 @@ class TestRegistries:
         try:
             got = PegasusEngine.from_compiled(
                 compiled16, runtime="windowed-2",
-                batch_size=BATCH).serve_flows(replay_flows).decisions
+                batch_size=BATCH).serve(replay_flows).decisions
             ref = PegasusEngine.from_compiled(
-                compiled16, batch_size=BATCH).serve_flows(replay_flows) \
+                compiled16, batch_size=BATCH).serve(replay_flows) \
                 .decisions
             assert got == ref
         finally:
@@ -371,9 +372,9 @@ class TestRegistries:
         try:
             got = PegasusEngine.from_compiled(
                 compiled16, lookup_backend="index-alias",
-                batch_size=BATCH).serve_flows(replay_flows).decisions
+                batch_size=BATCH).serve(replay_flows).decisions
             ref = PegasusEngine.from_compiled(
-                compiled16, batch_size=BATCH).serve_flows(replay_flows) \
+                compiled16, batch_size=BATCH).serve(replay_flows) \
                 .decisions
             assert got == ref
         finally:
@@ -387,10 +388,10 @@ class TestRegistries:
         try:
             got = PegasusEngine.from_compiled(
                 compiled16, topology="modeled", n_workers=2,
-                batch_size=BATCH).serve_flows(replay_flows).decisions
+                batch_size=BATCH).serve(replay_flows).decisions
             ref = PegasusEngine.from_compiled(
                 compiled16, topology="sharded", n_workers=2,
-                batch_size=BATCH).serve_flows(replay_flows).decisions
+                batch_size=BATCH).serve(replay_flows).decisions
             assert got == ref
         finally:
             engine_mod.topologies.unregister("modeled")
@@ -442,6 +443,24 @@ class TestDeprecationShims:
                 n_shards=2, scheduler=BatchScheduler(batch_size=BATCH))
         assert dispatcher.serve_flows(replay_flows) == ref
 
+    def test_old_serve_entry_points_warn_but_still_serve(self, compiled16,
+                                                         replay_flows):
+        """serve_flows/serve_trace/serve_columns are shims over serve()."""
+        trace, _keys, labels = flows_to_trace(replay_flows)
+        engine = PegasusEngine.from_compiled(compiled16, batch_size=BATCH)
+        ref = engine.serve(replay_flows).decisions
+        engine.close()
+        with pytest.warns(DeprecationWarning, match="serve"):
+            via_flows = engine.serve_flows(replay_flows).decisions
+        engine.close()
+        with pytest.warns(DeprecationWarning, match="serve"):
+            via_trace = engine.serve_trace(trace, labels=labels).decisions
+        engine.close()
+        with pytest.warns(DeprecationWarning, match="serve"):
+            via_cols = engine.serve_columns(trace.to_columns(),
+                                            labels=labels).decisions
+        assert via_flows == via_trace == via_cols == ref
+
     def test_engine_never_warns(self, compiled16, replay_flows):
         """The engine builds the un-deprecated internals: no warnings."""
         with warnings.catch_warnings():
@@ -450,4 +469,4 @@ class TestDeprecationShims:
                 with PegasusEngine.from_compiled(
                         compiled16,
                         _config(topology, True, "index")) as engine:
-                    assert engine.serve_flows(replay_flows).decisions
+                    assert engine.serve(replay_flows).decisions

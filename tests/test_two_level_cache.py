@@ -53,7 +53,7 @@ BASE_CONFIG = dict(runtime="windowed", feature_mode="stats", window=8,
 def _serve(source, workload, **overrides):
     config = EngineConfig(**{**BASE_CONFIG, **overrides})
     with PegasusEngine(source=source, config=config) as eng:
-        return eng.serve_trace(workload.trace, labels=workload.labels)
+        return eng.serve(workload.trace, labels=workload.labels)
 
 
 # ---------------------------------------------------------------------------
@@ -354,10 +354,10 @@ class TestCrossReplicaSharing:
                                  "topology": "parallel", "n_workers": 2,
                                  "start_method": "spawn"})
         with PegasusEngine(source=model, config=config) as eng:
-            first_serve = eng.serve_trace(workload.trace,
+            first_serve = eng.serve(workload.trace,
                                           labels=workload.labels)
             merged = list(eng._driver._dispatcher._l2_entries)
-            second_serve = eng.serve_trace(second.trace, labels=second.labels)
+            second_serve = eng.serve(second.trace, labels=second.labels)
         # Worker exports crossed the spawn boundary and were merged...
         assert merged, "dispatcher merged no L2 exports"
         assert all(len(e) == 4 for e in merged)
