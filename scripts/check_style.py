@@ -1,0 +1,25 @@
+"""Local style gate — a thin shim over ``python -m repro.analysis --style``.
+
+Usage::
+
+    python scripts/check_style.py [paths ...]
+
+Historically this machine's CI approximation ran a line-length check and a
+``compileall`` smoke as separate steps; both now live in
+``repro.analysis.style`` so one command runs the full local gate (invariant
+rules + line length + parse smoke). This wrapper only exists so muscle
+memory and old CI snippets keep working — new callers should invoke
+``python -m repro.analysis --style`` directly.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.cli import main    # noqa: E402  (path bootstrap first)
+
+if __name__ == "__main__":
+    sys.exit(main(["--style", *sys.argv[1:]]))

@@ -1,0 +1,143 @@
+"""``registry-config-drift``: EngineConfig fields vs. their two mirrors.
+
+Every :class:`repro.serving.engine.EngineConfig` field is part of the
+engine's public deployment surface, and two places must track it or the
+config rots silently:
+
+1. the **typed-validation table** — the ``kwargs,field`` parametrize table
+   of ``TestEngineConfig.test_typed_validation`` in
+   ``tests/test_serving_engine.py``, which proves each field rejects an
+   invalid value with a :class:`ConfigError` naming it;
+2. the **config listing** in ``docs/ARCHITECTURE.md`` — the documented
+   deployment surface.
+
+This is a :class:`ProjectRule`: it fires once per run, keyed off the
+analyzed file whose module is ``repro.serving.engine``, and resolves the
+two mirrors relative to that file's repo root (``src/repro/serving/`` ->
+root). A temp copy of the tree lints the copy's own mirrors, so the
+mutation tests can inject a fresh field and watch the rule catch it. A
+missing mirror file is reported too — deleting the table must not
+silence the check.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+
+from repro.analysis.core import FileContext, Finding, ProjectRule
+
+ENGINE_MODULE = "repro.serving.engine"
+TESTS_MIRROR = Path("tests") / "test_serving_engine.py"
+DOCS_MIRROR = Path("docs") / "ARCHITECTURE.md"
+
+
+def config_fields(engine_tree: ast.Module) -> list[tuple[str, int]]:
+    """(field name, line) for every EngineConfig dataclass field."""
+    for node in engine_tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == "EngineConfig":
+            return [(stmt.target.id, stmt.lineno) for stmt in node.body
+                    if isinstance(stmt, ast.AnnAssign)
+                    and isinstance(stmt.target, ast.Name)]
+    return []
+
+
+def validation_table_fields(test_tree: ast.Module) -> set[str] | None:
+    """Field names covered by the ``kwargs,field`` parametrize table.
+
+    Coverage = the field appears as an expected-``ConfigError`` field
+    string or as a kwarg of one of the invalid-config rows. Returns None
+    when no such table exists (so the caller can distinguish "empty"
+    from "missing").
+    """
+    covered: set[str] = None
+    for node in ast.walk(test_tree):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "parametrize"
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and node.args[0].value == "kwargs,field"):
+            continue
+        covered = set() if covered is None else covered
+        rows = node.args[1] if len(node.args) > 1 else None
+        if not isinstance(rows, (ast.List, ast.Tuple)):
+            continue
+        for row in rows.elts:
+            if not isinstance(row, ast.Tuple) or len(row.elts) != 2:
+                continue
+            kwargs_node, field_node = row.elts
+            if isinstance(field_node, ast.Constant) \
+                    and isinstance(field_node.value, str):
+                covered.add(field_node.value)
+            if isinstance(kwargs_node, ast.Call):
+                covered.update(kw.arg for kw in kwargs_node.keywords
+                               if kw.arg)
+            elif isinstance(kwargs_node, ast.Dict):
+                covered.update(k.value for k in kwargs_node.keys
+                               if isinstance(k, ast.Constant))
+    return covered
+
+
+class RegistryConfigDriftRule(ProjectRule):
+    name = "registry-config-drift"
+    description = ("every EngineConfig field must appear in the "
+                   "typed-validation table (tests/test_serving_engine.py) "
+                   "and in the ARCHITECTURE.md config listing")
+
+    def check_project(self, contexts: list[FileContext]) -> list[Finding]:
+        engine_ctx = next((c for c in contexts
+                           if c.module == ENGINE_MODULE), None)
+        if engine_ctx is None:
+            return []
+        fields = config_fields(engine_ctx.tree)
+        if not fields:
+            engine_ctx.report(engine_ctx.tree, self.name,
+                              "repro.serving.engine defines no EngineConfig "
+                              "dataclass fields — the drift check has "
+                              "nothing to anchor to")
+            return []
+        # engine.py -> serving -> repro -> src -> repo root
+        root = engine_ctx.path.parent.parent.parent.parent
+        self._check_tests(engine_ctx, fields, root / TESTS_MIRROR)
+        self._check_docs(engine_ctx, fields, root / DOCS_MIRROR)
+        return []
+
+    def _check_tests(self, ctx: FileContext, fields, mirror: Path) -> None:
+        try:
+            tree = ast.parse(mirror.read_text(encoding="utf-8"))
+        except (OSError, SyntaxError):
+            ctx.report(ctx.tree, self.name,
+                       f"typed-validation mirror {mirror} is missing or "
+                       f"unparsable; the EngineConfig drift check cannot run")
+            return
+        covered = validation_table_fields(tree)
+        if covered is None:
+            ctx.report(ctx.tree, self.name,
+                       f"{mirror} has no 'kwargs,field' parametrize table; "
+                       f"the typed-validation coverage check cannot run")
+            return
+        for field, line in fields:
+            if field not in covered:
+                ctx.findings.append(Finding(
+                    self.name, ctx.display_path, line,
+                    f"EngineConfig field '{field}' has no row in the "
+                    f"typed-validation table "
+                    f"(TestEngineConfig.test_typed_validation): add an "
+                    f"invalid value that raises ConfigError('{field}', ...)"))
+
+    def _check_docs(self, ctx: FileContext, fields, mirror: Path) -> None:
+        try:
+            text = mirror.read_text(encoding="utf-8")
+        except OSError:
+            ctx.report(ctx.tree, self.name,
+                       f"config-listing mirror {mirror} is missing; the "
+                       f"EngineConfig documentation check cannot run")
+            return
+        for field, line in fields:
+            if not re.search(rf"\b{re.escape(field)}\b", text):
+                ctx.findings.append(Finding(
+                    self.name, ctx.display_path, line,
+                    f"EngineConfig field '{field}' is not documented in "
+                    f"{DOCS_MIRROR} — add it to the config listing"))

@@ -1,0 +1,97 @@
+"""``--style``: the local approximations of the CI-only style gates.
+
+CI runs ruff; this machine (and any contributor box without third-party
+tooling) cannot. Two checks reproduce the ruff failures that have actually
+fired on this repo, so ``python -m repro.analysis --style`` is the one
+local command that runs the full gate (invariants + style):
+
+- ``line-too-long`` — the ruff ``line-length`` limit, read from
+  ``[tool.ruff] line-length`` in ``pyproject.toml`` when parsable
+  (``tomllib``, python >= 3.11) and defaulting to the repo's configured
+  100 otherwise. URLs in comments and ``# noqa`` lines are *not* exempt —
+  ruff does not exempt them either.
+- ``syntax-error`` — the ``python -m compileall`` smoke: every file must
+  parse. (The lint pass needs the AST anyway, so in practice this check
+  exists for ``--style``-only invocations and for non-linted trees.)
+
+Style findings honor the same ``# reprolint: disable=`` comments as the
+invariant rules.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+
+from repro.analysis.core import (Finding, iter_python_files,
+                                 parse_suppressions)
+
+DEFAULT_LINE_LENGTH = 100
+
+_LINE_LENGTH_RE = re.compile(r"^line-length\s*=\s*(\d+)\s*$", re.MULTILINE)
+
+
+def configured_line_length(start: Path) -> int:
+    """The ruff line-length from the nearest pyproject.toml, else 100."""
+    for directory in [start] + list(start.parents):
+        pyproject = directory / "pyproject.toml"
+        if not pyproject.is_file():
+            continue
+        try:
+            import tomllib
+            with pyproject.open("rb") as fh:
+                data = tomllib.load(fh)
+            value = data.get("tool", {}).get("ruff", {}).get("line-length")
+            if isinstance(value, int):
+                return value
+        except Exception:
+            # No tomllib (py3.10) or malformed file: a plain-text scan of
+            # the one key we need still beats silently using the default.
+            match = _LINE_LENGTH_RE.search(
+                pyproject.read_text(encoding="utf-8", errors="replace"))
+            if match:
+                return int(match.group(1))
+        return DEFAULT_LINE_LENGTH
+    return DEFAULT_LINE_LENGTH
+
+
+def check_style_source(source: str, display: str, *,
+                       line_length: int = DEFAULT_LINE_LENGTH
+                       ) -> list[Finding]:
+    """Style findings for one source blob (suppressions already honored)."""
+    findings: list[Finding] = []
+    try:
+        ast.parse(source, filename=display)
+    except SyntaxError as exc:
+        findings.append(Finding("syntax-error", display, exc.lineno or 1,
+                                f"file does not compile: {exc.msg}"))
+        return findings
+    suppressions = parse_suppressions(source)
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        if len(line.rstrip("\n")) > line_length:
+            rules = suppressions.get(lineno, ())
+            if "line-too-long" in rules or "all" in rules:
+                continue
+            findings.append(Finding(
+                "line-too-long", display, lineno,
+                f"line is {len(line)} characters (limit {line_length})"))
+    return findings
+
+
+def check_style(paths: list[str | Path]) -> list[Finding]:
+    """Run the style gate over every .py file under ``paths``."""
+    findings: list[Finding] = []
+    files = iter_python_files(paths)
+    line_length = configured_line_length(
+        files[0][0].parent if files else Path.cwd())
+    for path, display in files:
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            findings.append(Finding("unreadable-file", display, 1, str(exc)))
+            continue
+        findings.extend(check_style_source(source, display,
+                                           line_length=line_length))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings

@@ -156,7 +156,9 @@ def compose(first: FuncSpec, second: FuncSpec) -> FuncSpec:
     if isinstance(first, Affine) and isinstance(second, Affine):
         return Affine(first.matrix @ second.matrix,
                       first.bias @ second.matrix + second.bias)
-    name = f"{getattr(first, 'name', type(first).__name__)}|{getattr(second, 'name', type(second).__name__)}"
+    first_name = getattr(first, "name", type(first).__name__)
+    second_name = getattr(second, "name", type(second).__name__)
+    name = f"{first_name}|{second_name}"
     return General(fn=lambda x, f=first, g=second: g(f(x)),
                    in_dim=first.in_dim, out_dim=second.out_dim, name=name)
 
@@ -303,5 +305,6 @@ class PrimitiveProgram:
                 more = "..." if step.n_segments > 4 else ""
                 lines.append(f"  [{i}] Map x{step.n_segments} ({kinds}{more}) -> {step.out_dim}")
             else:
-                lines.append(f"  [{i}] SumReduce {step.n_segments}x{step.seg_dim} -> {step.out_dim}")
+                lines.append(f"  [{i}] SumReduce {step.n_segments}x"
+                             f"{step.seg_dim} -> {step.out_dim}")
         return "\n".join(lines)

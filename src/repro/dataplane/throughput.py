@@ -36,7 +36,10 @@ def measure_model_throughput(predict: Callable[[np.ndarray], np.ndarray],
     predict(x)  # warm-up
     best = float("inf")
     for _ in range(repeats):
-        start = time.perf_counter()
+        # Measurement harness (Fig. 9d), not a decision path: wall-clock is
+        # the quantity being measured, never an input to a decision.
+        start = time.perf_counter()  # reprolint: disable=no-wallclock-in-dataplane
         predict(x)
-        best = min(best, time.perf_counter() - start)
+        elapsed = time.perf_counter()  # reprolint: disable=no-wallclock-in-dataplane
+        best = min(best, elapsed - start)
     return len(x) / best if best > 0 else float("inf")

@@ -55,6 +55,7 @@ from repro.net.scenarios import ScenarioTrace, build_scenario, scenario_names
 from repro.net.traces import Trace, trace_to_bytes, write_trace
 from repro.serving.engine import (EngineConfig, PegasusEngine,
                                   register_lookup_backend, runtime_kinds)
+from repro.serving.openloop import TailDropAdmission
 from repro.utils.rng import new_rng
 
 DEFAULT_CAPACITY = 4096          # ample: cross-worker identity needs no eviction
@@ -436,6 +437,19 @@ def verify_open_loop(workload: ScenarioTrace, report, source) -> list[str]:
     return notes
 
 
+class _LyingTailDrop(TailDropAdmission):
+    """Tail-drop that hides one genuinely shed packet from its report."""
+
+    name = "tail-drop+liar"
+
+    def reported_shed(self, shed: list) -> list:
+        return shed[1:] if shed else shed
+
+
+def _build_lying_tail_drop(config) -> _LyingTailDrop:
+    return _LyingTailDrop(config.queue_capacity)
+
+
 def install_lying_admission_policy(name: str = "tail-drop+liar") -> str:
     """Register an admission policy that *misreports* what it shed.
 
@@ -447,17 +461,8 @@ def install_lying_admission_policy(name: str = "tail-drop+liar") -> str:
     idempotent (re-registering overwrites).
     """
     from repro.serving.engine import register_admission_policy
-    from repro.serving.openloop import TailDropAdmission
 
-    class _LyingTailDrop(TailDropAdmission):
-        name = "tail-drop+liar"
-
-        def reported_shed(self, shed: list) -> list:
-            return shed[1:] if shed else shed
-
-    register_admission_policy(
-        name, lambda config: _LyingTailDrop(config.queue_capacity),
-        overwrite=True)
+    register_admission_policy(name, _build_lying_tail_drop, overwrite=True)
     return name
 
 
@@ -553,6 +558,38 @@ def shrink_failing_trace(trace: Trace, labels: np.ndarray, failing,
 # Fault injection (mutation-testing the harness itself)
 # ---------------------------------------------------------------------------
 
+class _BitFlipFault:
+    """Picklable ``apply`` for :func:`install_fault_backend`.
+
+    Flips the lowest predicted-class bit of every decision whose
+    millisecond-quantized timestamp lands on ``offset (mod period)``.
+    A module-level class (not a closure) so registry entries stay
+    pickle-safe and would survive spawn-based workers.
+    """
+
+    def __init__(self, period: int, offset: int):
+        self.period = period
+        self.offset = offset
+
+    def _hit(self, ts: float) -> bool:
+        return int(round(ts * 1000.0)) % self.period == self.offset
+
+    def _corrupt(self, decisions):
+        for d in decisions:
+            if self._hit(d.ts):
+                d.predicted ^= 1
+        return decisions
+
+    def __call__(self, replica):
+        replica.set_lookup_backend("index")
+        orig_trace = replica.process_trace
+        orig_columns = replica.process_columns
+        replica.process_trace = \
+            lambda *a, **k: self._corrupt(orig_trace(*a, **k))
+        replica.process_columns = \
+            lambda *a, **k: self._corrupt(orig_columns(*a, **k))
+
+
 def install_fault_backend(name: str = "index+fault", period: int = 7,
                           offset: int = 3) -> str:
     """Register a deliberately broken lookup backend under ``name``.
@@ -564,26 +601,44 @@ def install_fault_backend(name: str = "index+fault", period: int = 7,
     shrinker must reduce it to a handful of packets; the tests assert both.
     Registration is idempotent (re-registering overwrites).
     """
-    def _hit(ts: float) -> bool:
-        return int(round(ts * 1000.0)) % period == offset
-
-    def corrupt(decisions):
-        for d in decisions:
-            if _hit(d.ts):
-                d.predicted ^= 1
-        return decisions
-
-    def apply(replica):
-        replica.set_lookup_backend("index")
-        orig_trace = replica.process_trace
-        orig_columns = replica.process_columns
-        replica.process_trace = \
-            lambda *a, **k: corrupt(orig_trace(*a, **k))
-        replica.process_columns = \
-            lambda *a, **k: corrupt(orig_columns(*a, **k))
-
-    register_lookup_backend(name, apply=apply, overwrite=True)
+    register_lookup_backend(name, apply=_BitFlipFault(period, offset),
+                            overwrite=True)
     return name
+
+
+class _L2BitFlipFault:
+    """Picklable ``apply`` for :func:`install_l2_fault_backend`.
+
+    Wraps a replica's two-level cache so every ``period``-th verified L2
+    hit returns a copy of the entry with its decision bit-flipped. The
+    per-replica wrapper is still a closure (it captures that replica's
+    cache), but the registry entry itself is this module-level instance.
+    """
+
+    def __init__(self, period: int):
+        self.period = period
+
+    def __call__(self, replica):
+        from repro.serving.cache import PENDING, _DEC
+
+        replica.set_lookup_backend("index")
+        cache = getattr(replica, "decision_cache", None)
+        if not getattr(cache, "two_level", False):
+            return
+        orig = cache.approx_get
+        hits = itertools.count(1)
+        period = self.period
+
+        def corrupt(feats):
+            entry = orig(feats)
+            if entry is None or entry[_DEC] is PENDING:
+                return entry
+            if next(hits) % period == 0:
+                entry = list(entry)
+                entry[_DEC] = int(entry[_DEC]) ^ 1
+            return entry
+
+        cache.approx_get = corrupt
 
 
 def install_l2_fault_backend(name: str = "index+l2fault",
@@ -600,28 +655,8 @@ def install_l2_fault_backend(name: str = "index+l2fault",
     two-level cache are left untouched, so the fault fires only where an
     approximate hit can. Registration is idempotent.
     """
-    from repro.serving.cache import PENDING, _DEC
-
-    def apply(replica):
-        replica.set_lookup_backend("index")
-        cache = getattr(replica, "decision_cache", None)
-        if not getattr(cache, "two_level", False):
-            return
-        orig = cache.approx_get
-        hits = itertools.count(1)
-
-        def corrupt(feats):
-            entry = orig(feats)
-            if entry is None or entry[_DEC] is PENDING:
-                return entry
-            if next(hits) % period == 0:
-                entry = list(entry)
-                entry[_DEC] = int(entry[_DEC]) ^ 1
-            return entry
-
-        cache.approx_get = corrupt
-
-    register_lookup_backend(name, apply=apply, overwrite=True)
+    register_lookup_backend(name, apply=_L2BitFlipFault(period),
+                            overwrite=True)
     return name
 
 

@@ -28,7 +28,9 @@ class Linear(Module):
         rng = new_rng(rng)
         self.in_features = in_features
         self.out_features = out_features
-        self.weight = Parameter(_kaiming(rng, in_features, (in_features, out_features)), "linear.weight")
+        self.weight = Parameter(
+            _kaiming(rng, in_features, (in_features, out_features)),
+            "linear.weight")
         self.bias = Parameter(np.zeros(out_features), "linear.bias") if bias else None
         self._x: np.ndarray | None = None
 

@@ -210,6 +210,14 @@ def register_admission_policy(name: str, build, *, overwrite: bool = False):
                                        overwrite=overwrite)
 
 
+def _build_none_policy(config: "EngineConfig"):
+    return NoAdmission()
+
+
+def _build_tail_drop_policy(config: "EngineConfig"):
+    return TailDropAdmission(config.queue_capacity)
+
+
 def _build_aimd_policy(config: "EngineConfig"):
     if config.p99_target_ms is None:
         raise ConfigError(
@@ -219,10 +227,8 @@ def _build_aimd_policy(config: "EngineConfig"):
                          config.p99_target_ms / 1e3)
 
 
-register_admission_policy("none", lambda config: NoAdmission())
-register_admission_policy("tail-drop",
-                          lambda config: TailDropAdmission(
-                              config.queue_capacity))
+register_admission_policy("none", _build_none_policy)
+register_admission_policy("tail-drop", _build_tail_drop_policy)
 register_admission_policy("aimd", _build_aimd_policy)
 
 
@@ -326,6 +332,9 @@ class EngineConfig:
         if self.payload_bytes is not None and self.payload_bytes < 1:
             raise ConfigError("payload_bytes", self.payload_bytes,
                               allowed=">= 1 or None")
+        if self.start_method not in (None, "fork", "spawn", "forkserver"):
+            raise ConfigError("start_method", self.start_method,
+                              allowed=(None, "fork", "spawn", "forkserver"))
         self.scheduler()   # delegate batch/timeout/AIMD validation
 
     def scheduler(self) -> BatchScheduler:

@@ -276,7 +276,11 @@ class OpenLoopPump:
             decisions.extend(self.serve_chunk(idx))
             now = time.perf_counter()
             complete[idx] = now
-            sojourn = now - arrival[chunk[0]]
+            # arrival[i] is written by the producer strictly before it
+            # publishes i through the lock-guarded queue; dequeuing under
+            # the same lock establishes the happens-before, so this read
+            # needs no further guard.
+            sojourn = now - arrival[chunk[0]]   # reprolint: disable=thread-shared-state
             if lock is None:
                 self.policy.observe(len(chunk), sojourn, depth_after,
                                     now - t0)

@@ -1,0 +1,141 @@
+"""Deprecation shims: warn exactly once, forward every argument faithfully.
+
+``repro.serving.compat`` and ``repro.dataplane.compat`` keep the four
+pre-engine entry points importable under their old names. Their entire
+contract is (a) one ``DeprecationWarning`` per construction — not zero,
+not a warning per internal re-entry — pointing at ``PegasusEngine``, and
+(b) behaving exactly like the real class they subclass, i.e. every
+constructor argument lands unchanged. The engine's own build path uses the
+real classes and must stay silent.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.fuzzy import FuzzyTree
+from repro.dataplane import compat as dataplane_compat
+from repro.dataplane import runtime as real_runtime
+from repro.serving import compat as serving_compat
+from repro.serving import dispatcher as real_dispatcher
+from repro.serving import parallel as real_parallel
+from repro.serving.cache import FlowDecisionCache
+from repro.serving.scheduler import BatchScheduler
+
+BATCH = 32
+
+
+@pytest.fixture(scope="module")
+def two_stage_spec():
+    rng = np.random.default_rng(2)
+    tree = FuzzyTree.fit(rng.uniform(0, 255, size=(200, 60)), n_leaves=8)
+    slot_values = [rng.integers(-50, 50, size=(8, 3)) for _ in range(8)]
+    return {"extractor_tree": tree, "slot_values": slot_values,
+            "n_classes": 3, "idx_bits": 3}
+
+
+class _StubRuntime:
+    """Just enough runtime surface for an unstarted dispatcher to build."""
+
+    def set_lookup_backend(self, name):
+        pass
+
+
+def _factory():
+    return _StubRuntime()
+
+
+def deprecations(record):
+    return [w for w in record
+            if issubclass(w.category, DeprecationWarning)]
+
+
+def construct_once(cls, *args, **kwargs):
+    """Build ``cls`` asserting exactly one DeprecationWarning is emitted."""
+    with warnings.catch_warnings(record=True) as record:
+        warnings.simplefilter("always")
+        obj = cls(*args, **kwargs)
+    warned = deprecations(record)
+    assert len(warned) == 1, \
+        f"{cls.__name__} emitted {len(warned)} DeprecationWarnings, want 1"
+    message = str(warned[0].message)
+    assert cls.__name__ in message
+    assert "PegasusEngine" in message
+    return obj
+
+
+class TestServingShims:
+    def test_sharded_dispatcher_warns_once_and_forwards(self):
+        scheduler = BatchScheduler(batch_size=BATCH)
+        shim = construct_once(serving_compat.ShardedDispatcher,
+                              runtime_factory=_factory, n_shards=3,
+                              scheduler=scheduler)
+        assert isinstance(shim, real_dispatcher.ShardedDispatcher)
+        assert shim.runtime_factory is _factory
+        assert shim.n_shards == 3
+        assert shim.scheduler is scheduler
+
+    def test_parallel_dispatcher_warns_once_and_forwards(self):
+        scheduler = BatchScheduler(batch_size=BATCH)
+        shim = construct_once(serving_compat.ParallelDispatcher,
+                              runtime_factory=_factory, n_workers=2,
+                              scheduler=scheduler, payload_bytes=60)
+        try:
+            assert isinstance(shim, real_parallel.ParallelDispatcher)
+            assert shim.runtime_factory is _factory
+            assert shim.n_workers == 2
+            assert shim.scheduler is scheduler
+            assert shim.payload_bytes == 60
+        finally:
+            shim.close()        # never started: a safe no-op
+
+    def test_real_dispatcher_stays_silent(self):
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            real_dispatcher.ShardedDispatcher(runtime_factory=_factory,
+                                              n_shards=2)
+        assert deprecations(record) == []
+
+
+class TestDataplaneShims:
+    def test_windowed_runtime_warns_once_and_forwards(self, compiled16):
+        cache = FlowDecisionCache(64)
+        shim = construct_once(dataplane_compat.WindowedClassifierRuntime,
+                              compiled16, feature_mode="stats",
+                              batch_size=BATCH, decision_cache=cache)
+        assert isinstance(shim, real_runtime.WindowedClassifierRuntime)
+        assert shim.model is compiled16
+        assert shim.feature_mode == "stats"
+        assert shim.batch_size == BATCH
+        assert shim.decision_cache is cache
+
+    def test_two_stage_runtime_warns_once_and_forwards(self, two_stage_spec):
+        shim = construct_once(dataplane_compat.TwoStageRuntime,
+                              batch_size=BATCH, **two_stage_spec)
+        assert isinstance(shim, real_runtime.TwoStageRuntime)
+        assert shim.extractor_tree is two_stage_spec["extractor_tree"]
+        assert shim.slot_values is two_stage_spec["slot_values"]
+        assert shim.n_classes == two_stage_spec["n_classes"]
+        assert shim.idx_bits == two_stage_spec["idx_bits"]
+        assert shim.batch_size == BATCH
+
+    def test_real_runtime_stays_silent(self, compiled16):
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            real_runtime.WindowedClassifierRuntime(compiled16,
+                                                   feature_mode="stats")
+        assert deprecations(record) == []
+
+
+class TestShimBehaviorUnchanged:
+    def test_windowed_shim_decisions_match_real_class(self, compiled16,
+                                                      replay_flows):
+        ref = real_runtime.WindowedClassifierRuntime(
+            compiled16, feature_mode="stats",
+            batch_size=BATCH).process_flows(replay_flows)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            shim = dataplane_compat.WindowedClassifierRuntime(
+                compiled16, feature_mode="stats", batch_size=BATCH)
+        assert shim.process_flows(replay_flows) == ref

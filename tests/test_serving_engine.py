@@ -181,6 +181,17 @@ class TestEngineConfig:
         (dict(batch_size=0), "batch_size"),
         (dict(min_batch_size=9, batch_size=4), "min_batch_size"),
         (dict(payload_bytes=0), "payload_bytes"),
+        (dict(timeout=-1.0), "timeout"),
+        (dict(latency_target=-1.0), "latency_target"),
+        (dict(batch_size=4, max_batch_size=1), "max_batch_size"),
+        (dict(decision_cache="l3"), "decision_cache"),
+        (dict(l2_capacity=0), "l2_capacity"),
+        (dict(l2_quantize_shift=-1), "l2_quantize_shift"),
+        (dict(start_method="thread"), "start_method"),
+        (dict(admission="nope"), "admission"),
+        (dict(queue_capacity=0), "queue_capacity"),
+        (dict(p99_target_ms=0.0), "p99_target_ms"),
+        (dict(time_scale=-1.0), "time_scale"),
     ])
     def test_typed_validation(self, kwargs, field):
         with pytest.raises(ConfigError) as exc:
