@@ -61,6 +61,16 @@ def main(argv: list[str] | None = None) -> int:
             failures.append(f"{metric}: missing "
                             f"({'baseline' if base is None else 'current'})")
             continue
+        if isinstance(base, str) or isinstance(cur, str):
+            # Ratio sentinel (e.g. "taildrop_zero": the denominator policy
+            # sustained nothing, so the ratio is undefined). A sentinel on
+            # either side means there is no pair of numbers to compare —
+            # report it and gate only once both sides are defined. The
+            # sentinel is deliberately not None: an *absent* metric still
+            # fails above.
+            print(f"{metric:<34s} {str(base):>12s} {str(cur):>12s} "
+                  f"(not gated: sentinel)")
+            continue
         ratio = cur / base if base else float("inf")
         flag = ""
         if cur < base * (1.0 - args.max_regression):

@@ -1,0 +1,219 @@
+"""Module-level call-graph construction for interprocedural rules.
+
+PR 8's rules were single-statement pattern matchers; the wire-format rules
+need to follow a value *through calls* (``serve_trace`` ->
+``shard_hash_columns`` -> the uint64 hash). This module builds the graph
+they walk: every module-level function and every method of every class in
+the analyzed file set becomes a :class:`FunctionInfo` keyed by qualified
+name (``repro.serving.dispatcher.shard_hash_columns``,
+``repro.net.traces.Trace.to_columns``), and call edges are resolved via
+
+- the same-module namespace (plain ``shard_hash_columns(...)``),
+- :class:`repro.analysis.core.ImportTable` alias resolution
+  (``from repro.serving.dispatcher import shard_hash_columns`` or
+  ``dispatcher.shard_hash_columns(...)``),
+- ``self.method(...)`` inside class bodies, walking base classes declared
+  in the analyzed set (the known engine classes — ``Trace``, runtimes,
+  dispatchers — all resolve this way),
+- attribute calls on locals whose constructor is an analyzed class
+  (``trace = Trace(...); trace.to_columns()``).
+
+Everything is stdlib ``ast``; nothing is imported or executed. The dtype
+dataflow pass (:mod:`repro.analysis.dtypeflow`) uses the same resolution
+hooks at evaluation time to pull per-function summaries across edges.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.core import FileContext, dotted_name
+
+
+@dataclass
+class FunctionInfo:
+    """One analyzed function or method, anchored to its file."""
+
+    qualname: str                       # module.[Class.]name
+    module: str
+    name: str
+    cls: str | None                     # owning class qualname, or None
+    node: ast.AST                       # FunctionDef / AsyncFunctionDef
+    ctx: FileContext
+
+
+@dataclass
+class ClassInfo:
+    """One analyzed class: its methods and resolved analyzed bases."""
+
+    qualname: str
+    node: ast.ClassDef
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    bases: list[str] = field(default_factory=list)   # analyzed-class bases
+
+
+class CallGraph:
+    """Functions, classes, and call edges over a set of parsed files."""
+
+    def __init__(self, contexts: list[FileContext]):
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        self.edges: dict[str, set[str]] = {}
+        self._module_classes: dict[str, str] = {}   # module.Class -> same
+        for ctx in contexts:
+            if ctx.module:
+                self._collect(ctx)
+        self._resolve_bases(contexts)
+        for info in self.functions.values():
+            self.edges[info.qualname] = self._edges_of(info)
+
+    # -- construction -------------------------------------------------------
+
+    def _collect(self, ctx: FileContext) -> None:
+        for node in ctx.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{ctx.module}.{node.name}"
+                self.functions[qual] = FunctionInfo(
+                    qual, ctx.module, node.name, None, node, ctx)
+            elif isinstance(node, ast.ClassDef):
+                cls_qual = f"{ctx.module}.{node.name}"
+                cls = ClassInfo(cls_qual, node)
+                self.classes[cls_qual] = cls
+                for stmt in node.body:
+                    if isinstance(stmt, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+                        qual = f"{cls_qual}.{stmt.name}"
+                        info = FunctionInfo(qual, ctx.module, stmt.name,
+                                            cls_qual, stmt, ctx)
+                        self.functions[qual] = info
+                        cls.methods[stmt.name] = info
+
+    def _resolve_bases(self, contexts: list[FileContext]) -> None:
+        for cls in self.classes.values():
+            ctx = next(iter(cls.methods.values())).ctx \
+                if cls.methods else None
+            for base in cls.node.bases:
+                dotted = dotted_name(base)
+                if dotted is None:
+                    continue
+                resolved = self.resolve_class(
+                    ctx if ctx is not None else _ctx_of(contexts, cls), dotted)
+                if resolved:
+                    cls.bases.append(resolved)
+
+    # -- resolution ---------------------------------------------------------
+
+    def resolve_class(self, ctx: FileContext | None, dotted: str
+                      ) -> str | None:
+        """The analyzed-class qualname a dotted name refers to, if any."""
+        if ctx is not None:
+            for candidate in (ctx.imports.resolve(dotted),
+                              f"{ctx.module}.{dotted}" if ctx.module
+                              else None):
+                if candidate in self.classes:
+                    return candidate
+        return dotted if dotted in self.classes else None
+
+    def lookup_method(self, class_qualname: str, method: str) -> str | None:
+        """``Class.method`` resolved through the analyzed base chain."""
+        seen: set[str] = set()
+        queue = [class_qualname]
+        while queue:
+            qual = queue.pop(0)
+            if qual in seen:
+                continue
+            seen.add(qual)
+            cls = self.classes.get(qual)
+            if cls is None:
+                continue
+            if method in cls.methods:
+                return cls.methods[method].qualname
+            queue.extend(cls.bases)
+        return None
+
+    def resolve_call(self, info: FunctionInfo, node: ast.Call,
+                     local_classes: dict[str, str] | None = None
+                     ) -> str | None:
+        """The analyzed function a call inside ``info`` targets, if any.
+
+        ``local_classes`` maps local variable names to analyzed-class
+        qualnames (locals assigned from an analyzed constructor).
+        """
+        dotted = dotted_name(node.func)
+        if dotted is None:
+            return None
+        ctx = info.ctx
+        # self.method() inside a class body
+        if dotted.startswith("self.") and info.cls and dotted.count(".") == 1:
+            return self.lookup_method(info.cls, dotted.split(".", 1)[1])
+        # var.method() on a constructor-typed local
+        head, _, rest = dotted.partition(".")
+        if rest and "." not in rest and local_classes \
+                and head in local_classes:
+            return self.lookup_method(local_classes[head], rest)
+        # imported / aliased / same-module names
+        resolved = ctx.imports.resolve(dotted)
+        if resolved in self.functions:
+            return resolved
+        if ctx.module:
+            candidate = f"{ctx.module}.{dotted}"
+            if candidate in self.functions:
+                return candidate
+        return dotted if dotted in self.functions else None
+
+    def _edges_of(self, info: FunctionInfo) -> set[str]:
+        locals_map = constructor_locals(self, info)
+        out: set[str] = set()
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Call):
+                target = self.resolve_call(info, node, locals_map)
+                if target:
+                    out.add(target)
+                else:
+                    # constructor edge: Class() -> Class.__init__
+                    dotted = dotted_name(node.func)
+                    cls = dotted and self.resolve_class(info.ctx, dotted)
+                    if cls:
+                        init = self.lookup_method(cls, "__init__")
+                        if init:
+                            out.add(init)
+        return out
+
+
+def constructor_locals(graph: CallGraph, info: FunctionInfo
+                       ) -> dict[str, str]:
+    """Local name -> analyzed-class qualname, from constructor assignments.
+
+    Tracks the modest typed-locals pattern the wire modules actually use
+    (``trace = Trace(...)``, ``dispatcher = ShardedDispatcher(...)``);
+    reassignment to anything else drops the binding.
+    """
+    out: dict[str, str] = {}
+    for node in ast.walk(info.node):
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1 \
+                or not isinstance(node.targets[0], ast.Name):
+            continue
+        name = node.targets[0].id
+        cls = None
+        if isinstance(node.value, ast.Call):
+            dotted = dotted_name(node.value.func)
+            if dotted:
+                cls = graph.resolve_class(info.ctx, dotted)
+        if cls:
+            out[name] = cls
+        else:
+            out.pop(name, None)
+    return out
+
+
+def _ctx_of(contexts: list[FileContext], cls: ClassInfo) -> FileContext | None:
+    for ctx in contexts:
+        if cls.qualname.startswith(f"{ctx.module}.") if ctx.module else False:
+            return ctx
+    return None
+
+
+def build_callgraph(contexts: list[FileContext]) -> CallGraph:
+    """Convenience constructor (the name the tests and CLI import)."""
+    return CallGraph(contexts)

@@ -10,6 +10,7 @@ uploads as an artifact on failure.
 from __future__ import annotations
 
 import argparse
+import ast
 import json
 import sys
 
@@ -43,6 +44,13 @@ def build_parser() -> argparse.ArgumentParser:
                              "(CI uploads this as the failure artifact)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print every rule name + description and exit")
+    parser.add_argument("--explain", metavar="RULE",
+                        help="print one rule's full description and an "
+                             "example finding, then exit")
+    parser.add_argument("--dtype-summary-out", metavar="FILE",
+                        help="additionally write the interprocedural "
+                             "dtype-flow summary (per-function abstract "
+                             "return values over the wire modules) to FILE")
     return parser
 
 
@@ -59,8 +67,44 @@ def _selected_rules(select: str | None):
     return [rule for rule in rules if rule.name in wanted]
 
 
+def _explain(rule_name: str) -> int:
+    for rule in default_rules():
+        if rule.name == rule_name:
+            print(rule.name)
+            print(f"  {rule.description}")
+            if rule.example:
+                print(f"  example: {rule.example}")
+            return 0
+    raise SystemExit(f"unknown rule '{rule_name}'; see --list-rules")
+
+
+def _write_dtype_summary(paths: list[str], out: str) -> None:
+    """The dtype-flow summary artifact CI uploads (stdlib-only, parse-only)."""
+    from repro.analysis.core import FileContext, iter_python_files
+    from repro.analysis.dtypeflow import summarize
+    from repro.analysis.wire import WIRE_MODULES, dataflow_for
+
+    contexts = []
+    for path, display in iter_python_files(paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=display)
+        except (OSError, UnicodeDecodeError, SyntaxError):
+            continue
+        contexts.append(FileContext(path, display, source, tree))
+    df = dataflow_for(contexts)
+    report = summarize(df.flow, modules=WIRE_MODULES)
+    report["schema_origin"] = df.schema_origin
+    report["schema_columns"] = df.schema or {}
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.explain:
+        return _explain(args.explain)
     if args.list_rules:
         for rule in default_rules():
             print(f"{rule.name:32s} {rule.description}")
@@ -70,7 +114,12 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{'line-too-long':32s} style: ruff line-length limit")
             print(f"{'syntax-error':32s} style: compileall smoke")
         return 0
-    findings = analyze_paths(args.paths, rules=_selected_rules(args.select))
+    # With a --select subset, a suppression for an unselected rule is
+    # unjudgeable, so the staleness check only runs on full-rule runs.
+    findings = analyze_paths(args.paths, rules=_selected_rules(args.select),
+                             report_unused=args.select is None)
+    if args.dtype_summary_out:
+        _write_dtype_summary(args.paths, args.dtype_summary_out)
     if args.style:
         findings.extend(check_style(args.paths))
         findings.sort(key=lambda f: (f.path, f.line, f.rule))

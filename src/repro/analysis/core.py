@@ -67,6 +67,7 @@ class Rule:
 
     name = ""
     description = ""
+    example = ""                # a representative finding line, for --explain
 
     def visitors(self) -> dict:
         return {}
@@ -240,12 +241,15 @@ def _node_spans(tree: ast.Module) -> dict[int, int]:
     return spans
 
 
-def apply_suppressions(ctx: FileContext) -> list[Finding]:
+def apply_suppressions(ctx: FileContext,
+                       report_unused: bool = True) -> list[Finding]:
     """Drop suppressed findings; report suppressions that earned nothing.
 
     A suppression comment matches a finding when it sits on any line of the
     statement that *starts* at the finding's line (multi-line calls can
-    carry the comment on their closing line).
+    carry the comment on their closing line). ``report_unused=False`` skips
+    the staleness check — correct when only a subset of rules ran, since a
+    suppression for an unselected rule is unjudgeable on that run.
     """
     suppressions = parse_suppressions(ctx.source)
     if not suppressions:
@@ -265,6 +269,8 @@ def apply_suppressions(ctx: FileContext) -> list[Finding]:
             kept.append(finding)
         else:
             used.add(hit)
+    if not report_unused:
+        return kept
     for line in sorted(set(suppressions) - used):
         names = ",".join(sorted(suppressions[line]))
         kept.append(Finding(
@@ -329,7 +335,8 @@ def analyze_source(source: str, path: Path, display_path: str | None = None,
 
 
 def analyze_paths(paths: list[str | Path],
-                  rules: list[Rule] | None = None) -> list[Finding]:
+                  rules: list[Rule] | None = None,
+                  report_unused: bool = True) -> list[Finding]:
     """Lint every .py file under ``paths`` with the given (or default) rules.
 
     Project rules run after all files are parsed and report *through* the
@@ -355,6 +362,6 @@ def analyze_paths(paths: list[str | Path],
         if isinstance(rule, ProjectRule):
             findings.extend(rule.check_project(contexts))
     for ctx in contexts:
-        findings.extend(apply_suppressions(ctx))
+        findings.extend(apply_suppressions(ctx, report_unused=report_unused))
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     return findings

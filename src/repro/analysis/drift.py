@@ -85,6 +85,9 @@ class RegistryConfigDriftRule(ProjectRule):
     description = ("every EngineConfig field must appear in the "
                    "typed-validation table (tests/test_serving_engine.py) "
                    "and in the ARCHITECTURE.md config listing")
+    example = ("src/repro/serving/engine.py:63: [registry-config-drift] "
+               "EngineConfig field 'queue_capacity' missing from the "
+               "typed-validation table in tests/test_serving_engine.py")
 
     def check_project(self, contexts: list[FileContext]) -> list[Finding]:
         engine_ctx = next((c for c in contexts

@@ -1,0 +1,691 @@
+"""Abstract interpretation over a NumPy dtype lattice, stdlib-only.
+
+The wire-format rules need to answer "what dtype does this expression
+have?" without importing NumPy (the CI analysis job runs on a bare
+interpreter). This module is a small abstract interpreter over function
+bodies: values are tuples like ``("array", "uint64")`` /
+``("cols", {...})`` / ``("top",)``, transfer functions model the NumPy
+constructors and methods the repo actually uses (``asarray`` / ``astype`` /
+``full`` / ``frombuffer`` / ``where`` / ``concatenate`` / views), binary
+operations follow NumPy's promotion rules (``int64 x uint64 -> float64``,
+``int array x python float -> float64``), and calls resolve through
+:mod:`repro.analysis.callgraph` to per-function summaries computed to a
+bounded fixpoint.
+
+Two deliberate imprecisions keep the pass useful as a *linter*:
+
+- unknown constructs evaluate to ``TOP`` (never a crash, never a guess),
+  and rules only fire on *definite* dtype facts;
+- subscripting an unknown value with a declared wire-column name is seeded
+  from the schema (``cols["ts"]`` is a float64 array wherever ``cols``
+  came from), which is exactly the contract the runtime validators enforce.
+
+:func:`summarize` renders the per-function return summaries as JSON — the
+artifact the CI analysis job uploads so dtype-contract drift is visible in
+review even before a rule fires.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.analysis.callgraph import (CallGraph, FunctionInfo,
+                                      build_callgraph, constructor_locals)
+from repro.analysis.core import FileContext, dotted_name
+
+TOP = ("top",)
+NONE = ("none",)
+INT = ("int",)
+FLOAT = ("float",)
+STR = ("str", None)
+OTHER = ("other",)
+
+_DTYPE_NAME_RE = re.compile(r"^(u?int(8|16|32|64)|float(16|32|64)|bool_?"
+                            r"|object_?|bytes_?|str_)$")
+
+#: numpy constructors whose result dtype defaults to float64 without an
+#: explicit ``dtype=``.
+_FLOAT_DEFAULT_CTORS = frozenset({
+    "numpy.zeros", "numpy.ones", "numpy.empty", "numpy.frombuffer",
+})
+
+
+def canonical_dtype(name: str) -> str | None:
+    """``bool_``/``object_`` -> ``bool``/``object``; None for non-dtypes."""
+    if not _DTYPE_NAME_RE.match(name):
+        return None
+    return name.rstrip("_") if name.endswith("_") else name
+
+
+def _width(dtype: str) -> int:
+    match = re.search(r"(\d+)$", dtype)
+    return int(match.group(1)) if match else 64
+
+
+def promote_dtype(a: str | None, b: str | None) -> str | None:
+    """NumPy result dtype of an ``a (op) b`` array pair (None = unknown)."""
+    if a is None or b is None:
+        return None
+    if a == b:
+        return a
+    if "object" in (a, b):
+        return "object"
+    if a == "bool":
+        return b
+    if b == "bool":
+        return a
+    fa, fb = a.startswith("float"), b.startswith("float")
+    if fa and fb:
+        return a if _width(a) >= _width(b) else b
+    if fa or fb:
+        return "float64"
+    ua, ub = a.startswith("uint"), b.startswith("uint")
+    if ua == ub:
+        return a if _width(a) >= _width(b) else b
+    # Mixed signedness: uint64 has no signed superset, NumPy goes float64;
+    # narrower unsigned fits in a wide-enough signed int.
+    unsigned = a if ua else b
+    if _width(unsigned) >= 64:
+        return "float64"
+    return "int64"
+
+
+def join(a: tuple, b: tuple) -> tuple:
+    """Least upper bound of two abstract values."""
+    if a == b:
+        return a
+    if a[0] == "array" and b[0] == "array":
+        return ("array", a[1] if a[1] == b[1] else None)
+    if a[0] == "cols" and b[0] == "cols":
+        merged = dict(a[1])
+        for key, av in b[1].items():
+            merged[key] = join(merged[key], av) if key in merged else av
+        return ("cols", merged)
+    return TOP
+
+
+def promote(a: tuple, b: tuple, op: ast.AST | None = None) -> tuple:
+    """Abstract result of a binary arithmetic/bitwise operation."""
+    result = _promote(a, b)
+    if isinstance(op, ast.Div):          # true division always floats
+        if result[0] == "array" and result[1] is not None \
+                and not result[1].startswith("float"):
+            result = ("array", "float64")
+        elif result == INT:
+            result = FLOAT
+    return result
+
+
+def _promote(a: tuple, b: tuple) -> tuple:
+    if a[0] == "array" or b[0] == "array":
+        arr, other = (a, b) if a[0] == "array" else (b, a)
+        if other[0] == "array":
+            return ("array", promote_dtype(arr[1], other[1]))
+        if other == INT:
+            return arr                   # NEP 50: python int keeps dtype
+        if other == FLOAT:
+            if arr[1] is None:
+                return ("array", None)
+            if arr[1].startswith("float") or arr[1] == "object":
+                return arr
+            return ("array", "float64")  # int/bool array x python float
+        return TOP
+    if a == INT and b == INT:
+        return INT
+    if {a, b} <= {INT, FLOAT}:
+        return FLOAT
+    return TOP
+
+
+class Hooks:
+    """Optional listeners a rule attaches to one interpretation pass."""
+
+    def on_dict_item(self, key: str, value_av: tuple, key_node: ast.AST,
+                     value_node: ast.AST) -> None:
+        pass
+
+    def on_store(self, key: str, value_av: tuple, node: ast.AST) -> None:
+        pass
+
+    def on_binop(self, node: ast.BinOp, left_av: tuple, right_av: tuple
+                 ) -> None:
+        pass
+
+    def on_subscript_load(self, node: ast.Subscript, recv_av: tuple,
+                          index_av: tuple) -> None:
+        pass
+
+
+class DtypeFlow:
+    """Per-function dtype summaries over a call graph, plus hook replays."""
+
+    def __init__(self, contexts: list[FileContext],
+                 schema: dict[str, str] | None = None,
+                 graph: CallGraph | None = None):
+        self.graph = graph or build_callgraph(contexts)
+        self.schema = dict(schema or {})
+        self.summaries: dict[str, tuple] = {}
+
+    def compute(self, modules: set[str] | None = None, max_passes: int = 5
+                ) -> dict[str, tuple]:
+        """Iterate function summaries to a bounded fixpoint."""
+        infos = [info for info in self.graph.functions.values()
+                 if modules is None or info.module in modules]
+        for _ in range(max_passes):
+            changed = False
+            for info in infos:
+                summary = self.analyze(info)
+                if self.summaries.get(info.qualname) != summary:
+                    self.summaries[info.qualname] = summary
+                    changed = True
+            if not changed:
+                break
+        return self.summaries
+
+    def analyze(self, info: FunctionInfo, hooks: Hooks | None = None
+                ) -> tuple:
+        """One interpretation pass over ``info``; returns the return AV."""
+        return _Interp(self, info, hooks or Hooks()).run()
+
+    # -- dtype-expression resolution ---------------------------------------
+
+    def dtype_of_node(self, node: ast.AST | None, ctx: FileContext
+                      ) -> str | None:
+        """The dtype a ``dtype=`` argument expression denotes, if known."""
+        if node is None:
+            return None
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return canonical_dtype(node.value)
+        dotted = dotted_name(node)
+        if dotted is not None:
+            resolved = ctx.imports.resolve(dotted)
+            if resolved.startswith("numpy."):
+                return canonical_dtype(resolved.split(".")[-1])
+            return None
+        if isinstance(node, ast.Call):
+            fn = dotted_name(node.func)
+            tail = fn.split(".")[-1] if fn else \
+                (node.func.attr if isinstance(node.func, ast.Attribute)
+                 else None)
+            if tail in ("wire_dtype", "decision_dtype", "np_dtype") \
+                    and node.args \
+                    and isinstance(node.args[0], ast.Constant) \
+                    and isinstance(node.args[0].value, str):
+                return self.schema.get(node.args[0].value)
+            if fn and ctx.imports.resolve(fn) == "numpy.dtype" and node.args:
+                return self.dtype_of_node(node.args[0], ctx)
+        return None
+
+
+class _Interp:
+    """Evaluate one function body; flow-sensitive straight-line, joined
+    at branches, loop bodies run twice (cheap widening)."""
+
+    def __init__(self, flow: DtypeFlow, info: FunctionInfo, hooks: Hooks):
+        self.flow = flow
+        self.info = info
+        self.ctx = info.ctx
+        self.hooks = hooks
+        self.locals_cls = constructor_locals(flow.graph, info)
+        self.returns: list[tuple] = []
+        self.env: dict[str, tuple] = {}
+
+    def run(self) -> tuple:
+        args = self.info.node.args
+        for arg in (args.posonlyargs + args.args + args.kwonlyargs
+                    + ([args.vararg] if args.vararg else [])
+                    + ([args.kwarg] if args.kwarg else [])):
+            self.env[arg.arg] = TOP
+        if self.info.cls and (args.posonlyargs + args.args):
+            first = (args.posonlyargs + args.args)[0].arg
+            self.env[first] = ("instance", self.info.cls)
+        self.exec_block(self.info.node.body)
+        if not self.returns:
+            return NONE
+        result = self.returns[0]
+        for av in self.returns[1:]:
+            result = join(result, av)
+        return result
+
+    # -- statements ---------------------------------------------------------
+
+    def exec_block(self, stmts: list[ast.stmt]) -> None:
+        for stmt in stmts:
+            self.exec_stmt(stmt)
+
+    def exec_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Return):
+            self.returns.append(self.eval(stmt.value)
+                                if stmt.value is not None else NONE)
+        elif isinstance(stmt, ast.Assign):
+            value = self.eval(stmt.value)
+            for target in stmt.targets:
+                self.assign(target, value, stmt.value)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self.assign(stmt.target, self.eval(stmt.value), stmt.value)
+        elif isinstance(stmt, ast.AugAssign):
+            value = self.eval(stmt.value)
+            if isinstance(stmt.target, ast.Name):
+                old = self.env.get(stmt.target.id, TOP)
+                self.env[stmt.target.id] = promote(old, value, stmt.op)
+        elif isinstance(stmt, ast.If):
+            self.eval(stmt.test)
+            before = dict(self.env)
+            self.exec_block(stmt.body)
+            after_body = self.env
+            self.env = before
+            self.exec_block(stmt.orelse)
+            self.env = _join_envs(after_body, self.env)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self.eval(stmt.iter)
+            self.assign(stmt.target, TOP, None)
+            for _ in range(2):           # second pass stabilizes carried vars
+                before = dict(self.env)
+                self.exec_block(stmt.body)
+                self.env = _join_envs(before, self.env)
+            self.exec_block(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self.eval(stmt.test)
+            for _ in range(2):
+                before = dict(self.env)
+                self.exec_block(stmt.body)
+                self.env = _join_envs(before, self.env)
+            self.exec_block(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                value = self.eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self.assign(item.optional_vars, value, item.context_expr)
+            self.exec_block(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            before = dict(self.env)
+            self.exec_block(stmt.body)
+            for handler in stmt.handlers:
+                branch = dict(self.env)
+                self.env.update(before)
+                if handler.name:
+                    self.env[handler.name] = TOP
+                self.exec_block(handler.body)
+                self.env = _join_envs(branch, self.env)
+            self.exec_block(stmt.orelse)
+            self.exec_block(stmt.finalbody)
+        elif isinstance(stmt, ast.Expr):
+            self.eval(stmt.value)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            self.env[stmt.name] = OTHER  # nested defs are opaque
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    self.env.pop(target.id, None)
+        # pass/break/continue/import/global/assert et al.: no dtype effect
+
+    def assign(self, target: ast.AST | None, value: tuple,
+               value_node: ast.AST | None) -> None:
+        if target is None:
+            return
+        if isinstance(target, ast.Name):
+            self.env[target.id] = value
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            elements = value[1] if value[0] == "seq" \
+                and len(value[1]) == len(target.elts) else None
+            for i, elt in enumerate(target.elts):
+                self.assign(elt, elements[i] if elements else TOP, None)
+        elif isinstance(target, ast.Subscript):
+            recv = target.value
+            index = target.slice
+            if isinstance(index, ast.Constant) \
+                    and isinstance(index.value, str):
+                self.hooks.on_store(index.value, value,
+                                    value_node if value_node is not None
+                                    else target)
+                if isinstance(recv, ast.Name):
+                    recv_av = self.env.get(recv.id, TOP)
+                    if recv_av[0] == "cols":
+                        members = dict(recv_av[1])
+                        members[index.value] = value
+                        self.env[recv.id] = ("cols", members)
+        # attribute targets (self.x = ...) are opaque
+
+    # -- expressions --------------------------------------------------------
+
+    def eval(self, node: ast.AST | None) -> tuple:
+        if node is None:
+            return NONE
+        method = getattr(self, f"_eval_{type(node).__name__}", None)
+        if method is not None:
+            return method(node)
+        for child in ast.iter_child_nodes(node):
+            self.eval(child)
+        return TOP
+
+    def _eval_Constant(self, node: ast.Constant) -> tuple:
+        value = node.value
+        if value is None:
+            return NONE
+        if isinstance(value, bool):
+            return INT
+        if isinstance(value, int):
+            return INT
+        if isinstance(value, float):
+            return FLOAT
+        if isinstance(value, str):
+            return ("str", value)
+        return OTHER
+
+    def _eval_Name(self, node: ast.Name) -> tuple:
+        return self.env.get(node.id, TOP)
+
+    def _eval_Attribute(self, node: ast.Attribute) -> tuple:
+        self.eval(node.value)
+        return TOP
+
+    def _eval_Tuple(self, node: ast.Tuple) -> tuple:
+        return ("seq", tuple(self.eval(elt) for elt in node.elts))
+
+    def _eval_List(self, node: ast.List) -> tuple:
+        return ("seq", tuple(self.eval(elt) for elt in node.elts))
+
+    def _eval_Dict(self, node: ast.Dict) -> tuple:
+        members: dict[str, tuple] = {}
+        literal = True
+        for key_node, value_node in zip(node.keys, node.values):
+            value_av = self.eval(value_node)
+            if key_node is not None and isinstance(key_node, ast.Constant) \
+                    and isinstance(key_node.value, str):
+                members[key_node.value] = value_av
+                self.hooks.on_dict_item(key_node.value, value_av,
+                                        key_node, value_node)
+            else:
+                literal = False
+                if key_node is not None:
+                    self.eval(key_node)
+        return ("cols", members) if literal else OTHER
+
+    def _eval_BinOp(self, node: ast.BinOp) -> tuple:
+        left = self.eval(node.left)
+        right = self.eval(node.right)
+        self.hooks.on_binop(node, left, right)
+        return promote(left, right, node.op)
+
+    def _eval_UnaryOp(self, node: ast.UnaryOp) -> tuple:
+        operand = self.eval(node.operand)
+        if isinstance(node.op, ast.Not):
+            return INT
+        return operand
+
+    def _eval_BoolOp(self, node: ast.BoolOp) -> tuple:
+        result = self.eval(node.values[0])
+        for value in node.values[1:]:
+            result = join(result, self.eval(value))
+        return result
+
+    def _eval_Compare(self, node: ast.Compare) -> tuple:
+        avs = [self.eval(node.left)] + \
+            [self.eval(cmp) for cmp in node.comparators]
+        if any(av[0] == "array" for av in avs):
+            return ("array", "bool")
+        return INT
+
+    def _eval_IfExp(self, node: ast.IfExp) -> tuple:
+        self.eval(node.test)
+        return join(self.eval(node.body), self.eval(node.orelse))
+
+    def _eval_JoinedStr(self, node: ast.JoinedStr) -> tuple:
+        for value in node.values:
+            self.eval(value)
+        return STR
+
+    def _eval_Subscript(self, node: ast.Subscript) -> tuple:
+        recv = self.eval(node.value)
+        index = self.eval(node.slice)
+        if isinstance(node.ctx, ast.Load):
+            self.hooks.on_subscript_load(node, recv, index)
+        if recv[0] == "cols":
+            if index[0] == "str" and index[1] is not None:
+                if index[1] in recv[1]:
+                    return recv[1][index[1]]
+                if index[1] in self.flow.schema:
+                    return ("array", self.flow.schema[index[1]])
+            return TOP
+        if recv[0] == "array":
+            if isinstance(node.slice, (ast.Slice, ast.Tuple)) \
+                    or index in (INT,) or index[0] in ("array", "top",
+                                                       "seq", "other"):
+                return recv
+            return recv
+        if recv[0] == "seq":
+            if isinstance(node.slice, ast.Constant) \
+                    and isinstance(node.slice.value, int) \
+                    and -len(recv[1]) <= node.slice.value < len(recv[1]):
+                return recv[1][node.slice.value]
+            result = TOP
+            for av in recv[1]:
+                result = av if result is TOP and av == recv[1][0] else \
+                    join(result, av)
+            return result if recv[1] else TOP
+        if recv == TOP and index[0] == "str" and index[1] is not None \
+                and index[1] in self.flow.schema:
+            return ("array", self.flow.schema[index[1]])
+        return TOP
+
+    def _eval_Call(self, node: ast.Call) -> tuple:
+        for kw in node.keywords:
+            if kw.arg is None:
+                self.eval(kw.value)
+        # Array/dict method calls on an evaluated receiver.
+        if isinstance(node.func, ast.Attribute):
+            result = self._method_call(node)
+            if result is not None:
+                return result
+        dotted = dotted_name(node.func)
+        resolved = self.ctx.imports.resolve(dotted) if dotted else None
+        arg_avs = [self.eval(arg) for arg in node.args
+                   if not isinstance(arg, ast.Starred)]
+        kw_avs = {kw.arg: self.eval(kw.value) for kw in node.keywords
+                  if kw.arg is not None}
+        if resolved is not None:
+            if resolved.startswith("numpy."):
+                return self._numpy_call(node, resolved, arg_avs, kw_avs)
+            tail = resolved.split(".")[-1]
+            if tail in ("wire_dtype", "decision_dtype", "np_dtype"):
+                return OTHER             # a dtype object, not an array
+            builtin = _BUILTINS.get(resolved)
+            if builtin is not None:
+                return builtin
+            cls = self.flow.graph.resolve_class(self.ctx, dotted)
+            if cls is not None:
+                return ("instance", cls)
+        target = self.flow.graph.resolve_call(self.info, node,
+                                              self.locals_cls)
+        if target is not None:
+            return self.flow.summaries.get(target, TOP)
+        # Method call on an instance-typed receiver expression.
+        if isinstance(node.func, ast.Attribute):
+            recv_av = self.eval(node.func.value)
+            if recv_av[0] == "instance":
+                method = self.flow.graph.lookup_method(recv_av[1],
+                                                       node.func.attr)
+                if method is not None:
+                    return self.flow.summaries.get(method, TOP)
+        return TOP
+
+    def _method_call(self, node: ast.Call) -> tuple | None:
+        """Known ndarray / dict method semantics; None = not handled here."""
+        attr = node.func.attr
+        if attr == "astype":
+            recv = self.eval(node.func.value)
+            dtype = self.flow.dtype_of_node(
+                node.args[0] if node.args else _kwarg(node, "dtype"),
+                self.ctx)
+            for arg in node.args[1:]:
+                self.eval(arg)
+            return ("array", dtype)
+        if attr == "view":
+            recv = self.eval(node.func.value)
+            dtype = self.flow.dtype_of_node(
+                node.args[0] if node.args else _kwarg(node, "dtype"),
+                self.ctx)
+            return ("array", dtype if dtype is not None
+                    else (recv[1] if recv[0] == "array" else None))
+        if attr in ("copy", "reshape", "ravel", "flatten", "transpose",
+                    "squeeze", "clip", "round", "cumsum", "sum", "min",
+                    "max"):
+            recv = self.eval(node.func.value)
+            for arg in node.args:
+                self.eval(arg)
+            if recv[0] in ("array", "cols"):
+                return recv
+            return None
+        if attr in ("tolist", "tobytes", "item"):
+            self.eval(node.func.value)
+            return OTHER
+        if attr == "mean":
+            self.eval(node.func.value)
+            return ("array", "float64")
+        if attr == "get":
+            recv = self.eval(node.func.value)
+            if recv[0] == "cols" and node.args \
+                    and isinstance(node.args[0], ast.Constant) \
+                    and isinstance(node.args[0].value, str):
+                default = self.eval(node.args[1]) \
+                    if len(node.args) > 1 else NONE
+                member = recv[1].get(node.args[0].value)
+                return member if member is not None else default
+            return None
+        if attr == "update":
+            recv_node = node.func.value
+            recv = self.eval(recv_node)
+            update_av = self.eval(node.args[0]) if node.args else OTHER
+            if recv[0] == "cols" and isinstance(recv_node, ast.Name):
+                members = dict(recv[1])
+                if update_av[0] == "cols":
+                    for key, av in update_av[1].items():
+                        members[key] = av
+                        self.hooks.on_store(key, av, node)
+                # unknown update: keep known members (optimistic — this is
+                # a linter; pessimizing to TOP would hide real facts)
+                self.env[recv_node.id] = ("cols", members)
+            return NONE
+        return None
+
+    def _numpy_call(self, node: ast.Call, resolved: str, arg_avs: list,
+                    kw_avs: dict) -> tuple:
+        dtype = self.flow.dtype_of_node(_kwarg(node, "dtype"), self.ctx)
+        tail = resolved[len("numpy."):]
+        scalar = canonical_dtype(tail)
+        if scalar is not None:
+            return ("array", scalar)     # np.uint64(x): 0-d, promotes alike
+        if tail in ("asarray", "array", "ascontiguousarray", "copy"):
+            if dtype is not None:
+                return ("array", dtype)
+            src = arg_avs[0] if arg_avs else TOP
+            if src[0] == "array":
+                return src
+            return ("array", None)
+        if resolved in _FLOAT_DEFAULT_CTORS:
+            return ("array", dtype if dtype is not None else "float64")
+        if tail == "full":
+            if dtype is not None:
+                return ("array", dtype)
+            fill = arg_avs[1] if len(arg_avs) > 1 else kw_avs.get(
+                "fill_value", TOP)
+            if fill == INT:
+                return ("array", "int64")
+            if fill == FLOAT:
+                return ("array", "float64")
+            if fill[0] == "array":
+                return ("array", fill[1])
+            return ("array", None)
+        if tail in ("zeros_like", "ones_like", "empty_like", "full_like"):
+            if dtype is not None:
+                return ("array", dtype)
+            src = arg_avs[0] if arg_avs else TOP
+            return src if src[0] == "array" else ("array", None)
+        if tail == "arange":
+            if dtype is not None:
+                return ("array", dtype)
+            if arg_avs and all(av == INT for av in arg_avs):
+                return ("array", "int64")
+            return ("array", None)
+        if tail == "where":
+            if len(arg_avs) == 3:
+                return promote(arg_avs[1], arg_avs[2])
+            return ("array", None)
+        if tail in ("concatenate", "hstack", "vstack", "stack"):
+            parts = arg_avs[0] if arg_avs else TOP
+            if parts[0] == "seq" and parts[1]:
+                result = parts[1][0]
+                for av in parts[1][1:]:
+                    result = promote(result, av)
+                return result if result[0] == "array" else ("array", None)
+            return ("array", None)
+        if tail in ("argsort", "flatnonzero", "searchsorted"):
+            return ("array", "int64")
+        if tail in ("sort", "unique", "repeat", "tile", "abs", "minimum",
+                    "maximum", "clip"):
+            if tail in ("minimum", "maximum") and len(arg_avs) == 2:
+                return promote(arg_avs[0], arg_avs[1])
+            src = arg_avs[0] if arg_avs else TOP
+            return src if src[0] == "array" else ("array", None)
+        if tail == "nonzero":
+            return ("seq", (("array", "int64"),))
+        if tail == "dtype":
+            return OTHER
+        return TOP
+
+
+_BUILTINS = {
+    "int": INT, "float": FLOAT, "len": INT, "bool": INT, "abs": TOP,
+    "str": STR, "range": OTHER, "list": OTHER, "dict": OTHER,
+    "tuple": OTHER, "set": OTHER, "zip": OTHER, "enumerate": OTHER,
+    "sorted": OTHER, "print": NONE, "isinstance": INT, "hasattr": INT,
+}
+
+
+def _kwarg(node: ast.Call, name: str) -> ast.AST | None:
+    for kw in node.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def _join_envs(a: dict[str, tuple], b: dict[str, tuple]) -> dict[str, tuple]:
+    out: dict[str, tuple] = {}
+    for name in set(a) | set(b):
+        if name in a and name in b:
+            out[name] = join(a[name], b[name])
+        else:
+            out[name] = TOP
+    return out
+
+
+def render_av(av: tuple) -> str:
+    """Human/JSON rendering of an abstract value."""
+    kind = av[0]
+    if kind == "array":
+        return f"array[{av[1] or '?'}]"
+    if kind == "cols":
+        inner = ", ".join(f"{k}: {render_av(v)}"
+                          for k, v in sorted(av[1].items()))
+        return f"columns{{{inner}}}"
+    if kind == "instance":
+        return f"instance[{av[1]}]"
+    if kind == "str":
+        return "str"
+    if kind == "seq":
+        return f"seq[{len(av[1])}]"
+    return kind
+
+
+def summarize(flow: DtypeFlow, modules: set[str] | None = None) -> dict:
+    """JSON-able per-function return summaries (the CI artifact)."""
+    flow.compute(modules=modules)
+    functions = {
+        qual: {"module": flow.graph.functions[qual].module,
+               "returns": render_av(av)}
+        for qual, av in sorted(flow.summaries.items())
+    }
+    return {"n_functions": len(functions), "functions": functions}

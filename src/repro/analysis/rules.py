@@ -41,6 +41,9 @@ class RngDisciplineRule(Rule):
                    "(repro.utils.rng.spawn_rngs / new_rng); no global-state "
                    "random.* / np.random.* calls, no unseeded default_rng() "
                    "outside tests")
+    example = ("src/repro/net/scenarios.py:42: [rng-discipline] "
+               "np.random.poisson() uses hidden global RNG state; thread a "
+               "seeded Generator through instead")
 
     def visitors(self):
         return {"Call": self.check_call}
@@ -91,6 +94,9 @@ class WallclockRule(Rule):
                    "repro.net.scenarios) must be pure functions of the "
                    "trace; wall-clock reads live in repro.serving telemetry "
                    "(openloop / scheduler / dispatchers)")
+    example = ("src/repro/dataplane/runtime.py:118: "
+               "[no-wallclock-in-dataplane] time.time() read inside a "
+               "decision path; derive timing from the trace ts column")
 
     def visitors(self):
         return {"Call": self.check_call}
@@ -125,6 +131,10 @@ class PickleSafeRegistrationsRule(Rule):
                    "module-level (picklable) callables — the spawn topology "
                    "ships them to worker processes; lambdas and nested defs "
                    "break there")
+    example = ("src/repro/serving/engine.py:212: "
+               "[pickle-safe-registrations] lambda registered as a "
+               "dispatcher factory cannot cross the spawn boundary; use a "
+               "module-level def")
 
     def begin_file(self, ctx: FileContext) -> None:
         # Names defined at module level vs. nested inside a function; a
@@ -206,6 +216,9 @@ class NoDeprecatedInternalCallersRule(Rule):
                    "repro.dataplane.runtime, PegasusEngine.serve); the "
                    "compat shims and serve_* methods exist for external "
                    "callers only")
+    example = ("src/repro/eval/runner.py:77: "
+               "[no-deprecated-internal-callers] call to deprecated "
+               "serve_trace_batched(); compose PegasusEngine.serve instead")
 
     def begin_file(self, ctx: FileContext) -> None:
         self._engine_vars: set[str] = set()
@@ -302,6 +315,9 @@ class MutableDefaultArgsRule(Rule):
     description = ("mutable default argument values are shared across calls "
                    "— per-replica state leaking through one is exactly the "
                    "cross-flow contamination the differential wall hunts")
+    example = ("src/repro/core/cache.py:31: [mutable-default-args] default "
+               "value [] is shared across calls; default to None and "
+               "allocate inside")
 
     def visitors(self):
         return {"FunctionDef": self.check_def,
@@ -331,6 +347,9 @@ class BareExceptRule(Rule):
     description = ("'except:' swallows SystemExit/KeyboardInterrupt and every "
                    "invariant violation with them; name the exceptions (or "
                    "'except Exception' with a re-raise path)")
+    example = ("scripts/check_bench_regression.py:58: [bare-except] bare "
+               "'except:' clause; catch named exception types so invariant "
+               "violations cannot vanish silently")
 
     def visitors(self):
         return {"ExceptHandler": self.check_handler}
@@ -346,6 +365,8 @@ def default_rules() -> list[Rule]:
     """One fresh instance of every shipped rule (order = report order)."""
     from repro.analysis.drift import RegistryConfigDriftRule
     from repro.analysis.threads import ThreadSharedStateRule
+    from repro.analysis.wire import (ColumnarSchemaRule, DtypePromotionRule,
+                                     HiddenCopyRule)
     return [
         RngDisciplineRule(),
         WallclockRule(),
@@ -355,4 +376,7 @@ def default_rules() -> list[Rule]:
         RegistryConfigDriftRule(),
         MutableDefaultArgsRule(),
         BareExceptRule(),
+        ColumnarSchemaRule(),
+        HiddenCopyRule(),
+        DtypePromotionRule(),
     ]

@@ -170,6 +170,9 @@ class ThreadSharedStateRule(Rule):
     description = ("state written by a threading.Thread target and touched "
                    "by the spawning side must be lock-guarded or mediated "
                    "by a thread-safe object (Queue/Event)")
+    example = ("src/repro/serving/openloop.py:201: [thread-shared-state] "
+               "self.admitted is written by the drain thread and read here "
+               "without the lock that guards it elsewhere")
 
     def begin_file(self, ctx: FileContext) -> None:
         self._reported: set[tuple[int, str]] = set()

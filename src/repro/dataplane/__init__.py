@@ -8,6 +8,9 @@ float), and stateful per-flow registers whose size trades off against the
 number of concurrent flows.
 """
 
+from repro.dataplane.schema import (ColumnSchema, ColumnSpec,
+                                    DECISION_COLUMNS, WIRE_COLUMNS,
+                                    decision_dtype, wire_dtype)
 from repro.dataplane.target import TargetConfig, TOFINO2, GENERIC_PISA
 from repro.dataplane.phv import PHVAllocator, PHVField
 from repro.dataplane.tables import TernaryTableEntry, ternary_entries_for_tree, tcam_lookup
@@ -25,6 +28,12 @@ from repro.dataplane.compat import WindowedClassifierRuntime, TwoStageRuntime
 from repro.dataplane.throughput import line_rate_pps, measure_model_throughput
 
 __all__ = [
+    "ColumnSchema",
+    "ColumnSpec",
+    "DECISION_COLUMNS",
+    "WIRE_COLUMNS",
+    "decision_dtype",
+    "wire_dtype",
     "TargetConfig",
     "TOFINO2",
     "GENERIC_PISA",

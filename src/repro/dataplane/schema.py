@@ -1,0 +1,177 @@
+"""The columnar wire-format contract: one schema, checked twice.
+
+Every array that crosses a worker process boundary — shard payloads going
+out, decision streams coming back — must have a statically known dtype and
+rank, or the planned ``multiprocessing.shared_memory`` ring buffers (ROADMAP
+item 1) silently corrupt or fall back to re-pickling. This module is the
+single source of truth for that format:
+
+- :data:`WIRE_COLUMNS` — the trace-side columns ``Trace.to_columns`` emits
+  and shard payloads carry (``ts``/``length``/5-tuple keys/``labels``, plus
+  the optional ``payload`` byte matrix);
+- :data:`DECISION_COLUMNS` — the four flat arrays each worker's decision
+  stream comes back as.
+
+The schema is enforced from both directions:
+
+1. **Runtime** (debug-gated): :meth:`ColumnSchema.validate_columns` runs at
+   every producer/consumer seam — ``Trace.to_columns``/``from_columns``,
+   both dispatchers' shard splits, and ``ParallelDispatcher``'s
+   decision-merge path — and raises :class:`~repro.errors.SchemaError` on
+   drift. Disable for hot production runs with ``REPRO_WIRE_VALIDATE=0``
+   (or ``python -O``); tests force it on.
+2. **Statically**: the ``columnar-schema`` / ``dtype-promotion`` rules of
+   ``repro.analysis`` parse *this file's AST* (the declarations below are
+   pure literals with string dtype names, so the stdlib-only linter never
+   imports NumPy) and check every wire-module construction site against it.
+
+Producers name their dtypes through :func:`wire_dtype` /
+:func:`decision_dtype` instead of scattered ``np.int64`` literals — the one
+spelling both the runtime check and the static dataflow pass resolve.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import SchemaError
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """One wire column: dtype (by canonical NumPy name), rank, nullability.
+
+    ``nullable`` means the column may be absent from a payload (``payload``
+    ships only when the runtime extracts raw bytes; ``labels`` only on
+    labelled replays) — never that a present column may hold ``None``.
+    """
+
+    dtype: str
+    rank: int = 1
+    nullable: bool = False
+
+    @property
+    def np_dtype(self) -> np.dtype:
+        return np.dtype(self.dtype)
+
+
+@dataclass(frozen=True)
+class ColumnSchema:
+    """A frozen name -> :class:`ColumnSpec` mapping with runtime validation."""
+
+    name: str
+    columns: Mapping[str, ColumnSpec] = field(default_factory=dict)
+
+    def __post_init__(self):
+        object.__setattr__(self, "columns",
+                           MappingProxyType(dict(self.columns)))
+
+    def np_dtype(self, column: str) -> np.dtype:
+        """The declared dtype of ``column`` (KeyError on undeclared names)."""
+        return self.columns[column].np_dtype
+
+    def required(self) -> tuple[str, ...]:
+        """The non-nullable column names, declaration order."""
+        return tuple(name for name, spec in self.columns.items()
+                     if not spec.nullable)
+
+    def validate_columns(self, cols: Mapping[str, np.ndarray],
+                         require: tuple[str, ...] | None = None,
+                         context: str = "") -> None:
+        """Check a columnar payload against this schema (debug-gated).
+
+        ``require`` lists the columns that must be present (default: every
+        non-nullable one); any *present* column must be a declared name,
+        an ndarray, and match the declared dtype and rank exactly. No-op
+        when wire validation is disabled (``REPRO_WIRE_VALIDATE=0`` or
+        ``python -O``) so the hot path pays one bool check.
+        """
+        if not validation_enabled():
+            return
+        if require is None:
+            require = self.required()
+        for name in require:
+            if name not in cols:
+                raise SchemaError(self.name, name, "is missing",
+                                  context=context)
+        for name, arr in cols.items():
+            spec = self.columns.get(name)
+            if spec is None:
+                raise SchemaError(self.name, name,
+                                  "is not a declared wire column",
+                                  context=context)
+            if not isinstance(arr, np.ndarray):
+                raise SchemaError(
+                    self.name, name,
+                    f"is {type(arr).__name__}, not ndarray (re-pickle "
+                    f"hazard on the IPC path)", context=context)
+            if arr.dtype != spec.np_dtype:
+                raise SchemaError(
+                    self.name, name,
+                    f"has dtype {arr.dtype}, schema declares {spec.dtype}",
+                    context=context)
+            if arr.ndim != spec.rank:
+                raise SchemaError(
+                    self.name, name,
+                    f"has rank {arr.ndim}, schema declares {spec.rank}",
+                    context=context)
+
+
+# The declarations below are pure literals on purpose: the stdlib-only
+# linter (repro.analysis.wire) reads the dtype names straight off this
+# file's AST without importing numpy. Keep them free of computed values.
+
+WIRE_COLUMNS = ColumnSchema("wire", {
+    "ts": ColumnSpec("float64", 1),
+    "length": ColumnSpec("int64", 1),
+    "src_ip": ColumnSpec("int64", 1),
+    "dst_ip": ColumnSpec("int64", 1),
+    "src_port": ColumnSpec("int64", 1),
+    "dst_port": ColumnSpec("int64", 1),
+    "proto": ColumnSpec("int64", 1),
+    "labels": ColumnSpec("int64", 1, nullable=True),
+    "payload": ColumnSpec("float64", 2, nullable=True),
+})
+
+DECISION_COLUMNS = ColumnSchema("decision", {
+    "seq": ColumnSpec("int64", 1),
+    "flow_label": ColumnSpec("int64", 1),
+    "predicted": ColumnSpec("int64", 1),
+    "ts": ColumnSpec("float64", 1),
+})
+
+
+def wire_dtype(column: str) -> np.dtype:
+    """The declared dtype of a trace-side wire column."""
+    return WIRE_COLUMNS.np_dtype(column)
+
+
+def decision_dtype(column: str) -> np.dtype:
+    """The declared dtype of a worker-reply decision column."""
+    return DECISION_COLUMNS.np_dtype(column)
+
+
+_env = os.environ.get("REPRO_WIRE_VALIDATE")
+_VALIDATE = (_env != "0") if _env is not None else __debug__
+
+
+def validation_enabled() -> bool:
+    """Whether the runtime wire-format checks are active."""
+    return _VALIDATE
+
+
+def set_validation(enabled: bool) -> bool:
+    """Toggle runtime wire validation; returns the previous setting.
+
+    Test hook (and escape hatch for profiling): flips the same flag the
+    ``REPRO_WIRE_VALIDATE`` environment variable initializes.
+    """
+    global _VALIDATE
+    previous = _VALIDATE
+    _VALIDATE = bool(enabled)
+    return previous

@@ -77,5 +77,33 @@ class TraceFormatError(PegasusError):
     """A serialized trace file is malformed."""
 
 
+class SchemaError(PegasusError, TypeError):
+    """A columnar payload violated the declared wire-format schema.
+
+    Raised (debug-gated) by :meth:`repro.dataplane.schema.ColumnSchema.
+    validate_columns` wherever arrays cross the IPC hot path: a missing or
+    undeclared column, a non-ndarray value, or a dtype/rank that drifted
+    from the declaration. ``schema``/``column``/``reason`` pinpoint the
+    violation; ``context`` names the seam (e.g. ``"worker 2 reply"``).
+    """
+
+    def __init__(self, schema: str, column: str, reason: str,
+                 context: str = ""):
+        self.schema = schema
+        self.column = column
+        self.reason = reason
+        self.context = context
+        msg = f"wire schema '{schema}': column '{column}' {reason}"
+        if context:
+            msg += f" [{context}]"
+        super().__init__(msg)
+
+    def __reduce__(self):
+        # Same pickling hazard as ConfigError: rebuild from the real fields
+        # so the error survives worker process boundaries.
+        return (type(self), (self.schema, self.column, self.reason,
+                             self.context))
+
+
 class TrainingError(PegasusError):
     """Model training failed or was mis-configured."""

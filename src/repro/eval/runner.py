@@ -650,6 +650,11 @@ def run_scenario_suite(flows_per_class: int = 120, seed: int = 0,
     return results
 
 
+#: Sentinel recorded in place of ``aimd_over_taildrop`` when tail-drop
+#: sustained 0 pps (the ratio is undefined; the raw pair rides alongside).
+TAILDROP_ZERO = "taildrop_zero"
+
+
 def run_openloop_study(flows_per_class: int = 120, seed: int = 0,
                        dataset: str = "peerrush",
                        scenarios: tuple[str, ...] = ("microburst",
@@ -746,14 +751,22 @@ def run_openloop_study(flows_per_class: int = 120, seed: int = 0,
             entry["policies"][policy] = policy_row
         td = entry["policies"].get("tail-drop", {}).get("sustained_pps", 0.0)
         ai = entry["policies"].get("aimd", {}).get("sustained_pps", 0.0)
-        if td and ai:
-            entry["aimd_over_taildrop"] = ai / td
+        entry["sustained_raw"] = {"aimd": ai, "tail_drop": td}
+        # Tail-drop legitimately sustains *zero* pps on bursty families
+        # (every burst parks its survivors behind a full queue), which makes
+        # the ratio undefined — record the explicit sentinel plus the raw
+        # pair above instead of omitting the key, so downstream gates can
+        # tell "undefined, aimd still wins" from "never measured".
+        entry["aimd_over_taildrop"] = ai / td if td else TAILDROP_ZERO
         results["scenarios"][name] = entry
     results["verified_bit_identical"] = bool(verified)
-    mins = [e["aimd_over_taildrop"] for e in results["scenarios"].values()
-            if "aimd_over_taildrop" in e]
-    if mins:
-        results["aimd_over_taildrop_min"] = min(mins)
+    ratios = [e["aimd_over_taildrop"]
+              for e in results["scenarios"].values()]
+    numeric = [r for r in ratios if not isinstance(r, str)]
+    if numeric:
+        results["aimd_over_taildrop_min"] = min(numeric)
+    elif ratios:
+        results["aimd_over_taildrop_min"] = TAILDROP_ZERO
     return results
 
 

@@ -22,6 +22,23 @@ _REC_HEADER = struct.Struct("<dHHIIHHB")
 
 KEY_COLUMN_NAMES = ("src_ip", "dst_ip", "src_port", "dst_port", "proto")
 
+_schema = None
+
+
+def _wire_schema():
+    """The columnar wire-format schema module, imported lazily.
+
+    ``repro.dataplane.__init__`` imports the runtime, which imports this
+    module — a top-level ``from repro.dataplane.schema import ...`` here
+    would hit that half-initialized package. Deferring to first use breaks
+    the cycle for every import order.
+    """
+    global _schema
+    if _schema is None:
+        from repro.dataplane import schema
+        _schema = schema
+    return _schema
+
 
 def canonicalize_key_columns(cols: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
     """Vectorized :meth:`FlowKey.canonical` over whole key columns.
@@ -86,15 +103,19 @@ class Trace:
         (bucketing, flow-state gathers, model inference) runs on whole
         NumPy batches instead of per-packet Python.
         """
+        sch = _wire_schema()
         return {
-            "ts": np.asarray([p.ts for p in self.packets], dtype=np.float64),
-            "length": np.asarray([p.length for p in self.packets], dtype=np.int64),
+            "ts": np.asarray([p.ts for p in self.packets],
+                             dtype=sch.wire_dtype("ts")),
+            "length": np.asarray([p.length for p in self.packets],
+                                 dtype=sch.wire_dtype("length")),
         }
 
     def key_columns(self) -> dict[str, np.ndarray]:
         """Raw (directional) per-packet 5-tuple columns, int64, trace order."""
         arr = np.asarray([p.key for p in self.packets],
-                         dtype=np.int64).reshape(-1, 5)
+                         dtype=_wire_schema().wire_dtype("src_ip")
+                         ).reshape(-1, 5)
         return {name: arr[:, i] for i, name in enumerate(KEY_COLUMN_NAMES)}
 
     def canonical_key_columns(self) -> dict[str, np.ndarray]:
@@ -118,11 +139,15 @@ class Trace:
         cols.update(self.key_columns())
         if payload_bytes is not None:
             cols["payload"] = self.payload_matrix(payload_bytes)
+        _wire_schema().WIRE_COLUMNS.validate_columns(
+            cols, context="Trace.to_columns")
         return cols
 
     @staticmethod
     def from_columns(cols: dict[str, np.ndarray]) -> "Trace":
         """Rebuild packet objects from :meth:`to_columns` output."""
+        _wire_schema().WIRE_COLUMNS.validate_columns(
+            cols, context="Trace.from_columns")
         payload = cols.get("payload")
         packets = []
         for i in range(len(cols["ts"])):
@@ -145,7 +170,8 @@ class Trace:
         materialize one batch at a time instead of the whole trace.
         """
         packets = self.packets[start:stop]
-        out = np.zeros((len(packets), n_bytes), dtype=np.float64)
+        out = np.zeros((len(packets), n_bytes),
+                       dtype=_wire_schema().wire_dtype("payload"))
         for i, pkt in enumerate(packets):
             take = min(pkt.payload_len, n_bytes)
             if take:

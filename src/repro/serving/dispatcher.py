@@ -35,6 +35,7 @@ from typing import Any, Callable
 import numpy as np
 
 from repro.dataplane.runtime import flows_to_trace
+from repro.dataplane.schema import WIRE_COLUMNS, validation_enabled, wire_dtype
 from repro.errors import ConfigError
 from repro.net.packet import FlowKey
 from repro.net.traces import KEY_COLUMN_NAMES, Trace
@@ -60,19 +61,25 @@ def shard_hash(key: FlowKey) -> int:
     return h
 
 
+# reprolint: zone=zero-copy
 def shard_hash_columns(cols: dict[str, np.ndarray]) -> np.ndarray:
     """Vectorized :func:`shard_hash` over whole key columns (uint64).
 
     Bit-identical to the scalar form for every key — the per-byte FNV-1a
     rounds run on uint64 arrays with the same wraparound arithmetic — so a
     columnar dispatcher pins each flow to exactly the shard the scalar
-    dispatcher would.
+    dispatcher would. The int64 key columns of the wire schema are
+    *reinterpreted* as uint64 views (key fields are nonnegative and
+    < 2**32, so the bits are identical) — no per-field copy on the
+    per-serve hot path.
     """
     n = len(cols["src_ip"])
     h = np.full(n, _FNV_OFFSET, dtype=np.uint64)
     prime = np.uint64(_FNV_PRIME)
     for name, width in _KEY_FIELD_WIDTHS:
-        value = np.asarray(cols[name]).astype(np.uint64)
+        raw = np.asarray(cols[name])
+        value = (raw.view(np.uint64) if raw.dtype == np.int64
+                 else raw.astype(np.uint64, copy=False))
         for shift in range(0, 8 * width, 8):
             h = h ^ ((value >> np.uint64(shift)) & np.uint64(0xFF))
             h = h * prime
@@ -136,15 +143,22 @@ class ShardedDispatcher:
         if keys is None:
             keys = trace.canonical_keys()
         if labels is None:
-            labels = np.full(n, -1, dtype=np.int64)
+            labels = np.full(n, -1, dtype=wire_dtype("labels"))
         else:
-            labels = np.asarray(labels, dtype=np.int64)
-        key_arr = np.asarray(keys, dtype=np.int64).reshape(-1, 5)
+            labels = np.asarray(labels, dtype=wire_dtype("labels"))
+        key_arr = np.asarray(keys,
+                             dtype=wire_dtype("src_ip")).reshape(-1, 5)
         key_cols = {name: key_arr[:, i]
                     for i, name in enumerate(KEY_COLUMN_NAMES)}
+        ts_all = np.asarray([p.ts for p in trace.packets],
+                            dtype=wire_dtype("ts"))
+        if validation_enabled():
+            WIRE_COLUMNS.validate_columns(
+                {"ts": ts_all, "labels": labels, **key_cols},
+                require=("ts", *KEY_COLUMN_NAMES),
+                context="ShardedDispatcher shard split")
         shard_ids = (shard_hash_columns(key_cols)
                      % np.uint64(self.n_shards)).astype(np.int64)
-        ts_all = np.asarray([p.ts for p in trace.packets], dtype=np.float64)
 
         decisions: list = []
         self.shard_seconds = []

@@ -54,6 +54,13 @@ import numpy as np
 
 from repro.core.mapping import _check_backend
 from repro.dataplane.runtime import PacketDecision, flows_to_trace
+from repro.dataplane.schema import (
+    DECISION_COLUMNS,
+    WIRE_COLUMNS,
+    decision_dtype,
+    validation_enabled,
+    wire_dtype,
+)
 from repro.errors import ConfigError
 from repro.net.traces import KEY_COLUMN_NAMES, Trace, keys_from_columns
 from repro.serving.cache import CacheStats
@@ -91,15 +98,46 @@ def serve_shard(runtime, shard: dict, scheduler: BatchScheduler | None) -> dict:
     )
     seconds = time.perf_counter() - start
     return {
-        "seq": np.asarray([d.seq for d in decisions], dtype=np.int64),
-        "flow_label": np.asarray([d.flow_label for d in decisions], dtype=np.int64),
-        "predicted": np.asarray([d.predicted for d in decisions], dtype=np.int64),
-        "ts": np.asarray([d.ts for d in decisions], dtype=np.float64),
+        "seq": np.asarray([d.seq for d in decisions], dtype=decision_dtype("seq")),
+        "flow_label": np.asarray(
+            [d.flow_label for d in decisions], dtype=decision_dtype("flow_label")
+        ),
+        "predicted": np.asarray(
+            [d.predicted for d in decisions], dtype=decision_dtype("predicted")
+        ),
+        "ts": np.asarray([d.ts for d in decisions], dtype=decision_dtype("ts")),
         "seconds": seconds,
         "flush_stats": stream.stats if stream is not None else FlushStats(),
         "cache_stats": cache.stats if cache is not None else None,
         "l2_export": cache.export_l2() if two_level else None,
     }
+
+
+_DECISION_NAMES = ("seq", "flow_label", "predicted", "ts")
+
+
+# reprolint: zone=zero-copy
+def _merge_decision_columns(parts: list, n: int) -> tuple:
+    """Scatter per-worker decision streams into position-aligned columns.
+
+    ``parts`` is ``[(global_seq, reply), ...]`` — each worker's shard-local
+    decision arrays plus the precomputed global positions of its packets.
+    Instead of concatenating the streams and argsorting (two full copies
+    plus an O(n log n) sort per serve), every decision column is scattered
+    once into a preallocated full-length array at its final position — the
+    exact write pattern a shared-memory decision ring buffer will use
+    (ROADMAP item 1), where the "preallocated array" is the mapped segment
+    itself. Returns ``(merged, valid)``: the four schema-dtyped decision
+    columns and the bool mask of positions any worker decided.
+    """
+    merged = {name: np.zeros(n, dtype=decision_dtype(name)) for name in _DECISION_NAMES}
+    valid = np.zeros(n, dtype=np.bool_)
+    for gseq, reply in parts:
+        valid[gseq] = True
+        merged["seq"][gseq] = gseq
+        for name in ("flow_label", "predicted", "ts"):
+            merged[name][gseq] = reply[name]
+    return merged, valid
 
 
 def worker_main(conn, runtime_factory, scheduler, lookup_backend=None) -> None:
@@ -296,9 +334,9 @@ class ParallelDispatcher:
         started = time.perf_counter()
         n = len(trace.packets)
         if labels is None:
-            labels = np.full(n, -1, dtype=np.int64)
+            labels = np.full(n, -1, dtype=wire_dtype("labels"))
         else:
-            labels = np.asarray(labels, dtype=np.int64)
+            labels = np.asarray(labels, dtype=wire_dtype("labels"))
         cols = trace.packet_columns()
         key_cols = trace.canonical_key_columns()
         shard_ids = (shard_hash_columns(key_cols) % np.uint64(self.n_workers)).astype(np.int64)
@@ -311,10 +349,16 @@ class ParallelDispatcher:
             shard_cols = {"ts": cols["ts"][member], "length": cols["length"][member]}
             if payload is not None:
                 shard_cols["payload"] = payload[member]
+            shard_keys = {name: key_cols[name][member] for name in KEY_COLUMN_NAMES}
+            if validation_enabled():
+                WIRE_COLUMNS.validate_columns(
+                    {**shard_cols, **shard_keys, "labels": labels[member]},
+                    context=f"parallel shard split -> worker {w}",
+                )
             conn.send(
                 {
                     "cols": shard_cols,
-                    "keys": {name: key_cols[name][member] for name in KEY_COLUMN_NAMES},
+                    "keys": shard_keys,
                     "labels": labels[member],
                     "l2_seed": self._l2_entries or None,
                     "l2_admit": self.l2_admit,
@@ -324,7 +368,7 @@ class ParallelDispatcher:
         self.shard_seconds = []
         self.flush_stats = FlushStats()
         self.cache_stats = CacheStats()
-        seq_parts, label_parts, pred_parts, ts_parts = [], [], [], []
+        parts = []
         failures = []
         for w, conn in enumerate(self._conns):
             status, reply = conn.recv()
@@ -335,27 +379,30 @@ class ParallelDispatcher:
             self.flush_stats.merge(reply["flush_stats"])
             if reply["cache_stats"] is not None:
                 self.cache_stats.merge(reply["cache_stats"])
-            seq_parts.append(members[w][reply["seq"]])
-            label_parts.append(reply["flow_label"])
-            pred_parts.append(reply["predicted"])
-            ts_parts.append(reply["ts"])
+            if validation_enabled():
+                # The consume side of the IPC contract: a worker whose
+                # decision stream drifted dtype would otherwise be silently
+                # cast by the scatter below.
+                DECISION_COLUMNS.validate_columns(
+                    {name: reply[name] for name in _DECISION_NAMES},
+                    require=_DECISION_NAMES,
+                    context=f"worker {w} reply",
+                )
+            parts.append((members[w][reply["seq"]], reply))
             if reply.get("l2_export"):
                 self._merge_l2(reply["l2_export"])
         if failures:
             raise RuntimeError("\n".join(failures))
 
-        seq = np.concatenate(seq_parts)
-        flow_label = np.concatenate(label_parts)
-        predicted = np.concatenate(pred_parts)
-        ts = np.concatenate(ts_parts)
+        merged, valid = _merge_decision_columns(parts, n)
         decisions = [
             PacketDecision(
-                flow_label=int(flow_label[i]),
-                predicted=int(predicted[i]),
-                ts=float(ts[i]),
-                seq=int(seq[i]),
+                flow_label=int(merged["flow_label"][i]),
+                predicted=int(merged["predicted"][i]),
+                ts=float(merged["ts"][i]),
+                seq=int(i),
             )
-            for i in np.argsort(seq)
+            for i in np.flatnonzero(valid)
         ]
         self.wall_seconds = time.perf_counter() - started
         return decisions

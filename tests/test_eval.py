@@ -178,3 +178,72 @@ class TestRunnerQuick:
                 assert entry[cached]["parallel_match"]
             # the two-level config serves through the pruned kernel
             assert entry["cache_l1+l2"]["lookup_backend"] == "tcam-pruned"
+
+
+class TestBenchRegressionSentinel:
+    """The taildrop-zero ratio sentinel flows through the gate unharmed."""
+
+    def _gate(self, tmp_path, baseline_val, current_val, extra_current=None):
+        import json
+        import sys
+        sys.path.insert(0, "scripts")
+        try:
+            from check_bench_regression import main as gate_main
+        finally:
+            sys.path.pop(0)
+        baseline = {"gate_metrics": ["openloop.aimd_over_taildrop_min"],
+                    "openloop": {"aimd_over_taildrop_min": baseline_val}}
+        current = {"openloop": {"aimd_over_taildrop_min": current_val}}
+        current.update(extra_current or {})
+        bp = tmp_path / "baseline.json"
+        cp = tmp_path / "current.json"
+        bp.write_text(json.dumps(baseline))
+        cp.write_text(json.dumps(current))
+        return gate_main([str(cp), str(bp)])
+
+    def test_sentinel_on_either_side_reports_not_gates(self, tmp_path,
+                                                       capsys):
+        from repro.eval.runner import TAILDROP_ZERO
+        assert self._gate(tmp_path, TAILDROP_ZERO, 2.0) == 0
+        assert "not gated: sentinel" in capsys.readouterr().out
+        assert self._gate(tmp_path, 2.0, TAILDROP_ZERO) == 0
+        assert "not gated: sentinel" in capsys.readouterr().out
+
+    def test_numeric_pair_still_gates(self, tmp_path, capsys):
+        assert self._gate(tmp_path, 2.0, 0.5) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+        assert self._gate(tmp_path, 2.0, 2.1) == 0
+
+    def test_missing_metric_still_fails(self, tmp_path, capsys):
+        import json
+        baseline = {"gate_metrics": ["openloop.aimd_over_taildrop_min"],
+                    "openloop": {"aimd_over_taildrop_min": 2.0}}
+        bp = tmp_path / "baseline.json"
+        cp = tmp_path / "current.json"
+        bp.write_text(json.dumps(baseline))
+        cp.write_text(json.dumps({"openloop": {}}))
+        import sys
+        sys.path.insert(0, "scripts")
+        try:
+            from check_bench_regression import main as gate_main
+        finally:
+            sys.path.pop(0)
+        assert gate_main([str(cp), str(bp)]) == 1
+
+    def test_openloop_study_records_sentinel_and_raw_pair(self):
+        from repro.eval.runner import TAILDROP_ZERO, run_openloop_study
+        res = run_openloop_study(flows_per_class=6, seed=0, flows_scale=0.2,
+                                 p99_target_ms=50.0,
+                                 load_multipliers=(0.5, 2.0))
+        for entry in res["scenarios"].values():
+            raw = entry["sustained_raw"]
+            assert set(raw) == {"aimd", "tail_drop"}
+            ratio = entry["aimd_over_taildrop"]
+            if raw["tail_drop"] == 0:
+                assert ratio == TAILDROP_ZERO
+            else:
+                assert ratio == pytest.approx(
+                    raw["aimd"] / raw["tail_drop"])
+        ratio_min = res["aimd_over_taildrop_min"]
+        assert isinstance(ratio_min, (int, float)) \
+            or ratio_min == TAILDROP_ZERO

@@ -224,3 +224,49 @@ class TestShardHashStability:
         for k, s in zip(trace.canonical_keys(), shard.tolist()):
             by_flow.setdefault(k, set()).add(s)
         assert all(len(s) == 1 for s in by_flow.values())
+
+
+class TestWireDtypePreservation:
+    """The columnar wire form carries *exactly* the declared dtypes.
+
+    ``from_columns(to_columns(t))`` must neither promote nor narrow any
+    column — the schema in ``repro.dataplane.schema`` is the single source
+    of truth, so every column is asserted against it, including the
+    rank-2 payload matrix and the uint8 per-packet payload buffers that
+    ``read_trace`` reconstructs via ``np.frombuffer``.
+    """
+
+    @settings(deadline=None, max_examples=12)
+    @given(_families, _seeds, st.sampled_from([None, 4, 60]))
+    def test_round_trip_preserves_declared_dtypes(self, family, seed,
+                                                  payload_bytes):
+        from repro.dataplane.schema import WIRE_COLUMNS
+        trace = _scenario_trace(family, seed)
+        cols = trace.to_columns(payload_bytes=payload_bytes)
+        for name, arr in cols.items():
+            spec = WIRE_COLUMNS.columns[name]
+            assert arr.dtype == WIRE_COLUMNS.np_dtype(name), name
+            assert arr.ndim == spec.rank, name
+        back = Trace.from_columns(cols)
+        again = back.to_columns(payload_bytes=payload_bytes)
+        assert set(again) == set(cols)
+        for name in cols:
+            assert again[name].dtype == cols[name].dtype, name
+        # Per-packet payload buffers stay uint8 through the round trip.
+        assert all(p.payload.dtype == np.uint8 for p in back.packets)
+
+    @settings(deadline=None, max_examples=6)
+    @given(_families, st.integers(0, 100))
+    def test_binary_format_reload_preserves_dtypes(self, tmp_path_factory,
+                                                   family, seed):
+        from repro.dataplane.schema import WIRE_COLUMNS
+        from repro.net.traces import read_trace, write_trace
+        trace = _scenario_trace(family, seed)
+        path = tmp_path_factory.mktemp("wire") / "trace.spcap"
+        write_trace(trace, path)
+        back = read_trace(path)
+        # frombuffer reconstruction: payloads are uint8, columns schema-exact
+        assert all(p.payload.dtype == np.uint8 for p in back.packets)
+        cols = back.to_columns(payload_bytes=16)
+        for name, arr in cols.items():
+            assert arr.dtype == WIRE_COLUMNS.np_dtype(name), name
