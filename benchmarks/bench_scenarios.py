@@ -10,7 +10,8 @@ x runtime kind), asserted as a hard correctness bit and exported to the
 ``scenarios`` section of ``BENCH_serving.json``.
 """
 
-from repro.eval.reporting import render_scenario_table, update_bench_json
+from repro.eval.reporting import (metric_or_sentinel, render_scenario_table,
+                                  update_bench_json)
 from repro.eval.runner import run_scenario_suite
 
 
@@ -74,12 +75,15 @@ def test_scenario_suite(benchmark, bench_scale):
         "per_scenario": {
             name: {
                 "pps": s["overall"]["pps"],
-                "accuracy": s["overall"]["accuracy"],
+                # Accuracy is undefined over unlabeled traffic (e.g. the
+                # flow-churn mice storms): export the named sentinel, never
+                # a bare JSON null the regression gate cannot interpret.
+                "accuracy": metric_or_sentinel(s["overall"]["accuracy"]),
                 "cache_hit_rate": s["overall"]["cache_hit_rate"],
                 "cache_exact_hits": s["overall"]["cache_exact_hits"],
                 "cache_approx_hits": s["overall"]["cache_approx_hits"],
                 "cache_l2_skipped": s["overall"]["cache_l2_skipped"],
-                "phase_accuracy": {p: v["accuracy"]
+                "phase_accuracy": {p: metric_or_sentinel(v["accuracy"])
                                    for p, v in s["phases"].items()},
                 "phase_cache_hit_rate": {p: v["cache_hit_rate"]
                                          for p, v in s["phases"].items()},

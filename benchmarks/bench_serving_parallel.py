@@ -4,21 +4,28 @@ The ``sharded`` engine topology *models* parallel wall clock as
 ``max(shard_seconds)``; the ``parallel`` topology measures it. Every stack
 here is built by ``PegasusEngine`` from one ``EngineConfig`` (see
 ``run_parallel_throughput``), fanning the Figure-8 serving mix out to
-persistent multiprocessing workers over columnar shard payloads, with and
-without the per-replica flow-decision cache.
+persistent multiprocessing workers over shared-memory ring buffers (the
+payload path never pickles — ``repro/serving/rings.py``), with and without
+the per-replica flow-decision cache.
 
 Asserted here: every parallel configuration's decisions are **bit-identical**
 to the serial dispatcher's, and — on hosts with >= 4 usable cores (CI's
-runners; a single-core container cannot parallelize anything) — measured
-wall-clock throughput at 4 workers is >= 2x the 1-worker run. Results land
-in the ``parallel`` section of ``BENCH_serving.json`` for the CI regression
-gate.
+runners) — measured wall-clock throughput at 4 workers is >= 2.5x the
+1-worker run. On narrower hosts the gate cannot mean anything, so it is
+skipped *loudly* and the JSON records the ``"single_core"`` sentinel (plus
+the raw measured ratio in ``*_raw``) instead of a misleading bare number:
+a 0.84x "speedup" from a one-core container is a fact about the host, not
+the dataplane. Results land in the ``parallel`` section of
+``BENCH_serving.json`` for the CI regression gate.
 """
 
 import os
 
 from repro.eval.reporting import render_table, update_bench_json
 from repro.eval.runner import run_parallel_throughput
+
+#: The multicore scaling floor gated on >= 4-core hosts.
+SPEEDUP_FLOOR = 2.5
 
 
 def _usable_cores() -> int:
@@ -41,24 +48,36 @@ def test_throughput_parallel(benchmark, bench_scale):
                      entry["parallel_cached"]["pps"],
                      entry["parallel_cached"]["cache_hit_rate"],
                      entry["decisions"]])
+    cores = _usable_cores()
+    speedup = res["speedup_4_vs_1"]
+    speedup_cached = res["speedup_4_vs_1_cached"]
+    multicore = cores >= 4
     print()
     print(render_table(
         ["config", "serial_pps", "parallel_pps", "cached_pps", "hit_rate",
          "decisions"], rows,
         title=f"Parallel serving throughput — {res['n_packets']} packets, "
-              f"{_usable_cores()} cores, "
-              f"4-vs-1 speedup {res['speedup_4_vs_1']:.2f}x "
-              f"({res['speedup_4_vs_1_cached']:.2f}x cached)"))
+              f"{cores} cores, "
+              f"4-vs-1 speedup {speedup:.2f}x "
+              f"({speedup_cached:.2f}x cached)"))
 
     update_bench_json("parallel", {
         "n_packets": res["n_packets"],
-        "cores": _usable_cores(),
+        "cores": cores,
         "pps": {n: e["parallel"]["pps"] for n, e in res["workers"].items()},
         "pps_cached": {n: e["parallel_cached"]["pps"]
                        for n, e in res["workers"].items()},
         "serial_pps": {n: e["serial_pps"] for n, e in res["workers"].items()},
-        "speedup_4_vs_1": res["speedup_4_vs_1"],
-        "speedup_4_vs_1_cached": res["speedup_4_vs_1_cached"],
+        # On a host that cannot parallelize, the gated metrics carry the
+        # "single_core" sentinel — never a bare sub-1.0 ratio a reader (or
+        # the regression gate) could mistake for a dataplane regression.
+        # The raw measured ratios stay available under *_raw.
+        "speedup_4_vs_1": speedup if multicore else "single_core",
+        "speedup_4_vs_1_cached":
+            speedup_cached if multicore else "single_core",
+        "speedup_4_vs_1_raw": speedup,
+        "speedup_4_vs_1_cached_raw": speedup_cached,
+        "speedup_gated": multicore,
         "cache_hit_rate": res["cache_hit_rate"],
         "all_match_serial": res["all_match_serial"],
     })
@@ -66,5 +85,11 @@ def test_throughput_parallel(benchmark, bench_scale):
     # Concurrency must never change a single decision.
     assert res["all_match_serial"]
     # Real wall-clock scaling needs real cores; CI runners have >= 4.
-    if _usable_cores() >= 4:
-        assert res["speedup_4_vs_1"] >= 2.0
+    if multicore:
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"4-vs-1 speedup {speedup:.2f}x below the {SPEEDUP_FLOOR}x "
+            f"floor on a {cores}-core host")
+    else:
+        print(f"SKIPPED speedup gate: needs >= 4 usable cores, host has "
+              f"{cores}; raw 4-vs-1 ratio {speedup:.2f}x recorded under "
+              f"speedup_4_vs_1_raw, gated metric set to 'single_core'")

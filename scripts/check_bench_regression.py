@@ -14,6 +14,17 @@ speedup, parallel speedup, cache hit rate — and keep pps informational).
 The gate also fails outright if the current results report
 ``parallel.all_match_serial == false``: a fast wrong answer is not a
 trade-off.
+
+Two reporting rules keep the JSON honest:
+
+- **No bare nulls.** Any JSON ``null`` anywhere in the current results
+  fails the gate: an undefined metric must carry a string sentinel naming
+  why it is undefined (``"no_labeled_packets"``, ``"single_core"``,
+  ``"taildrop_zero"``) so "undefined for a stated reason" can never be
+  confused with "producer forgot". Sentinels are reported, not gated.
+- **Loud skips.** Parallel-speedup metrics are only meaningful on hosts
+  with >= 4 usable cores; on narrower hosts they are skipped with the
+  core count printed, never silently dropped.
 """
 
 from __future__ import annotations
@@ -33,6 +44,17 @@ def lookup(data: dict, dotted: str):
     return node
 
 
+def find_nulls(node, path: str = "") -> list[str]:
+    """Dotted paths of every bare JSON null anywhere under ``node``."""
+    if isinstance(node, dict):
+        return [p for key, value in node.items()
+                for p in find_nulls(value, f"{path}.{key}" if path else key)]
+    if isinstance(node, list):
+        return [p for i, value in enumerate(node)
+                for p in find_nulls(value, f"{path}[{i}]")]
+    return [path] if node is None else []
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("current", type=Path, help="bench results JSON")
@@ -50,11 +72,17 @@ def main(argv: list[str] | None = None) -> int:
 
     cores = lookup(current, "parallel.cores")
     failures = []
+    for path in find_nulls(current):
+        failures.append(f"{path}: bare JSON null — undefined metrics must "
+                        f"carry a string sentinel naming why")
     print(f"{'metric':<34s} {'baseline':>12s} {'current':>12s} {'ratio':>7s}")
     for metric in gate_metrics:
-        if metric.startswith("parallel.speedup") and cores == 1:
-            # No scheduler parallelizes on one core; report, don't gate.
-            print(f"{metric:<34s} {'(skipped: single-core host)':>33s}")
+        if metric.startswith("parallel.speedup") \
+                and isinstance(cores, int) and cores < 4:
+            # No scheduler parallelizes without cores; report the skip
+            # loudly (core count included), don't gate.
+            skip = f"(SKIPPED: host has {cores} core(s), gate needs >= 4)"
+            print(f"{metric:<34s} {skip:>40s}")
             continue
         base, cur = lookup(baseline, metric), lookup(current, metric)
         if base is None or cur is None:

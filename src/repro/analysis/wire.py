@@ -15,7 +15,9 @@ all checking the columnar IPC contract declared in
   ``# reprolint: zone=zero-copy`` comment (on, or directly above, the
   ``def`` line), flag the allocation patterns that would silently break a
   preallocated shared-memory path: ``.astype`` without ``copy=False``,
-  ``.tolist()``, ``np.concatenate``-family calls, fancy indexing, and
+  ``.tolist()``, ``np.concatenate``-family calls, ``pickle`` calls (the
+  ring read/write functions of ``repro.serving.rings`` are zoned — a
+  reintroduced pickle on the IPC path is a finding), fancy indexing, and
   per-packet Python list comprehensions.
 - ``dtype-promotion`` — mixed int/float (and ``int64 x uint64``, which
   NumPy promotes to float64) arithmetic on arrays in the wire modules:
@@ -42,6 +44,7 @@ WIRE_MODULES = frozenset({
     "repro.net.traces",
     "repro.serving.dispatcher",
     "repro.serving.parallel",
+    "repro.serving.rings",
 })
 
 ZONE_RE = re.compile(r"#\s*reprolint:\s*zone=([A-Za-z0-9_\-]+)")
@@ -50,6 +53,13 @@ ZERO_COPY = "zero-copy"
 _COPYING_NUMPY_CALLS = frozenset({
     "numpy.concatenate", "numpy.hstack", "numpy.vstack", "numpy.stack",
     "numpy.append",
+})
+
+#: Serialization calls banned in zero-copy zones: a pickle on the ring
+#: read/write path silently reintroduces the per-serve copy the
+#: shared-memory dataplane exists to remove.
+_PICKLE_CALLS = frozenset({
+    "pickle.dumps", "pickle.loads", "pickle.dump", "pickle.load",
 })
 
 
@@ -243,8 +253,9 @@ class HiddenCopyRule(ProjectRule):
     name = "hidden-copy-on-hot-path"
     description = ("functions marked '# reprolint: zone=zero-copy' must not "
                    "allocate per element: .astype without copy=False, "
-                   ".tolist(), np.concatenate-family calls, fancy indexing, "
-                   "and list comprehensions are findings there")
+                   ".tolist(), np.concatenate-family calls, pickle calls, "
+                   "fancy indexing, and list comprehensions are findings "
+                   "there")
     example = ("src/repro/serving/dispatcher.py:80: "
                "[hidden-copy-on-hot-path] .astype(...) without copy=False "
                "allocates a fresh array in zero-copy zone of "
@@ -321,6 +332,9 @@ class HiddenCopyRule(ProjectRule):
             short = resolved.replace("numpy.", "np.")
             return (f"{short}(...) concatenation copies every part; "
                     f"scatter into a preallocated array instead")
+        if resolved in _PICKLE_CALLS:
+            return (f"{resolved}(...) re-pickles the payload the "
+                    f"shared-memory ring path exists to avoid")
         return None
 
 

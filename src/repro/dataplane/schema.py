@@ -2,9 +2,9 @@
 
 Every array that crosses a worker process boundary — shard payloads going
 out, decision streams coming back — must have a statically known dtype and
-rank, or the planned ``multiprocessing.shared_memory`` ring buffers (ROADMAP
-item 1) silently corrupt or fall back to re-pickling. This module is the
-single source of truth for that format:
+rank, or the ``multiprocessing.shared_memory`` ring buffers of
+``repro.serving.rings`` silently corrupt or fall back to re-pickling. This
+module is the single source of truth for that format:
 
 - :data:`WIRE_COLUMNS` — the trace-side columns ``Trace.to_columns`` emits
   and shard payloads carry (``ts``/``length``/5-tuple keys/``labels``, plus
@@ -16,10 +16,11 @@ The schema is enforced from both directions:
 
 1. **Runtime** (debug-gated): :meth:`ColumnSchema.validate_columns` runs at
    every producer/consumer seam — ``Trace.to_columns``/``from_columns``,
-   both dispatchers' shard splits, and ``ParallelDispatcher``'s
-   decision-merge path — and raises :class:`~repro.errors.SchemaError` on
-   drift. Disable for hot production runs with ``REPRO_WIRE_VALIDATE=0``
-   (or ``python -O``); tests force it on.
+   both dispatchers' shard splits, and the shared-memory ring write/read
+   seams of the parallel dataplane — and raises
+   :class:`~repro.errors.SchemaError` on drift. Disable for hot production
+   runs with ``REPRO_WIRE_VALIDATE=0`` (or ``python -O``); tests force it
+   on.
 2. **Statically**: the ``columnar-schema`` / ``dtype-promotion`` rules of
    ``repro.analysis`` parse *this file's AST* (the declarations below are
    pure literals with string dtype names, so the stdlib-only linter never
@@ -144,6 +145,16 @@ DECISION_COLUMNS = ColumnSchema("decision", {
     "predicted": ColumnSpec("int64", 1),
     "ts": ColumnSpec("float64", 1),
 })
+
+
+# Ring slot layout (repro.serving.rings): one ingress slot is these wire
+# columns laid out back to back (payload last, only when configured), one
+# egress slot the decision columns in this order. Pure literals, same
+# reason as the schemas above — the static linter reads the layout off the
+# AST, and RingSpec derives every byte offset from these plus the dtypes.
+INGRESS_RING_ORDER = ("ts", "length", "src_ip", "dst_ip", "src_port",
+                      "dst_port", "proto", "labels")
+EGRESS_RING_ORDER = ("seq", "flow_label", "predicted", "ts")
 
 
 def wire_dtype(column: str) -> np.dtype:

@@ -77,6 +77,11 @@ class EngineCase:
     lookup_backend: str = "index"
     decision_cache: bool | str = "off"
     batch_size: int = 64
+    # Shared-memory ring geometry (parallel topology only; the defaults
+    # match EngineConfig). Non-default values stress wraparound and
+    # backpressure edges — decisions must stay bit-identical regardless.
+    ring_depth: int = 4
+    ring_chunk: int | None = None
 
     @property
     def cache_mode(self) -> str:
@@ -93,8 +98,12 @@ class EngineCase:
 
     @property
     def label(self) -> str:
+        ring = ""
+        if self.ring_depth != 4 or self.ring_chunk is not None:
+            ring = f"/ring{self.ring_depth}x{self.ring_chunk or 'auto'}"
         return (f"{self.runtime}/{self.topology}{self.n_workers}/"
-                f"{self.lookup_backend}/{self.cache_mode}/b{self.batch_size}")
+                f"{self.lookup_backend}/{self.cache_mode}/b{self.batch_size}"
+                f"{ring}")
 
     def config(self, capacity: int = DEFAULT_CAPACITY,
                cache_capacity: int = DEFAULT_CACHE_CAPACITY) -> EngineConfig:
@@ -103,7 +112,8 @@ class EngineCase:
             capacity=capacity, lookup_backend=self.lookup_backend,
             batch_size=self.batch_size, decision_cache=self.cache_mode,
             cache_capacity=cache_capacity, topology=self.topology,
-            n_workers=self.n_workers)
+            n_workers=self.n_workers, ring_depth=self.ring_depth,
+            ring_chunk=self.ring_chunk)
 
 
 def build_cases(runtimes: tuple[str, ...] = RUNTIME_KINDS,

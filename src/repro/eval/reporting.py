@@ -88,6 +88,20 @@ def render_openloop_table(summary: dict) -> str:
         rows, title=title)
 
 
+def metric_or_sentinel(value, sentinel: str = "no_labeled_packets"):
+    """A bench-JSON metric value, with ``None`` mapped to a named sentinel.
+
+    Bench sections must never contain bare JSON ``null``: downstream
+    tooling cannot tell "metric undefined for a stated reason" from
+    "producer forgot to compute it" (``scripts/check_bench_regression.py``
+    fails on any null). Undefined metrics carry a string naming *why* —
+    e.g. ``"no_labeled_packets"`` for an accuracy over a phase that had no
+    labeled traffic, or ``"single_core"`` for a multicore speedup measured
+    on a host that cannot parallelize.
+    """
+    return sentinel if value is None else value
+
+
 def update_bench_json(section: str, payload: dict,
                       path: str | Path | None = None) -> Path:
     """Merge one bench's scalar results into the bench-trajectory JSON.

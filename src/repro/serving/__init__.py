@@ -25,8 +25,10 @@ importable for reference stacks and tests):
   order; parallel wall clock is modeled as ``max(shard_seconds)``.
 - :class:`ParallelDispatcher` — the same sharding fanned out to persistent
   ``multiprocessing`` workers, each owning one replica; shard payloads and
-  decision streams cross the process boundary as columnar NumPy arrays, and
-  ``wall_seconds`` is *measured* concurrent wall clock.
+  decision streams move through preallocated shared-memory ring buffers
+  (:mod:`repro.serving.rings` — only fixed-size chunk descriptors cross
+  the worker pipes), and ``wall_seconds`` is *measured* concurrent wall
+  clock.
 - :class:`FlowDecisionCache` — a per-replica LRU of
   ``(canonical 5-tuple, window index) -> decision`` that short-circuits
   model invocation for already-classified elephant flows whose windows

@@ -255,9 +255,12 @@ class EngineConfig:
       ``l2_quantize_shift`` (feature bits dropped by the bucket key);
     - **topology** — ``local`` (one replica, in-process), ``sharded``
       (N replicas replayed serially, modeled parallel wall clock) or
-      ``parallel`` (N persistent worker processes, measured wall clock),
-      with ``n_workers`` replicas, worker ``start_method``, and
-      ``payload_bytes`` shipped per packet to two-stage replicas;
+      ``parallel`` (N persistent worker processes fed through
+      shared-memory rings, measured wall clock), with ``n_workers``
+      replicas, worker ``start_method``, ``payload_bytes`` shipped per
+      packet to two-stage replicas, and the ring geometry: ``ring_depth``
+      in-flight chunks per worker and ``ring_chunk`` rows per ring slot
+      (``None`` sizes a slot to the batch, min 256 rows);
     - **open loop** — ``admission`` policy (registry; ``"none"`` |
       ``"tail-drop"`` | ``"aimd"`` built in), ingress ``queue_capacity``,
       the ``p99_target_ms`` latency SLO the AIMD throttle (and the
@@ -289,6 +292,8 @@ class EngineConfig:
     n_workers: int = 1
     payload_bytes: int | None = None
     start_method: str | None = None
+    ring_depth: int = 4
+    ring_chunk: int | None = None
     admission: str = "none"
     queue_capacity: int = 1024
     p99_target_ms: float | None = None
@@ -315,7 +320,8 @@ class EngineConfig:
         object.__setattr__(self, "decision_cache", mode)
         for name, lo in (("window", 2), ("capacity", 1), ("n_workers", 1),
                          ("cache_capacity", 1), ("l2_capacity", 1),
-                         ("l2_quantize_shift", 0), ("queue_capacity", 1)):
+                         ("l2_quantize_shift", 0), ("queue_capacity", 1),
+                         ("ring_depth", 1)):
             if getattr(self, name) < lo:
                 raise ConfigError(name, getattr(self, name), allowed=f">= {lo}")
         if self.p99_target_ms is not None and self.p99_target_ms <= 0:
@@ -332,6 +338,10 @@ class EngineConfig:
         if self.payload_bytes is not None and self.payload_bytes < 1:
             raise ConfigError("payload_bytes", self.payload_bytes,
                               allowed=">= 1 or None")
+        if self.ring_chunk is not None and self.ring_chunk < 1:
+            raise ConfigError("ring_chunk", self.ring_chunk,
+                              allowed=">= 1 or None (auto: batch-sized "
+                                      "slots, min 256 rows)")
         if self.start_method not in (None, "fork", "spawn", "forkserver"):
             raise ConfigError("start_method", self.start_method,
                               allowed=(None, "fork", "spawn", "forkserver"))
@@ -529,7 +539,9 @@ class _ParallelDriver:
             n_workers=config.n_workers,
             scheduler=config.scheduler(),
             payload_bytes=payload_bytes,
-            start_method=config.start_method)
+            start_method=config.start_method,
+            ring_depth=config.ring_depth,
+            ring_chunk=config.ring_chunk)
 
     def start(self) -> None:
         self._dispatcher.start()

@@ -1,21 +1,36 @@
-"""Parallel multi-process serving: fan shards out to persistent workers.
+"""Parallel multi-process serving over shared-memory rings.
 
-:class:`~repro.serving.ShardedDispatcher` replays its replicas *serially* and
-models parallel wall clock as ``max(shard_seconds)``; :class:`ParallelDispatcher`
-makes that wall clock real. Each of ``n_workers`` persistent ``multiprocessing``
-workers owns one runtime replica (built from ``runtime_factory`` inside the
-worker, after the fork), shard payloads cross the process boundary as a handful
-of columnar NumPy arrays — timestamps, lengths, canonical 5-tuple columns, and
-optionally a payload-byte matrix — instead of per-packet Python objects, and
-each worker's decision stream comes back as four flat arrays that the parent
-merges into global ``seq`` order.
+:class:`~repro.serving.ShardedDispatcher` replays its replicas *serially*
+and models parallel wall clock as ``max(shard_seconds)``;
+:class:`ParallelDispatcher` makes that wall clock real. Each of
+``n_workers`` persistent ``multiprocessing`` workers owns one runtime
+replica (built from ``runtime_factory`` inside the worker) and a pair of
+preallocated shared-memory rings (:mod:`repro.serving.rings`):
+
+- the driver gathers each shard's packets **directly into ingress ring
+  slots** as columnar NumPy views (``np.take`` into the mapped segment —
+  no intermediate arrays, nothing pickled);
+- the worker replays each slot **in place** and writes its decision
+  stream into the matching egress slot;
+- only fixed-size chunk descriptors — ``("chunk", slot, rows)`` out,
+  ``("chunk_ok", slot, n_decisions)`` back — cross the worker pipe.
+
+Dispatch and merge are **pipelined** gZCCL-style: up to ``ring_depth``
+chunks are in flight per worker, and the driver scatters each finished
+egress slot into the preallocated decision columns while workers are still
+replaying later chunks — compute never idles on transfer in either
+direction. ``ring_stalls`` counts the times the driver had chunks ready
+but every slot of some worker's ring was still in flight (backpressure).
 
 Flows are pinned to workers by the same canonical-5-tuple FNV-1a hash the
-serial dispatcher uses, so for any worker count the decisions are
-**bit-identical** to ``ShardedDispatcher`` with ``n_shards == n_workers``
-(and, when per-replica register capacity does not bind, to an unsharded
-replay) — with or without a flow-decision cache in the replicas. The
-equivalence is asserted by ``tests/test_serving_parallel.py``.
+serial dispatcher uses, and the per-shard batch spans are cut driver-side
+by the same scheduler — so for any worker count, ring depth, or chunk size
+the decisions (and flush/cache counters) are **bit-identical** to
+``ShardedDispatcher`` with ``n_shards == n_workers`` (and, when
+per-replica register capacity does not bind, to an unsharded replay) —
+with or without a flow-decision cache in the replicas. The equivalence is
+asserted by ``tests/test_serving_parallel.py`` and the differential
+harness (``repro.eval.differential``).
 
 Usage::
 
@@ -34,12 +49,15 @@ Usage::
         decisions = dispatcher.serve_flows(test_flows)
         pps = len(decisions) / dispatcher.wall_seconds
 
-Workers default to the ``fork`` start method (the factory closure — typically
-capturing a compiled model — is inherited, never pickled); on platforms
-without ``fork`` the dispatcher falls back to ``spawn``, which requires a
-picklable factory. ``close()`` (or the context manager) shuts the workers
-down; replica state (flow registers, decision caches) lives in the workers,
-so it persists across ``serve_*`` calls and is discarded on ``close()``.
+Workers default to the ``fork`` start method (the factory closure —
+typically capturing a compiled model — is inherited, never pickled); on
+platforms without ``fork`` the dispatcher falls back to ``spawn``, which
+requires a picklable factory (ring segments are passed by *name*, so the
+shm path is start-method agnostic). ``close()`` (or the context manager)
+shuts the workers down and **unlinks every shared-memory segment** — also
+after a failed ``start()``, a crashed worker, or repeated calls; replica
+state (flow registers, decision caches) lives in the workers, so it
+persists across ``serve_*`` calls and is discarded on ``close()``.
 """
 
 from __future__ import annotations
@@ -48,6 +66,7 @@ import multiprocessing
 import time
 import traceback
 from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _wait_ready
 from typing import Any, Callable
 
 import numpy as np
@@ -56,6 +75,7 @@ from repro.core.mapping import _check_backend
 from repro.dataplane.runtime import PacketDecision, flows_to_trace
 from repro.dataplane.schema import (
     DECISION_COLUMNS,
+    EGRESS_RING_ORDER,
     WIRE_COLUMNS,
     decision_dtype,
     validation_enabled,
@@ -65,111 +85,185 @@ from repro.errors import ConfigError
 from repro.net.traces import KEY_COLUMN_NAMES, Trace, keys_from_columns
 from repro.serving.cache import CacheStats
 from repro.serving.dispatcher import shard_hash_columns
+from repro.serving.rings import (
+    RingSegments,
+    RingSpec,
+    attach_ring,
+    scatter_decision_chunk,
+    write_egress_chunk,
+    write_ingress_chunk,
+)
 from repro.serving.scheduler import BatchScheduler, FlushStats
 
+#: Auto chunk size (``ring_chunk=None``): at least this many rows per slot,
+#: or the scheduler's batch size when that is larger — so one slot holds at
+#: least one full batch and the descriptor rate stays negligible.
+DEFAULT_CHUNK_ROWS = 256
 
-def serve_shard(runtime, shard: dict, scheduler: BatchScheduler | None) -> dict:
-    """Replay one columnar shard payload on a replica; columnar reply.
+
+def serve_chunk(runtime, spec: RingSpec, ingress, egress,
+                slot: int, rows: int) -> tuple:
+    """Replay one ingress ring slot in place; write the egress slot.
 
     Runs inside a worker process (also directly callable in-process, which
-    the unit tests use). The reply carries the decision stream as flat
-    arrays plus the measured replay seconds and the replica's flush/cache
-    stats.
+    the unit tests use). Builds column views over the slot, validates them
+    against the wire schema (debug-gated), replays the chunk as one batch
+    span, and stores the decision stream straight into the egress slot.
+    Returns the ``("chunk_ok", slot, n_decisions, seconds)`` ack.
     """
-    keys = keys_from_columns(shard["keys"])
-    cache = getattr(runtime, "decision_cache", None)
-    two_level = getattr(cache, "two_level", False)
-    if two_level:
-        # Per-shard L2 admission gate (phase-scoped: the dispatcher stamps
-        # its current setting on every payload).
-        cache.l2_admit = bool(shard.get("l2_admit", True))
-    if two_level and shard.get("l2_seed"):
-        # Read-mostly L2 sharing: entries other workers published on earlier
-        # serves seed this replica's store before the replay (never counted
-        # as this replica's inserts, never re-exported).
-        cache.import_l2(shard["l2_seed"])
-    stream = scheduler.iter_spans(shard["cols"]["ts"]) if scheduler is not None else None
-    start = time.perf_counter()
+    views = spec.ingress_views(ingress.buf, slot, rows)
+    if validation_enabled():
+        WIRE_COLUMNS.validate_columns(
+            views, context=f"worker ingress ring read (slot {slot})")
+    keys = keys_from_columns({name: views[name]
+                              for name in KEY_COLUMN_NAMES})
+    cols = {"ts": views["ts"], "length": views["length"]}
+    if "payload" in views:
+        cols["payload"] = views["payload"]
+    started = time.perf_counter()
     decisions = runtime.process_columns(
-        shard["cols"],
-        keys,
-        labels=shard["labels"],
-        spans=stream,
-    )
-    seconds = time.perf_counter() - start
-    return {
-        "seq": np.asarray([d.seq for d in decisions], dtype=decision_dtype("seq")),
-        "flow_label": np.asarray(
-            [d.flow_label for d in decisions], dtype=decision_dtype("flow_label")
-        ),
-        "predicted": np.asarray(
-            [d.predicted for d in decisions], dtype=decision_dtype("predicted")
-        ),
-        "ts": np.asarray([d.ts for d in decisions], dtype=decision_dtype("ts")),
-        "seconds": seconds,
-        "flush_stats": stream.stats if stream is not None else FlushStats(),
-        "cache_stats": cache.stats if cache is not None else None,
-        "l2_export": cache.export_l2() if two_level else None,
-    }
+        cols, keys, labels=views["labels"], spans=[(0, rows)])
+    seconds = time.perf_counter() - started
+    out = spec.egress_views(egress.buf, slot, rows)
+    produced = write_egress_chunk(out, decisions)
+    return ("chunk_ok", slot, produced, seconds)
 
 
-_DECISION_NAMES = ("seq", "flow_label", "predicted", "ts")
+def worker_main(conn, runtime_factory, ingress_name: str, egress_name: str,
+                spec: RingSpec, lookup_backend=None) -> None:
+    """Persistent worker loop: one replica, one ring pair, chunks until EOF.
 
-
-# reprolint: zone=zero-copy
-def _merge_decision_columns(parts: list, n: int) -> tuple:
-    """Scatter per-worker decision streams into position-aligned columns.
-
-    ``parts`` is ``[(global_seq, reply), ...]`` — each worker's shard-local
-    decision arrays plus the precomputed global positions of its packets.
-    Instead of concatenating the streams and argsorting (two full copies
-    plus an O(n log n) sort per serve), every decision column is scattered
-    once into a preallocated full-length array at its final position — the
-    exact write pattern a shared-memory decision ring buffer will use
-    (ROADMAP item 1), where the "preallocated array" is the mapped segment
-    itself. Returns ``(merged, valid)``: the four schema-dtyped decision
-    columns and the bool mask of positions any worker decided.
-    """
-    merged = {name: np.zeros(n, dtype=decision_dtype(name)) for name in _DECISION_NAMES}
-    valid = np.zeros(n, dtype=np.bool_)
-    for gseq, reply in parts:
-        valid[gseq] = True
-        merged["seq"][gseq] = gseq
-        for name in ("flow_label", "predicted", "ts"):
-            merged[name][gseq] = reply[name]
-    return merged, valid
-
-
-def worker_main(conn, runtime_factory, scheduler, lookup_backend=None) -> None:
-    """Persistent worker loop: build one replica, serve shards until EOF.
-
-    The replica is built on the first request so construction cost lands in
-    the worker, and it persists across requests — flow registers and the
-    decision cache keep their state exactly like a long-lived replica would.
+    The replica and the ring attachments are built on the warm ping so
+    construction cost lands in the worker and a broken factory surfaces
+    immediately. Replica state (flow registers, decision caches) persists
+    across serves, exactly like a long-lived replica would.
     ``lookup_backend``, when set, is applied to the freshly built replica
-    (so TCAM compilation also happens worker-side, behind the warm-up ping).
+    (so TCAM compilation also happens worker-side, behind the warm ping).
+
+    Protocol (driver -> worker / worker -> driver):
+
+    - ``("warm",)`` -> ``("ok", None)`` | ``("error", traceback)``
+    - ``("serve", l2_seed, l2_admit)`` — resets per-serve state, no reply
+    - ``("chunk", slot, rows)`` -> ``("chunk_ok", slot, n, seconds)`` |
+      ``("chunk_err", slot, traceback)``
+    - ``("end",)`` -> ``("done", {seconds, cache_stats, l2_export, error})``
+    - ``None`` — shut down
+
+    A chunk failure never kills the loop: the slot is acked with the
+    traceback so the driver can drain the ring, stop feeding this worker,
+    and raise after every fleet member reports done.
     """
     runtime = None
+    ingress = egress = None
+    serve_error = None
+    serve_seconds = 0.0
     try:
         while True:
-            shard = conn.recv()
-            if shard is None:
+            msg = conn.recv()
+            if msg is None:
                 break
-            try:
-                if runtime is None:
-                    runtime = runtime_factory()
-                    if lookup_backend is not None:
-                        runtime.set_lookup_backend(lookup_backend)
-                if shard.get("warm"):
+            op = msg[0]
+            if op == "warm":
+                try:
+                    if runtime is None:
+                        runtime = runtime_factory()
+                        if lookup_backend is not None:
+                            runtime.set_lookup_backend(lookup_backend)
+                    if ingress is None:
+                        ingress = attach_ring(ingress_name)
+                        egress = attach_ring(egress_name)
                     conn.send(("ok", None))
+                except Exception:
+                    conn.send(("error", traceback.format_exc()))
+            elif op == "serve":
+                serve_error = None
+                serve_seconds = 0.0
+                try:
+                    _, l2_seed, l2_admit = msg
+                    cache = getattr(runtime, "decision_cache", None)
+                    if getattr(cache, "two_level", False):
+                        # Per-serve L2 admission gate, and read-mostly L2
+                        # sharing: entries other workers published on
+                        # earlier serves seed this replica's store (never
+                        # counted as its inserts, never re-exported).
+                        cache.l2_admit = bool(l2_admit)
+                        if l2_seed:
+                            cache.import_l2(l2_seed)
+                except Exception:
+                    serve_error = traceback.format_exc()
+            elif op == "chunk":
+                slot, rows = msg[1], msg[2]
+                if serve_error is not None:
+                    conn.send(("chunk_err", slot, serve_error))
                     continue
-                conn.send(("ok", serve_shard(runtime, shard, scheduler)))
-            except Exception:
-                conn.send(("error", traceback.format_exc()))
+                try:
+                    ack = serve_chunk(runtime, spec, ingress, egress,
+                                      slot, rows)
+                    serve_seconds += ack[3]
+                    conn.send(ack)
+                except Exception:
+                    conn.send(("chunk_err", slot, traceback.format_exc()))
+            elif op == "end":
+                try:
+                    cache = getattr(runtime, "decision_cache", None)
+                    two_level = getattr(cache, "two_level", False)
+                    payload = {
+                        "seconds": serve_seconds,
+                        "cache_stats": cache.stats if cache is not None
+                        else None,
+                        "l2_export": cache.export_l2() if two_level
+                        else None,
+                        "error": serve_error,
+                    }
+                except Exception:
+                    payload = {"seconds": serve_seconds,
+                               "error": traceback.format_exc()}
+                conn.send(("done", payload))
     except (EOFError, KeyboardInterrupt):  # pragma: no cover - parent died
         pass
     finally:
+        for shm in (ingress, egress):
+            if shm is not None:
+                try:
+                    shm.close()
+                except (BufferError, OSError):  # pragma: no cover
+                    pass
         conn.close()
+
+
+def _chunk_cuts(stream, n_rows: int, chunk_rows: int):
+    """Yield ``(a, b)`` chunk bounds over one shard, at most a slot each.
+
+    With a scheduler, chunks are the scheduler's batch spans (cut from the
+    shard's own timestamps, exactly like the serial dispatcher) split to
+    the slot capacity; without one, fixed ``chunk_rows`` strides. Batch
+    cuts never change decisions or cache counters (asserted by the serving
+    tests), so slot capacity is pure transport geometry.
+    """
+    if stream is None:
+        for a in range(0, n_rows, chunk_rows):
+            yield a, min(a + chunk_rows, n_rows)
+        return
+    for a, b in stream:
+        for s in range(a, b, chunk_rows):
+            yield s, min(s + chunk_rows, b)
+
+
+@dataclass
+class _WorkerServe:
+    """Driver-side per-worker state for one serve (ring bookkeeping)."""
+
+    w: int
+    conn: Any
+    member: np.ndarray                  # global positions of shard packets
+    stream: Any                         # SpanStream | None (flush stats)
+    chunks: Any                         # iterator of (a, b) shard spans
+    base_by_slot: dict = field(default_factory=dict)
+    next_seq: int = 0                   # chunks dispatched so far
+    inflight: int = 0
+    exhausted: bool = False
+    end_sent: bool = False
+    failed: str | None = None
 
 
 @dataclass
@@ -177,19 +271,24 @@ class ParallelDispatcher:
     """Serve traces across ``n_workers`` concurrent runtime replicas.
 
     The parallel counterpart of :class:`~repro.serving.ShardedDispatcher`:
-    same flow pinning, same per-replica replay, but replicas live in
-    persistent worker processes and replay their shards concurrently, so
-    ``wall_seconds`` is *measured* concurrent wall clock. ``runtime_factory``
-    runs inside each worker; ``scheduler`` is immutable config shared by
-    value; ``payload_bytes`` (for :class:`TwoStageRuntime` replicas) ships
-    each shard's first payload bytes as one matrix; ``lookup_backend``
-    (``"index"`` | ``"tcam"``), when set, is applied to every worker-built
-    replica via ``set_lookup_backend`` — serving the hardware-faithful
-    emulated-TCAM lookup path with bit-identical decisions.
+    same flow pinning, same driver-side batch spans, but replicas live in
+    persistent worker processes fed through per-worker shared-memory rings
+    (:mod:`repro.serving.rings`), so ``wall_seconds`` is *measured*
+    concurrent wall clock and the payload path never pickles.
+    ``runtime_factory`` runs inside each worker; ``scheduler`` is immutable
+    config shared by value; ``payload_bytes`` (for
+    :class:`TwoStageRuntime` replicas) reserves a payload matrix in every
+    ingress slot; ``lookup_backend`` (``"index"`` | ``"tcam"``), when set,
+    is applied to every worker-built replica via ``set_lookup_backend`` —
+    serving the hardware-faithful emulated-TCAM lookup path with
+    bit-identical decisions. ``ring_depth`` slots per worker bound the
+    in-flight chunks (pipelining window); ``ring_chunk`` caps rows per
+    slot (default: ``max(DEFAULT_CHUNK_ROWS, scheduler batch size)``).
 
     Per-serve telemetry: ``wall_seconds``, per-worker ``shard_seconds``
-    (replay time only, excluding IPC), merged ``flush_stats``, and — when
-    replicas carry a decision cache — lifetime ``cache_stats``.
+    (replay time only, excluding IPC), merged ``flush_stats``,
+    ``ring_stalls`` (driver blocked on a full ring), and — when replicas
+    carry a decision cache — lifetime ``cache_stats``.
     """
 
     runtime_factory: Callable[[], Any]
@@ -198,11 +297,14 @@ class ParallelDispatcher:
     lookup_backend: str | None = None
     payload_bytes: int | None = None
     start_method: str | None = None
+    ring_depth: int = 4
+    ring_chunk: int | None = None
     l2_admit: bool = field(init=False, default=True)
     shard_seconds: list[float] = field(init=False, default_factory=list)
     wall_seconds: float = field(init=False, default=0.0)
     flush_stats: FlushStats = field(init=False, default_factory=FlushStats)
     cache_stats: CacheStats = field(init=False, default_factory=CacheStats)
+    ring_stalls: int = field(init=False, default=0)
 
     def __post_init__(self):
         if self.n_workers < 1:
@@ -214,9 +316,18 @@ class ParallelDispatcher:
         if self.start_method is None:
             methods = multiprocessing.get_all_start_methods()
             self.start_method = "fork" if "fork" in methods else "spawn"
+        chunk_rows = self.ring_chunk
+        if chunk_rows is None:
+            chunk_rows = DEFAULT_CHUNK_ROWS
+            if self.scheduler is not None:
+                chunk_rows = max(chunk_rows, self.scheduler.batch_size)
+        # RingSpec validates ring_depth / ring_chunk (>= 1 each).
+        self._spec = RingSpec(depth=self.ring_depth, chunk_rows=chunk_rows,
+                              payload_cols=self.payload_bytes or 0)
         self._ctx = multiprocessing.get_context(self.start_method)
         self._workers: list = []
         self._conns: list = []
+        self._segments: RingSegments | None = None
         # Master copy of the shared L2: every entry any worker published, in
         # deterministic worker order, deduplicated by (bucket, box). Shipped
         # to all workers as the seed of the next serve.
@@ -227,22 +338,32 @@ class ParallelDispatcher:
     def started(self) -> bool:
         return bool(self._workers)
 
-    def start(self) -> None:
-        """Fork the workers and build their replicas (no-op when running).
+    @property
+    def segment_names(self) -> list[str]:
+        """Names of the live shared-memory segments (leak-check hook)."""
+        return self._segments.segment_names if self._segments else []
 
-        Replica construction happens here, behind a warm-up ping, so
-        ``wall_seconds`` of the first serve measures serving — not
-        ``runtime_factory`` — and a broken factory surfaces immediately.
+    def start(self) -> None:
+        """Create the rings, fork the workers, build their replicas.
+
+        No-op when already running. Replica construction and ring
+        attachment happen behind a warm-up ping, so ``wall_seconds`` of the
+        first serve measures serving — not ``runtime_factory`` — and a
+        broken factory surfaces immediately. Segments are created *before*
+        any fork and their names passed down, so the same path serves
+        ``fork`` and ``spawn`` workers.
         """
         if self._workers:
             return
         try:
-            for _ in range(self.n_workers):
+            self._segments = RingSegments(self.n_workers, self._spec)
+            for w in range(self.n_workers):
                 parent_conn, child_conn = self._ctx.Pipe()
+                ingress_name, egress_name = self._segments.names(w)
                 proc = self._ctx.Process(
                     target=worker_main,
-                    args=(child_conn, self.runtime_factory, self.scheduler,
-                          self.lookup_backend),
+                    args=(child_conn, self.runtime_factory, ingress_name,
+                          egress_name, self._spec, self.lookup_backend),
                     daemon=True,
                 )
                 proc.start()
@@ -250,7 +371,7 @@ class ParallelDispatcher:
                 self._workers.append(proc)
                 self._conns.append(parent_conn)
             for conn in self._conns:
-                conn.send({"warm": True})
+                conn.send(("warm",))
             failures = []
             for w, conn in enumerate(self._conns):
                 status, reply = conn.recv()
@@ -261,22 +382,25 @@ class ParallelDispatcher:
                 raise RuntimeError("\n".join(failures))
         except BaseException:
             # A partially started fleet (spawn error, failed warm ping,
-            # interrupt) must never leak processes or pipes: tear down
-            # whatever came up, then surface the original error.
+            # interrupt) must never leak processes, pipes, or shared-memory
+            # segments: tear down whatever came up, then surface the
+            # original error.
             self.close()
             raise
 
     def close(self) -> None:
-        """Shut workers down, discarding their replica state.
+        """Shut workers down, unlink the rings, discard replica state.
 
-        Idempotent and exception-safe: callable any number of times, after a
-        failed :meth:`start`, and from ``__exit__`` while a serve error is
-        propagating — dead workers and broken pipes are tolerated, and the
-        dispatcher is always left restartable (a later serve forks a fresh
-        cold fleet). The engine's lifecycle relies on being able to call
-        this unconditionally.
+        Idempotent and exception-safe: callable any number of times, after
+        a failed :meth:`start`, and from ``__exit__`` while a serve error
+        is propagating — dead workers and broken pipes are tolerated,
+        every shared-memory segment is unlinked regardless, and the
+        dispatcher is always left restartable (a later serve creates fresh
+        rings and forks a fresh cold fleet). The engine's lifecycle relies
+        on being able to call this unconditionally.
         """
         workers, conns = self._workers, self._conns
+        segments, self._segments = self._segments, None
         self._workers, self._conns = [], []
         self._l2_entries, self._l2_seen = [], set()   # cold fleet, cold L2
         for conn in conns:
@@ -297,6 +421,10 @@ class ParallelDispatcher:
                 conn.close()
             except OSError:  # pragma: no cover - already closed
                 pass
+        if segments is not None:
+            # Unlink only after every worker is down: attached views keep
+            # the memory alive until then, but the /dev/shm name must go.
+            segments.close()
 
     def __enter__(self) -> "ParallelDispatcher":
         self.start()
@@ -308,9 +436,10 @@ class ParallelDispatcher:
     def _merge_l2(self, entries: list) -> None:
         """Fold one worker's published L2 entries into the master copy.
 
-        Replies are merged in worker order (the reply loop is w = 0..n-1),
-        so the master list — and therefore every worker's next seed — is
-        deterministic for a given serve history.
+        Exports are merged in worker order (the serve loop collects them
+        per worker and folds w = 0..n-1 after the drain), so the master
+        list — and therefore every worker's next seed — is deterministic
+        for a given serve history.
         """
         for qk, lo, hi, decision in entries:
             key = (qk, lo.tobytes(), hi.tobytes())
@@ -325,10 +454,13 @@ class ParallelDispatcher:
         return self.serve_trace(trace, labels=labels)
 
     def serve_trace(self, trace: Trace, labels: np.ndarray | None = None) -> list:
-        """Shard columnar payloads to the workers; merge decision streams.
+        """Pump shard chunks through the rings; merge decision streams.
 
-        Decisions come back in global trace order, exactly as the serial
-        dispatcher would produce them.
+        The pump keeps up to ``ring_depth`` chunks in flight per worker
+        and scatters every finished egress slot while later chunks are
+        still replaying (dispatch/merge overlap). Decisions come back in
+        global trace order, exactly as the serial dispatcher would produce
+        them.
         """
         self.start()
         started = time.perf_counter()
@@ -339,62 +471,83 @@ class ParallelDispatcher:
             labels = np.asarray(labels, dtype=wire_dtype("labels"))
         cols = trace.packet_columns()
         key_cols = trace.canonical_key_columns()
-        shard_ids = (shard_hash_columns(key_cols) % np.uint64(self.n_workers)).astype(np.int64)
-        payload = trace.payload_matrix(self.payload_bytes) if self.payload_bytes else None
+        sources = {"ts": cols["ts"], "length": cols["length"], **key_cols,
+                   "labels": labels}
+        if self.payload_bytes:
+            sources["payload"] = trace.payload_matrix(self.payload_bytes)
+        if validation_enabled():
+            # The produce side of the ring contract: one check of the full
+            # columns every chunk gather reads from (drift would otherwise
+            # be cast — or corrupted — by the in-place np.take below).
+            WIRE_COLUMNS.validate_columns(
+                sources, context="parallel shard split -> ingress rings")
+        shard_ids = (shard_hash_columns(key_cols)
+                     % np.uint64(self.n_workers)).astype(np.int64)
 
-        members = []
+        states = []
         for w, conn in enumerate(self._conns):
             member = np.nonzero(shard_ids == w)[0]
-            members.append(member)
-            shard_cols = {"ts": cols["ts"][member], "length": cols["length"][member]}
-            if payload is not None:
-                shard_cols["payload"] = payload[member]
-            shard_keys = {name: key_cols[name][member] for name in KEY_COLUMN_NAMES}
-            if validation_enabled():
-                WIRE_COLUMNS.validate_columns(
-                    {**shard_cols, **shard_keys, "labels": labels[member]},
-                    context=f"parallel shard split -> worker {w}",
-                )
-            conn.send(
-                {
-                    "cols": shard_cols,
-                    "keys": shard_keys,
-                    "labels": labels[member],
-                    "l2_seed": self._l2_entries or None,
-                    "l2_admit": self.l2_admit,
-                }
-            )
+            stream = self.scheduler.iter_spans(cols["ts"][member]) \
+                if self.scheduler is not None else None
+            states.append(_WorkerServe(
+                w, conn, member, stream,
+                _chunk_cuts(stream, len(member), self._spec.chunk_rows)))
+            conn.send(("serve", self._l2_entries or None, self.l2_admit))
 
-        self.shard_seconds = []
+        self.shard_seconds = [0.0] * self.n_workers
         self.flush_stats = FlushStats()
         self.cache_stats = CacheStats()
-        parts = []
-        failures = []
-        for w, conn in enumerate(self._conns):
-            status, reply = conn.recv()
-            if status != "ok":
-                failures.append(f"worker {w} failed:\n{reply}")
+        self.ring_stalls = 0
+        # Explicit per-column literal (not a comprehension) so the
+        # columnar-schema lint checks every dtype against the declaration.
+        merged = {
+            "seq": np.zeros(n, dtype=decision_dtype("seq")),
+            "flow_label": np.zeros(n, dtype=decision_dtype("flow_label")),
+            "predicted": np.zeros(n, dtype=decision_dtype("predicted")),
+            "ts": np.zeros(n, dtype=decision_dtype("ts")),
+        }
+        valid = np.zeros(n, dtype=np.bool_)
+        failures: list[str] = []
+        done_payloads: list[dict | None] = [None] * self.n_workers
+        pending = {st.conn: st for st in states}
+
+        while pending:
+            for st in states:
+                if st.conn in pending:
+                    self._pump(st, sources, failures, pending)
+            if not pending:
+                break
+            if any(st.conn in pending and not st.exhausted
+                   and st.inflight >= self._spec.depth for st in states):
+                # Backpressure: chunks are ready but some worker's ring is
+                # full — the driver genuinely waits on the fleet here.
+                self.ring_stalls += 1
+            for conn in _wait_ready(list(pending)):
+                st = pending[conn]
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    failures.append(f"worker {st.w} failed:\n"
+                                    f"worker process died mid-serve")
+                    del pending[conn]
+                    continue
+                self._absorb(st, msg, merged, valid, done_payloads,
+                             failures, pending)
+
+        for st in states:
+            if st.stream is not None:
+                self.flush_stats.merge(st.stream.stats)
+        for w, payload in enumerate(done_payloads):
+            if payload is None:
                 continue
-            self.shard_seconds.append(reply["seconds"])
-            self.flush_stats.merge(reply["flush_stats"])
-            if reply["cache_stats"] is not None:
-                self.cache_stats.merge(reply["cache_stats"])
-            if validation_enabled():
-                # The consume side of the IPC contract: a worker whose
-                # decision stream drifted dtype would otherwise be silently
-                # cast by the scatter below.
-                DECISION_COLUMNS.validate_columns(
-                    {name: reply[name] for name in _DECISION_NAMES},
-                    require=_DECISION_NAMES,
-                    context=f"worker {w} reply",
-                )
-            parts.append((members[w][reply["seq"]], reply))
-            if reply.get("l2_export"):
-                self._merge_l2(reply["l2_export"])
+            self.shard_seconds[w] = payload.get("seconds", 0.0)
+            if payload.get("cache_stats") is not None:
+                self.cache_stats.merge(payload["cache_stats"])
+            if payload.get("l2_export"):
+                self._merge_l2(payload["l2_export"])
         if failures:
             raise RuntimeError("\n".join(failures))
 
-        merged, valid = _merge_decision_columns(parts, n)
         decisions = [
             PacketDecision(
                 flow_label=int(merged["flow_label"][i]),
@@ -406,3 +559,84 @@ class ParallelDispatcher:
         ]
         self.wall_seconds = time.perf_counter() - started
         return decisions
+
+    def _pump(self, st: _WorkerServe, sources: dict, failures: list,
+              pending: dict) -> None:
+        """Fill this worker's free ring slots with its next shard chunks.
+
+        Slots are claimed round-robin (``next_seq % depth``); a slot is
+        free again only once its ack arrived, so ``inflight < depth``
+        guarantees the worker is done with the slot being overwritten.
+        A failed worker stops being fed (its remaining spans are dropped —
+        the serve raises after the drain anyway).
+        """
+        if st.failed is not None:
+            st.exhausted = True
+        while not st.exhausted and st.inflight < self._spec.depth:
+            span = next(st.chunks, None)
+            if span is None:
+                st.exhausted = True
+                break
+            a, b = span
+            slot = st.next_seq % self._spec.depth
+            views = self._spec.ingress_views(
+                self._segments.ingress[st.w].buf, slot, b - a)
+            write_ingress_chunk(views, sources, st.member[a:b])
+            if not self._send(st, ("chunk", slot, b - a), failures, pending):
+                return
+            st.base_by_slot[slot] = a
+            st.next_seq += 1
+            st.inflight += 1
+        if st.exhausted and not st.end_sent:
+            st.end_sent = True
+            self._send(st, ("end",), failures, pending)
+
+    def _send(self, st: _WorkerServe, msg: tuple, failures: list,
+              pending: dict) -> bool:
+        """Send one descriptor, declaring the worker dead on a broken pipe."""
+        try:
+            st.conn.send(msg)
+            return True
+        except (BrokenPipeError, OSError):
+            failures.append(f"worker {st.w} failed:\n"
+                            f"worker process died mid-serve (broken pipe)")
+            st.exhausted = True
+            st.end_sent = True
+            pending.pop(st.conn, None)
+            return False
+
+    def _absorb(self, st: _WorkerServe, msg: tuple, merged: dict,
+                valid: np.ndarray, done_payloads: list, failures: list,
+                pending: dict) -> None:
+        """Fold one worker reply into the merge state."""
+        op = msg[0]
+        if op == "chunk_ok":
+            _, slot, produced, _seconds = msg
+            st.inflight -= 1
+            if produced:
+                views = self._spec.egress_views(
+                    self._segments.egress[st.w].buf, slot, produced)
+                if validation_enabled():
+                    # The consume side of the ring contract: a worker whose
+                    # decision stream drifted dtype would otherwise be
+                    # silently cast by the scatter below.
+                    DECISION_COLUMNS.validate_columns(
+                        views, require=EGRESS_RING_ORDER,
+                        context=f"worker {st.w} reply "
+                                f"(egress ring read, slot {slot})")
+                base = st.base_by_slot[slot]
+                gseq = st.member[base + views["seq"]]
+                scatter_decision_chunk(merged, valid, gseq, views, produced)
+        elif op == "chunk_err":
+            _, _slot, tb = msg
+            st.inflight -= 1
+            if st.failed is None:
+                st.failed = f"worker {st.w} failed:\n{tb}"
+                failures.append(st.failed)
+        elif op == "done":
+            done_payloads[st.w] = msg[1]
+            err = msg[1].get("error")
+            if err and st.failed is None:
+                st.failed = f"worker {st.w} failed:\n{err}"
+                failures.append(st.failed)
+            del pending[st.conn]

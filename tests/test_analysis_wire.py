@@ -100,7 +100,14 @@ class TestCallGraph:
         edges = repo_graph.edges[
             "repro.serving.parallel.ParallelDispatcher.serve_trace"]
         assert "repro.serving.dispatcher.shard_hash_columns" in edges
-        assert "repro.serving.parallel._merge_decision_columns" in edges
+        # The ring write/read seams resolve cross-module: the pump gathers
+        # into ingress slots, the absorb scatters egress slots.
+        pump_edges = repo_graph.edges[
+            "repro.serving.parallel.ParallelDispatcher._pump"]
+        assert "repro.serving.rings.write_ingress_chunk" in pump_edges
+        absorb_edges = repo_graph.edges[
+            "repro.serving.parallel.ParallelDispatcher._absorb"]
+        assert "repro.serving.rings.scatter_decision_chunk" in absorb_edges
 
     def test_self_method_resolution(self, repo_graph):
         edges = repo_graph.edges[
@@ -402,6 +409,29 @@ class TestHiddenCopyRule:
         assert [f.rule for f in findings] == ["hidden-copy-on-hot-path"]
         assert "fancy indexing" in findings[0].msg
 
+    def test_pickle_in_zone_flagged(self, tmp_path):
+        root = mini_tree(tmp_path, """
+            import pickle
+
+
+            # reprolint: zone=zero-copy
+            def hot(chunk):
+                return pickle.dumps(chunk)
+        """)
+        findings = wire_findings(root)
+        assert [f.rule for f in findings] == ["hidden-copy-on-hot-path"]
+        assert "re-pickles" in findings[0].msg
+
+    def test_pickle_outside_zone_clean(self, tmp_path):
+        root = mini_tree(tmp_path, """
+            import pickle
+
+
+            def cold(chunk):
+                return pickle.dumps(chunk)
+        """)
+        assert wire_findings(root) == []
+
     def test_unzoned_function_not_checked(self, tmp_path):
         root = mini_tree(tmp_path, """
             import numpy as np
@@ -512,6 +542,7 @@ def copy_wire_tree(tmp_path: Path) -> Path:
     for rel in ("src/repro/dataplane/schema.py",
                 "src/repro/serving/dispatcher.py",
                 "src/repro/serving/parallel.py",
+                "src/repro/serving/rings.py",
                 "src/repro/net/traces.py"):
         dest = tmp_path / rel
         dest.parent.mkdir(parents=True, exist_ok=True)

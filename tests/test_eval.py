@@ -247,3 +247,61 @@ class TestBenchRegressionSentinel:
         ratio_min = res["aimd_over_taildrop_min"]
         assert isinstance(ratio_min, (int, float)) \
             or ratio_min == TAILDROP_ZERO
+
+
+class TestBenchRegressionNullsAndCores:
+    """Bare JSON nulls fail the gate; sub-4-core speedups skip loudly."""
+
+    BASELINE = {"gate_metrics": ["parallel.speedup_4_vs_1"],
+                "parallel": {"speedup_4_vs_1": 2.5}}
+
+    def _gate(self, tmp_path, current):
+        import json
+        import sys
+        sys.path.insert(0, "scripts")
+        try:
+            from check_bench_regression import main as gate_main
+        finally:
+            sys.path.pop(0)
+        bp = tmp_path / "baseline.json"
+        cp = tmp_path / "current.json"
+        bp.write_text(json.dumps(self.BASELINE))
+        cp.write_text(json.dumps(current))
+        return gate_main([str(cp), str(bp)])
+
+    def test_bare_null_anywhere_fails(self, tmp_path, capsys):
+        current = {"parallel": {"speedup_4_vs_1": 2.6, "cores": 8},
+                   "scenarios": {"per_scenario": {"flow_churn": {
+                       "phase_accuracy": {"mice-storm-1": None}}}}}
+        assert self._gate(tmp_path, current) == 1
+        err = capsys.readouterr().err
+        assert "bare JSON null" in err and "mice-storm-1" in err
+
+    def test_named_sentinel_instead_of_null_passes(self, tmp_path):
+        current = {"parallel": {"speedup_4_vs_1": 2.6, "cores": 8},
+                   "scenarios": {"per_scenario": {"flow_churn": {
+                       "phase_accuracy": {"mice-storm-1":
+                                          "no_labeled_packets"}}}}}
+        assert self._gate(tmp_path, current) == 0
+
+    def test_few_cores_skips_loudly(self, tmp_path, capsys):
+        current = {"parallel": {"speedup_4_vs_1": "single_core",
+                                "speedup_4_vs_1_raw": 0.84,
+                                "cores": 1}}
+        assert self._gate(tmp_path, current) == 0
+        out = capsys.readouterr().out
+        assert "SKIPPED" in out and "1 core" in out and ">= 4" in out
+
+    def test_multicore_numeric_value_still_gates(self, tmp_path, capsys):
+        current = {"parallel": {"speedup_4_vs_1": 1.0, "cores": 8}}
+        assert self._gate(tmp_path, current) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+
+class TestMetricOrSentinel:
+    def test_values_pass_through_including_falsy(self):
+        from repro.eval.reporting import metric_or_sentinel
+        assert metric_or_sentinel(0.5) == 0.5
+        assert metric_or_sentinel(0.0) == 0.0          # falsy but defined
+        assert metric_or_sentinel(None) == "no_labeled_packets"
+        assert metric_or_sentinel(None, "single_core") == "single_core"

@@ -188,6 +188,8 @@ class TestEngineConfig:
         (dict(l2_capacity=0), "l2_capacity"),
         (dict(l2_quantize_shift=-1), "l2_quantize_shift"),
         (dict(start_method="thread"), "start_method"),
+        (dict(ring_depth=0), "ring_depth"),
+        (dict(ring_chunk=0), "ring_chunk"),
         (dict(admission="nope"), "admission"),
         (dict(queue_capacity=0), "queue_capacity"),
         (dict(p99_target_ms=0.0), "p99_target_ms"),

@@ -27,8 +27,8 @@ from repro.errors import PegasusError, SchemaError
 from repro.net.traces import Trace
 from repro.serving import BatchScheduler
 from repro.serving.dispatcher import ShardedDispatcher
-from repro.serving.parallel import (ParallelDispatcher,
-                                    _merge_decision_columns)
+from repro.serving.parallel import ParallelDispatcher
+from repro.serving.rings import scatter_decision_chunk
 
 
 def _runtime_factory(compiled16):
@@ -233,20 +233,26 @@ class TestHotPathCoverage:
                 reply, require=("seq", "flow_label", "predicted", "ts"))
 
 
+def _empty_merge(n):
+    merged = {name: np.zeros(n, dtype=decision_dtype(name))
+              for name in ("seq", "flow_label", "predicted", "ts")}
+    return merged, np.zeros(n, dtype=np.bool_)
+
+
 class TestDecisionMerge:
     def test_scatter_merge_matches_manual_sort(self):
+        """Chunk scatters from two interleaved shards rebuild the exact
+        global-order columns a concatenate+argsort merge would produce."""
         rng = np.random.default_rng(7)
         n = 50
         order = rng.permutation(n)
-        halves = [order[:27], order[27:]]
-        parts = []
-        for half in halves:
-            reply = {"seq": np.arange(len(half), dtype=np.int64),
-                     "flow_label": np.asarray(half, dtype=np.int64) * 3,
-                     "predicted": np.asarray(half, dtype=np.int64) % 5,
+        merged, valid = _empty_merge(n)
+        for half in (order[:27], order[27:]):
+            gseq = np.asarray(half, dtype=np.int64)
+            views = {"flow_label": gseq * 3,
+                     "predicted": gseq % 5,
                      "ts": np.asarray(half, dtype=np.float64) / 8.0}
-            parts.append((np.asarray(half, dtype=np.int64), reply))
-        merged, valid = _merge_decision_columns(parts, n)
+            scatter_decision_chunk(merged, valid, gseq, views, len(half))
         assert valid.all()
         np.testing.assert_array_equal(merged["seq"], np.arange(n))
         np.testing.assert_array_equal(merged["flow_label"],
@@ -257,15 +263,27 @@ class TestDecisionMerge:
             assert merged[name].dtype == decision_dtype(name)
 
     def test_partial_coverage_leaves_invalid_rows(self):
-        reply = {"seq": np.array([0], dtype=np.int64),
-                 "flow_label": np.array([42], dtype=np.int64),
+        merged, valid = _empty_merge(6)
+        views = {"flow_label": np.array([42], dtype=np.int64),
                  "predicted": np.array([1], dtype=np.int64),
                  "ts": np.array([0.5], dtype=np.float64)}
-        merged, valid = _merge_decision_columns(
-            [(np.array([3], dtype=np.int64), reply)], 6)
+        scatter_decision_chunk(merged, valid,
+                               np.array([3], dtype=np.int64), views, 1)
         assert valid.tolist() == [False, False, False, True, False, False]
         assert np.flatnonzero(valid).tolist() == [3]
         assert merged["flow_label"][3] == 42
+
+    def test_egress_slot_tail_is_ignored(self):
+        """Only the first ``rows`` entries of an egress slot are scattered —
+        stale data past the chunk's decision count never leaks through."""
+        merged, valid = _empty_merge(4)
+        views = {"flow_label": np.array([7, 99], dtype=np.int64),
+                 "predicted": np.array([2, 99], dtype=np.int64),
+                 "ts": np.array([0.25, 99.0], dtype=np.float64)}
+        scatter_decision_chunk(merged, valid,
+                               np.array([1], dtype=np.int64), views, 1)
+        assert valid.tolist() == [False, True, False, False]
+        assert merged["flow_label"][1] == 7 and 99 not in merged["flow_label"]
 
     def test_parallel_decisions_bit_identical_to_sharded(self, compiled16,
                                                          replay_flows):
